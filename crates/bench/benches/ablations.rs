@@ -1,0 +1,10 @@
+//! Ablation studies and §7.1 what-ifs (design choices DESIGN.md calls
+//! out). Run with `cargo bench --bench ablations`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::ablations::wire_ablation);
+    qisim_bench::run(qisim::experiments::ablations::sharing_ablation);
+    qisim_bench::run(qisim::experiments::ablations::fdm_ablation);
+    qisim_bench::run(qisim::experiments::ablations::calibration_sensitivity);
+    qisim_bench::run(qisim::experiments::ablations::whatif);
+}

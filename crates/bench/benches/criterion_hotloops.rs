@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the simulator hot loops: the
+//! cycle-accurate scheduler on a d=23 ESM round, the scalability binary
+//! search, the union-find decoder, and the statevector engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qisim::cyclesim::{simulate, workloads::Patch, TimingModel};
+use qisim::hal::fridge::Fridge;
+use qisim::power::max_qubits;
+use qisim::quantum::{CMatrix, Statevector};
+use qisim::surface::decoder::{decode, DecodingGraph};
+use qisim::surface::Lattice;
+use qisim::QciDesign;
+
+fn bench_cyclesim(c: &mut Criterion) {
+    let patch = Patch::new(23);
+    let circuit = patch.esm_circuit(1);
+    let model = TimingModel::cmos_baseline();
+    c.bench_function("cyclesim/esm_d23_round", |b| {
+        b.iter(|| simulate(std::hint::black_box(&circuit), &model))
+    });
+}
+
+fn bench_scalability(c: &mut Criterion) {
+    let arch = QciDesign::cmos_baseline().arch();
+    let fridge = Fridge::standard();
+    c.bench_function("power/max_qubits_binary_search", |b| {
+        b.iter(|| max_qubits(std::hint::black_box(&arch), &fridge))
+    });
+}
+
+fn bench_decoder(c: &mut Criterion) {
+    let lattice = Lattice::new(15);
+    let graph = DecodingGraph::new(&lattice, false);
+    let mut errs = vec![false; lattice.data_qubits()];
+    for q in (0..lattice.data_qubits()).step_by(17) {
+        errs[q] = true;
+    }
+    let syndrome = lattice.z_syndrome(&errs);
+    c.bench_function("surface/union_find_d15", |b| {
+        b.iter(|| decode(std::hint::black_box(&graph), &syndrome))
+    });
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let h = CMatrix::hadamard();
+    let cz = CMatrix::cz();
+    c.bench_function("quantum/statevector_16q_layer", |b| {
+        b.iter(|| {
+            let mut s = Statevector::zero_state(16);
+            for q in 0..16 {
+                s.apply_1q(&h, q);
+            }
+            for q in 0..15 {
+                s.apply_2q(&cz, q, q + 1);
+            }
+            s
+        })
+    });
+}
+
+criterion_group!(benches, bench_cyclesim, bench_scalability, bench_decoder, bench_statevector);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `validation::fig08`.
+//! Run with `cargo bench --bench fig08_cmos_validation`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::validation::fig08);
+}

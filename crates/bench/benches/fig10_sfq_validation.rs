@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `validation::fig10`.
+//! Run with `cargo bench --bench fig10_sfq_validation`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::validation::fig10);
+}

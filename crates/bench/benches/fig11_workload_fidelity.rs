@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `validation::fig11`.
+//! Run with `cargo bench --bench fig11_workload_fidelity`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::validation::fig11);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `nearterm::fig12`.
+//! Run with `cargo bench --bench fig12_scalability_300k`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::nearterm::fig12);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `nearterm::fig13`.
+//! Run with `cargo bench --bench fig13_scalability_4k`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::nearterm::fig13);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `nearterm::fig14`.
+//! Run with `cargo bench --bench fig14_bit_precision`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::nearterm::fig14);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `nearterm::fig15`.
+//! Run with `cargo bench --bench fig15_jpm_sharing`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::nearterm::fig15);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `nearterm::fig16`.
+//! Run with `cargo bench --bench fig16_sfq_drive_opts`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::nearterm::fig16);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `longterm::fig17`.
+//! Run with `cargo bench --bench fig17_scalability_longterm`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::longterm::fig17);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `longterm::fig18`.
+//! Run with `cargo bench --bench fig18_instruction_masking`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::longterm::fig18);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `longterm::fig19`.
+//! Run with `cargo bench --bench fig19_multiround_readout`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::longterm::fig19);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `longterm::fig20`.
+//! Run with `cargo bench --bench fig20_fast_driving`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::longterm::fig20);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper experiment `validation::table1`.
+//! Run with `cargo bench --bench table1_gate_errors`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::validation::table1);
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 2 (setup self-check) and re-prints Table 3 (the
+//! technology-maturity survey).
+//! Run with `cargo bench --bench table2_setup`.
+
+fn main() {
+    qisim_bench::run(qisim::experiments::setup::table2);
+
+    println!("=== Table 3 — current status and maturity of QCI technologies ===");
+    println!("{:<14} {:>10} {:>8} {:>7} {:>11} {:>12} {:>9}",
+        "gate type", "300K CMOS", "4K CMOS", "4K SFQ", "300K cable", "4K ustrip", "photonic");
+    for (gate, grades) in qisim::experiments::setup::table3() {
+        println!("{:<14} {:>10} {:>8} {:>7} {:>11} {:>12} {:>9}",
+            gate, grades[0], grades[1], grades[2], grades[3], grades[4], grades[5]);
+    }
+    println!("A: no full approach / B: theoretical / C: circuit-level / D: qubit demo / E: >50-qubit system");
+}

@@ -1,0 +1,13 @@
+//! Shared helpers for the QIsim bench harnesses: each bench regenerates
+//! one paper table/figure, prints its paper-vs-measured rows, and exits
+//! non-zero if the shape constraint it asserts is violated.
+
+use qisim::experiments::Experiment;
+
+/// Prints an experiment with a standard header and wall-clock timing.
+pub fn run(make: impl FnOnce() -> Experiment) {
+    let t0 = std::time::Instant::now();
+    let e = make();
+    println!("{e}");
+    println!("regenerated in {:.2?}\n", t0.elapsed());
+}

@@ -1,0 +1,155 @@
+//! One driver per paper table/figure: each returns an [`Experiment`]
+//! with *paper vs. measured* rows, which the bench harnesses print and
+//! `EXPERIMENTS.md` records.
+
+pub mod ablations;
+pub mod longterm;
+pub mod nearterm;
+pub mod setup;
+pub mod validation;
+
+use std::fmt;
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// What is being compared.
+    pub label: String,
+    /// The paper's value (`NaN` for informational rows).
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Unit for display.
+    pub unit: &'static str,
+}
+
+impl Row {
+    /// Creates a comparison row.
+    pub fn new(label: impl Into<String>, paper: f64, measured: f64, unit: &'static str) -> Self {
+        Row { label: label.into(), paper, measured, unit }
+    }
+
+    /// Measured / paper ratio (`NaN` when the paper value is missing).
+    pub fn ratio(&self) -> f64 {
+        self.measured / self.paper
+    }
+
+    /// Signed relative error.
+    pub fn relative_error(&self) -> f64 {
+        (self.measured - self.paper) / self.paper
+    }
+}
+
+/// A regenerated experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    /// Paper identifier ("Fig. 13", "Table 1"...).
+    pub id: &'static str,
+    /// One-line description.
+    pub title: &'static str,
+    /// Comparison rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (substitutions, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Experiment {
+    /// Worst absolute relative error across rows with paper values.
+    pub fn max_relative_error(&self) -> f64 {
+        self.rows
+            .iter()
+            .filter(|r| r.paper.is_finite() && r.paper != 0.0)
+            .map(|r| r.relative_error().abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every row's measured value is within `factor`× of the
+    /// paper value (the "shape" check for order-of-magnitude rows).
+    pub fn all_within_factor(&self, factor: f64) -> bool {
+        assert!(factor >= 1.0, "factor must be at least 1");
+        self.rows.iter().filter(|r| r.paper.is_finite() && r.paper != 0.0).all(|r| {
+            let ratio = r.ratio().abs();
+            ratio <= factor && ratio >= 1.0 / factor
+        })
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".into();
+    }
+    let a = v.abs();
+    if a == 0.0 {
+        "0".into()
+    } else if a >= 1e4 || a < 1e-2 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+impl fmt::Display for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} ===", self.id, self.title)?;
+        writeln!(f, "{:<52} {:>12} {:>12} {:>9}", "quantity", "paper", "measured", "ratio")?;
+        for r in &self.rows {
+            let ratio = if r.paper.is_finite() && r.paper != 0.0 {
+                format!("{:>8.3}", r.ratio())
+            } else {
+                "       -".into()
+            };
+            writeln!(
+                f,
+                "{:<52} {:>12} {:>12} {} {}",
+                r.label,
+                format_value(r.paper),
+                format_value(r.measured),
+                ratio,
+                r.unit
+            )?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_math() {
+        let r = Row::new("x", 2.0, 3.0, "W");
+        assert!((r.ratio() - 1.5).abs() < 1e-12);
+        assert!((r.relative_error() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_factor_check() {
+        let e = Experiment {
+            id: "T",
+            title: "t",
+            rows: vec![Row::new("a", 1.0, 2.0, ""), Row::new("b", 10.0, 6.0, "")],
+            notes: vec![],
+        };
+        assert!(e.all_within_factor(2.0));
+        assert!(!e.all_within_factor(1.2));
+        assert!((e.max_relative_error() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_renders_rows_and_notes() {
+        let e = Experiment {
+            id: "Fig. 0",
+            title: "demo",
+            rows: vec![Row::new("metric", 1.0, 1.05, "W")],
+            notes: vec!["a note".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("Fig. 0"));
+        assert!(s.contains("metric"));
+        assert!(s.contains("a note"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Near-term scalability experiments (§6.2–6.3): Figs. 12–16.
+
+use super::{Experiment, Row};
+use crate::config::{cmos_1q_error_for_bits, QciDesign};
+use crate::opts::{apply_all, Opt};
+use crate::paperdata::{logical, power_cuts, readout, scalability};
+use crate::scalability::analyze;
+use qisim_hal::fridge::{Fridge, Stage};
+use qisim_microarch::cryo_cmos::CryoCmosConfig;
+use qisim_microarch::sfq::{drive::bitgen_cells, BitgenKind, JpmSharing, ReadoutSchedule, SfqConfig};
+use qisim_power::max_qubits;
+use qisim_surface::analytic::{sfq_budget, PhysicalBudget, CALIBRATION};
+use qisim_surface::target::{Target, CODE_DISTANCE};
+
+fn power_limit(design: &QciDesign) -> u64 {
+    max_qubits(&design.arch(), &Fridge::standard()).0
+}
+
+/// Fig. 12 — 300 K QCI scalability (coax ≈400, microstrip ≈650,
+/// photonic ≈70 qubits).
+pub fn fig12() -> Experiment {
+    let rows = vec![
+        Row::new(
+            "coaxial cable: max qubits (100mK-bound)",
+            scalability::ROOM_COAX as f64,
+            power_limit(&QciDesign::room_coax()) as f64,
+            "qubits",
+        ),
+        Row::new(
+            "microstrip: max qubits (100mK-bound)",
+            scalability::ROOM_MICROSTRIP as f64,
+            power_limit(&QciDesign::room_microstrip()) as f64,
+            "qubits",
+        ),
+        Row::new(
+            "photonic link: max qubits (20mK-bound)",
+            scalability::ROOM_PHOTONIC as f64,
+            power_limit(&QciDesign::room_photonic()) as f64,
+            "qubits",
+        ),
+    ];
+    Experiment {
+        id: "Fig. 12",
+        title: "300K QCI scalability (wire passive/active loads bind)",
+        rows,
+        notes: vec!["ordering must hold: photonic << coax < microstrip".into()],
+    }
+}
+
+/// Fig. 13 — 4 K QCI scalability: CMOS <700 → 1,399 (Opt-1/2); RSFQ
+/// <160 → 1,248 (Opt-3/4/5), with the logical-error anchors of the
+/// readout-sharing story.
+pub fn fig13() -> Experiment {
+    let t = Target::near_term();
+    let cmos_base = QciDesign::cmos_baseline();
+    let cmos_opt =
+        apply_all(&cmos_base, &[Opt::MemorylessDecision, Opt::LowPrecisionDrive]).expect("cmos opts");
+    let rsfq_base = QciDesign::rsfq_baseline();
+    let rsfq_opt = apply_all(
+        &rsfq_base,
+        &[Opt::SharedPipelinedReadout, Opt::LowPowerBitgen, Opt::SingleBroadcast],
+    )
+    .expect("rsfq opts");
+
+    let d23 = |design: &QciDesign| analyze(design, &t);
+    let base = d23(&cmos_base);
+    let opt = d23(&cmos_opt);
+    let sbase = d23(&rsfq_base);
+    let sopt = d23(&rsfq_opt);
+
+    Experiment {
+        id: "Fig. 13",
+        title: "4K QCI scalability: baselines vs. near-term optimized designs",
+        rows: vec![
+            Row::new(
+                "4K CMOS baseline: max qubits (4K-bound, <700)",
+                scalability::CMOS_BASELINE as f64,
+                base.power_limited_qubits as f64,
+                "qubits",
+            ),
+            Row::new(
+                "4K CMOS + Opt-1,2: max qubits",
+                scalability::CMOS_OPTIMIZED as f64,
+                opt.power_limited_qubits as f64,
+                "qubits",
+            ),
+            Row::new(
+                "RSFQ baseline: max qubits (20mK-bound, <160)",
+                scalability::RSFQ_BASELINE as f64,
+                sbase.power_limited_qubits as f64,
+                "qubits",
+            ),
+            Row::new(
+                "RSFQ + Opt-3,4,5: max qubits",
+                scalability::RSFQ_OPTIMIZED as f64,
+                sopt.power_limited_qubits as f64,
+                "qubits",
+            ),
+            Row::new("RSFQ baseline logical error (d=23)", logical::SFQ_BASELINE, sbase.logical_error, ""),
+        ],
+        notes: vec![
+            format!("near-term target scale: {} qubits", scalability::NEAR_TERM_QUBITS),
+            format!("CMOS optimized reaches target: {}", opt.reaches(&t)),
+            format!("RSFQ optimized reaches target: {}", sopt.reaches(&t)),
+        ],
+    }
+}
+
+/// Fig. 14 — Opt-1/2: single-qubit gate error and logical error vs.
+/// drive bit precision, plus the RX/drive power cuts.
+pub fn fig14() -> Experiment {
+    let mut rows = Vec::new();
+    for bits in [4u32, 6, 8, 9, 10, 12, 14] {
+        let p1q = cmos_1q_error_for_bits(bits);
+        let budget = PhysicalBudget {
+            p_1q: p1q,
+            ..qisim_surface::analytic::cmos_budget(QciDesign::cmos_baseline().esm_cycle_ns())
+        };
+        let p_l = budget.logical_error(CODE_DISTANCE, &CALIBRATION);
+        rows.push(Row::new(format!("{bits}-bit: 1Q gate error"), f64::NAN, p1q, ""));
+        rows.push(Row::new(format!("{bits}-bit: logical-qubit error"), f64::NAN, p_l, ""));
+    }
+    // Power cuts.
+    let n = 1024;
+    let p4k = |cfg: &CryoCmosConfig| {
+        let a = cfg.build();
+        a.device_static_w(Stage::K4, n) + a.device_dynamic_w(Stage::K4, n)
+    };
+    let base = CryoCmosConfig::baseline();
+    let opt1 = CryoCmosConfig { decision: qisim_microarch::DecisionKind::Memoryless, ..base };
+    let opt12 = CryoCmosConfig { drive_bits: 6, ..opt1 };
+    let rx_power = |cfg: &CryoCmosConfig| {
+        let a = cfg.build();
+        a.group_power_per_qubit_w("RX NCO", n) + a.group_power_per_qubit_w("RX decision", n)
+    };
+    rows.push(Row::new(
+        "Opt-1: RX digital power cut",
+        power_cuts::OPT1_RX,
+        1.0 - rx_power(&opt1) / rx_power(&base),
+        "",
+    ));
+    rows.push(Row::new(
+        "Opt-1: total 4K power cut",
+        power_cuts::OPT1_TOTAL,
+        1.0 - p4k(&opt1) / p4k(&base),
+        "",
+    ));
+    rows.push(Row::new(
+        "Opt-2: total 4K power cut (after Opt-1)",
+        power_cuts::OPT2_TOTAL,
+        1.0 - p4k(&opt12) / p4k(&opt1),
+        "",
+    ));
+    Experiment {
+        id: "Fig. 14",
+        title: "Opt-1/2: bit-precision sweep and decision-unit power cuts",
+        rows,
+        notes: vec![
+            "gate error saturates ~9 bits; logical error saturates at 6 bits (paper's insight)".into(),
+        ],
+    }
+}
+
+/// Fig. 15 — Opt-3: shared/pipelined JPM readout latency and the
+/// logical-error consequences.
+pub fn fig15() -> Experiment {
+    let base = ReadoutSchedule::baseline();
+    let naive = ReadoutSchedule { sharing: JpmSharing::SharedNaive, ..base };
+    let piped = ReadoutSchedule::opt3();
+    let p_l = |sched: ReadoutSchedule| {
+        let cycle = 2.0 * 25.0 + 200.0 + sched.group_latency_ns();
+        sfq_budget(cycle).logical_error(CODE_DISTANCE, &CALIBRATION)
+    };
+    Experiment {
+        id: "Fig. 15",
+        title: "Opt-3: shared + pipelined JPM readout",
+        rows: vec![
+            Row::new("naive 8x-shared readout latency", readout::NAIVE_NS, naive.group_latency_ns(), "ns"),
+            Row::new("pipelined readout latency", readout::PIPELINED_NS, piped.group_latency_ns(), "ns"),
+            Row::new("baseline logical error", logical::SFQ_BASELINE, p_l(base), ""),
+            Row::new("naive-sharing logical error", logical::SFQ_NAIVE_SHARED, p_l(naive), ""),
+            Row::new("pipelined logical error", logical::SFQ_PIPELINED, p_l(piped), ""),
+        ],
+        notes: vec![
+            "sharing cuts the mK static power 8x; pipelining recovers the latency".into(),
+            "logical-error rows are order-of-magnitude anchors (d = 23)".into(),
+        ],
+    }
+}
+
+/// Fig. 16 — Opt-4/5: low-power bitstream generator and controllers.
+pub fn fig16() -> Experiment {
+    use qisim_hal::sfq::{SfqFamily, SfqStage, SfqTech};
+    let tech = SfqTech::new(SfqFamily::Rsfq, SfqStage::Cryo4K);
+    let bitgen_power = |kind: BitgenKind| tech.static_power_w(&bitgen_cells(kind));
+    let bitgen_cut = 1.0
+        - bitgen_power(BitgenKind::SplitterShared) / bitgen_power(BitgenKind::PerPhiShiftRegisters);
+
+    let n = 1024;
+    let p4k = |cfg: &SfqConfig| {
+        let a = cfg.build();
+        a.device_static_w(Stage::K4, n) + a.device_dynamic_w(Stage::K4, n)
+    };
+    let base = SfqConfig::baseline_rsfq();
+    let opt4 = SfqConfig { bitgen: BitgenKind::SplitterShared, ..base };
+    let opt45 = SfqConfig { bs: 1, ..opt4 };
+    Experiment {
+        id: "Fig. 16",
+        title: "Opt-4/5: low-power bitstream generator and #BS reduction",
+        rows: vec![
+            Row::new("Opt-4: bitgen power cut", power_cuts::OPT4_BITGEN, bitgen_cut, ""),
+            Row::new(
+                "Opt-4: total 4K power cut",
+                power_cuts::OPT4_TOTAL,
+                1.0 - p4k(&opt4) / p4k(&base),
+                "",
+            ),
+            Row::new(
+                "Opt-5: total 4K power cut (after Opt-4)",
+                power_cuts::OPT5_TOTAL,
+                1.0 - p4k(&opt45) / p4k(&opt4),
+                "",
+            ),
+        ],
+        notes: vec![
+            "Opt-4 replaces 256 output shift registers with one splitter-equipped register".into(),
+            "Opt-5 exploits that FTQC layers need few distinct simultaneous 1Q gates".into(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_shape_holds() {
+        let e = fig12();
+        assert!(e.all_within_factor(1.6), "{e}");
+        // Ordering.
+        assert!(e.rows[2].measured < e.rows[0].measured);
+        assert!(e.rows[0].measured < e.rows[1].measured);
+    }
+
+    #[test]
+    fn fig13_shape_holds() {
+        let e = fig13();
+        for r in &e.rows[..4] {
+            let ratio = r.ratio();
+            assert!((0.5..2.0).contains(&ratio), "{}: ratio {ratio}", r.label);
+        }
+    }
+
+    #[test]
+    fn fig14_logical_error_saturates_at_6_bits() {
+        let e = fig14();
+        let logical_at = |bits: u32| {
+            e.rows
+                .iter()
+                .find(|r| r.label == format!("{bits}-bit: logical-qubit error"))
+                .expect("row")
+                .measured
+        };
+        // 6-bit within 15 % of 14-bit; 4-bit visibly worse.
+        assert!((logical_at(6) - logical_at(14)) / logical_at(14) < 0.15);
+        assert!(logical_at(4) > 1.3 * logical_at(14));
+    }
+
+    #[test]
+    fn fig15_latencies_match() {
+        let e = fig15();
+        assert!(e.rows[0].ratio() < 1.05 && e.rows[0].ratio() > 0.95, "naive latency");
+        assert!((e.rows[1].ratio() - 1.0).abs() < 0.01, "pipelined latency");
+        // Logical-error ordering: baseline < pipelined << naive.
+        assert!(e.rows[2].measured < e.rows[4].measured);
+        assert!(e.rows[4].measured < e.rows[3].measured);
+    }
+
+    #[test]
+    fn fig16_power_cuts_are_close() {
+        let e = fig16();
+        assert!((e.rows[0].measured - power_cuts::OPT4_BITGEN).abs() < 0.03, "{e}");
+        assert!((e.rows[1].measured - power_cuts::OPT4_TOTAL).abs() < 0.08, "{e}");
+        assert!((e.rows[2].measured - power_cuts::OPT5_TOTAL).abs() < 0.10, "{e}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Setup experiments: Table 2 (self-check of the analysis constants) and
+//! Table 3 (technology-maturity survey, informational).
+
+use super::{Experiment, Row};
+use crate::paperdata::table2;
+use qisim_hal::fridge::Stage;
+use qisim_hal::sfq::SFQ_CLOCK_HZ;
+use qisim_hal::wire::WireKind;
+use qisim_microarch::cryo_cmos::{CMOS_CLOCK_HZ, ONE_Q_NS, READOUT_NS, TWO_Q_NS};
+use qisim_microarch::sfq::readout::{DRIVING_NS, JPM_READ_NS, RESET_NS, TUNNELING_NS};
+
+/// Table 2 — the scalability-analysis setup, cross-checked against the
+/// constants actually wired into the HAL and microarchitecture crates.
+pub fn table2() -> Experiment {
+    let rows = vec![
+        Row::new("1Q gate latency", table2::LATENCIES_NS[0], ONE_Q_NS, "ns"),
+        Row::new("2Q gate latency", table2::LATENCIES_NS[1], TWO_Q_NS, "ns"),
+        Row::new("CMOS readout latency", table2::LATENCIES_NS[2], READOUT_NS, "ns"),
+        Row::new("SFQ resonator driving", table2::SFQ_RO_STEPS_NS[0], DRIVING_NS, "ns"),
+        Row::new("SFQ JPM tunneling", table2::SFQ_RO_STEPS_NS[1], TUNNELING_NS, "ns"),
+        Row::new("SFQ JPM readout", table2::SFQ_RO_STEPS_NS[2], JPM_READ_NS, "ns"),
+        Row::new("SFQ reset", table2::SFQ_RO_STEPS_NS[3], RESET_NS, "ns"),
+        Row::new("4K CMOS clock", table2::CLOCKS_HZ[0], CMOS_CLOCK_HZ, "Hz"),
+        Row::new("SFQ clock", table2::CLOCKS_HZ[1], SFQ_CLOCK_HZ, "Hz"),
+        Row::new("4K cooling capacity", 1.5, Stage::K4.cooling_capacity_w(), "W"),
+        Row::new("100mK cooling capacity", 200e-6, Stage::Mk100.cooling_capacity_w(), "W"),
+        Row::new("20mK cooling capacity", 20e-6, Stage::Mk20.cooling_capacity_w(), "W"),
+        Row::new("coax passive @4K", 1e-3, WireKind::Coax.passive_load_w(Stage::K4), "W"),
+        Row::new("coax passive @100mK", 400e-9, WireKind::Coax.passive_load_w(Stage::Mk100), "W"),
+        Row::new("coax passive @20mK", 13e-9, WireKind::Coax.passive_load_w(Stage::Mk20), "W"),
+        Row::new(
+            "microstrip passive @100mK",
+            210e-9,
+            WireKind::Microstrip.passive_load_w(Stage::Mk100),
+            "W",
+        ),
+        Row::new(
+            "photonic PD active @20mK",
+            790e-9,
+            WireKind::PhotonicLink.active_load_w(Stage::Mk20),
+            "W",
+        ),
+        Row::new(
+            "sc coax passive ratio vs coax",
+            7.4,
+            WireKind::Coax.passive_load_w(Stage::Mk100)
+                / WireKind::SuperconductingCoax.passive_load_w(Stage::Mk100),
+            "x",
+        ),
+        Row::new(
+            "attenuator chain total",
+            60.0,
+            Stage::ALL.iter().map(|s| s.attenuation_db()).sum::<f64>(),
+            "dB",
+        ),
+    ];
+    Experiment {
+        id: "Table 2",
+        title: "scalability-analysis setup (self-check against wired constants)",
+        rows,
+        notes: vec![
+            format!("Table 2 error rates: CMOS 1Q {:.2e}, 2Q {:.2e}, RO {:.2e}; SFQ 1Q {:.2e}, 2Q {:.2e}",
+                table2::CMOS_1Q, table2::CMOS_2Q, table2::CMOS_RO, table2::SFQ_1Q, table2::SFQ_2Q),
+            format!("SFQ driving error {:.2e}, reset error {:.2e}", table2::SFQ_DRIVING, table2::SFQ_RESET),
+            format!("T1/T2 = {:?} us (ibm_mumbai)", table2::COHERENCE_US),
+        ],
+    }
+}
+
+/// Table 3 — current status and maturity of QCI technologies
+/// (informational survey; maturity grades A–E per the paper's legend).
+pub fn table3() -> Vec<(&'static str, [&'static str; 6])> {
+    // Columns: 300K CMOS, 4K CMOS, 4K SFQ, 300K cable, 4K microstrip,
+    // photonic.
+    vec![
+        ("1Q gate", ["E", "D", "D", "E", "C", "D"]),
+        ("2Q gate (CZ)", ["E", "C", "C", "E", "C", "A"]),
+        ("readout", ["E", "C", "A", "E", "C", "D"]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_self_check_is_exact() {
+        let e = table2();
+        assert!(e.max_relative_error() < 1e-9, "Table 2 drift: {e}");
+    }
+
+    #[test]
+    fn table3_has_three_gate_types() {
+        let t = table3();
+        assert_eq!(t.len(), 3);
+        // SFQ readout is the least mature (grade A).
+        assert_eq!(t[2].1[2], "A");
+    }
+}

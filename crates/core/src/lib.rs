@@ -1,0 +1,68 @@
+//! # QIsim-rs
+//!
+//! A from-scratch Rust reproduction of **QIsim** (Min et al., *QIsim:
+//! Architecting 10+K Qubit QC Interfaces Toward Quantum Supremacy*,
+//! ISCA 2023): a quantum–classical interface (QCI) scalability-analysis
+//! framework, plus the paper's eight architectural optimizations and its
+//! 60,000+-qubit QCI designs.
+//!
+//! The analysis pipeline mirrors the paper's Fig. 6:
+//!
+//! 1. **circuit model** — `qisim-hal` + `qisim-microarch` turn a design
+//!    point (temperature × technology × wire × microarchitecture) into
+//!    per-component frequencies and static/dynamic powers;
+//! 2. **cycle-accurate simulation** — `qisim-cyclesim` schedules the
+//!    surface-code ESM round and produces gate timings and activity
+//!    factors;
+//! 3. **runtime power** — `qisim-power` aggregates per-stage dissipation
+//!    against the dilution refrigerator's budgets;
+//! 4. **error** — `qisim-error` + `qisim-surface` turn gate/readout
+//!    errors and the ESM cycle time into a logical error rate;
+//! 5. **scalability** — [`scalability::analyze`] combines (3) and (4)
+//!    into the manageable qubit scale.
+//!
+//! # Examples
+//!
+//! Reproduce the headline Fig. 13a result — the 4 K CMOS baseline stalls
+//! below 700 qubits, and Opt-1 + Opt-2 lift it past the 1,152-qubit
+//! near-term target:
+//!
+//! ```
+//! use qisim::{config::QciDesign, opts::{self, Opt}, scalability::analyze};
+//! use qisim_surface::target::Target;
+//!
+//! # fn main() -> Result<(), qisim::opts::ApplyOptError> {
+//! let target = Target::near_term();
+//! let baseline = analyze(&QciDesign::cmos_baseline(), &target);
+//! assert!(!baseline.reaches(&target));
+//!
+//! let optimized = opts::apply_all(
+//!     &QciDesign::cmos_baseline(),
+//!     &[Opt::MemorylessDecision, Opt::LowPrecisionDrive],
+//! )?;
+//! assert!(analyze(&optimized, &target).reaches(&target));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod experiments;
+pub mod opts;
+pub mod paperdata;
+pub mod scalability;
+
+pub use config::QciDesign;
+pub use opts::{apply, apply_all, Opt};
+pub use scalability::{analyze, analyze_on, sweep, Scalability};
+
+// Re-export the component crates so downstream users need only `qisim`.
+pub use qisim_cyclesim as cyclesim;
+pub use qisim_error as error;
+pub use qisim_hal as hal;
+pub use qisim_microarch as microarch;
+pub use qisim_power as power;
+pub use qisim_quantum as quantum;
+pub use qisim_surface as surface;

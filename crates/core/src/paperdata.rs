@@ -1,0 +1,196 @@
+//! Reference values reported by the paper, used by the experiment
+//! drivers to print *paper vs. measured* rows.
+//!
+//! Sources: exact numbers quoted in the text/tables where available;
+//! values only shown graphically (Fig. 8, 10, 12) are our best reading
+//! of the figures and are marked `(digitized)` in reports.
+
+/// Table 1 — gate-error validation references.
+pub mod table1 {
+    /// CMOS 1Q error of `ibm_peekskill` Q21 (decoherence included).
+    pub const CMOS_1Q_REF: f64 = 6.59e-5;
+    /// The paper's model value for the same.
+    pub const CMOS_1Q_MODEL: f64 = 6.07e-5;
+    /// SFQ 1Q error of Li et al.
+    pub const SFQ_1Q_REF: f64 = 1.37e-5;
+    /// The paper's model value.
+    pub const SFQ_1Q_MODEL: f64 = 1.51e-5;
+    /// CZ error of Sung et al. (±7e-4 experimental range).
+    pub const TWO_Q_REF: f64 = 9.0e-4;
+    /// The paper's model value.
+    pub const TWO_Q_MODEL: f64 = 1.09e-3;
+    /// CMOS readout error of `ibm_washington` Q117 (decoherence incl.).
+    pub const CMOS_RO_REF: f64 = 1.5e-3;
+    /// The paper's model value.
+    pub const CMOS_RO_MODEL: f64 = 1.47e-3;
+    /// SFQ readout error of Opremcak et al. (no state preparation).
+    pub const SFQ_RO_REF: f64 = 6.0e-3;
+    /// The paper's model value.
+    pub const SFQ_RO_MODEL: f64 = 6.1e-3;
+}
+
+/// Table 2 — scalability-analysis setup.
+pub mod table2 {
+    /// CMOS single-qubit gate error (no decoherence).
+    pub const CMOS_1Q: f64 = 8.17e-7;
+    /// CMOS CZ error.
+    pub const CMOS_2Q: f64 = 7.8e-4;
+    /// CMOS readout error.
+    pub const CMOS_RO: f64 = 1.0e-3;
+    /// SFQ single-qubit gate error.
+    pub const SFQ_1Q: f64 = 1.18e-4;
+    /// SFQ CZ error.
+    pub const SFQ_2Q: f64 = 1.09e-3;
+    /// SFQ resonator-driving (+tunneling) error.
+    pub const SFQ_DRIVING: f64 = 7.8e-3;
+    /// SFQ reset error.
+    pub const SFQ_RESET: f64 = 7.0e-3;
+    /// Gate latencies in ns: 1Q, 2Q, CMOS readout.
+    pub const LATENCIES_NS: [f64; 3] = [25.0, 50.0, 517.0];
+    /// SFQ readout step latencies in ns: driving, tunneling, JPM
+    /// readout, reset.
+    pub const SFQ_RO_STEPS_NS: [f64; 4] = [578.2, 12.8, 4.0, 70.0];
+    /// `ibm_mumbai` coherence times in µs (T1, T2).
+    pub const COHERENCE_US: [f64; 2] = [122.0, 118.0];
+    /// Clock frequencies in Hz (4K CMOS, SFQ).
+    pub const CLOCKS_HZ: [f64; 2] = [2.5e9, 24.0e9];
+}
+
+/// Scalability headline numbers (Figs. 12, 13, 17).
+pub mod scalability {
+    /// 300 K coax (Fig. 12a).
+    pub const ROOM_COAX: u64 = 400;
+    /// 300 K microstrip (Fig. 12b).
+    pub const ROOM_MICROSTRIP: u64 = 650;
+    /// 300 K photonic link (Fig. 12c).
+    pub const ROOM_PHOTONIC: u64 = 70;
+    /// 4 K CMOS baseline (Fig. 13a, "<700").
+    pub const CMOS_BASELINE: u64 = 700;
+    /// 4 K CMOS with Opt-1/2 (Fig. 13a).
+    pub const CMOS_OPTIMIZED: u64 = 1_399;
+    /// RSFQ baseline (Fig. 13b, "<160").
+    pub const RSFQ_BASELINE: u64 = 160;
+    /// RSFQ with Opt-3/4/5 (Fig. 13b).
+    pub const RSFQ_OPTIMIZED: u64 = 1_248;
+    /// Advanced 4 K CMOS with Opt-6/7 (Fig. 17a).
+    pub const CMOS_LONG_TERM: u64 = 63_883;
+    /// ERSFQ with Opt-8 (Fig. 17b).
+    pub const ERSFQ_LONG_TERM: u64 = 82_413;
+    /// The near/long-term provisioned scales (§6.1).
+    pub const NEAR_TERM_QUBITS: u64 = 1_152;
+    /// Long-term: 54 patches.
+    pub const LONG_TERM_QUBITS: u64 = 62_208;
+}
+
+/// Logical-error anchors (Figs. 13b, 15, 17).
+pub mod logical {
+    /// SFQ baseline (unshared readout) at d = 23.
+    pub const SFQ_BASELINE: f64 = 4.13e-16;
+    /// Naive 8× shared readout.
+    pub const SFQ_NAIVE_SHARED: f64 = 3.50e-7;
+    /// Shared + pipelined (Opt-3).
+    pub const SFQ_PIPELINED: f64 = 1.34e-13;
+    /// Opt-8's improvement factor over the pipelined ERSFQ design.
+    pub const OPT8_IMPROVEMENT: f64 = 28_355.0;
+    /// Opt-7's FDM-reduction improvement factor.
+    pub const OPT7_FDM_IMPROVEMENT: f64 = 3.85;
+    /// Opt-7's multi-round-readout improvement factor.
+    pub const OPT7_READOUT_IMPROVEMENT: f64 = 3.62;
+}
+
+/// Power-reduction percentages quoted in §6.3–6.4.
+pub mod power_cuts {
+    /// Opt-1: RX power reduction.
+    pub const OPT1_RX: f64 = 0.884;
+    /// Opt-1: total 4 K power reduction.
+    pub const OPT1_TOTAL: f64 = 0.483;
+    /// Opt-2: drive digital power reduction.
+    pub const OPT2_DRIVE: f64 = 0.309;
+    /// Opt-2: total 4 K power reduction.
+    pub const OPT2_TOTAL: f64 = 0.041;
+    /// Opt-4: bitstream-generator power reduction.
+    pub const OPT4_BITGEN: f64 = 0.982;
+    /// Opt-4: total 4 K power reduction.
+    pub const OPT4_TOTAL: f64 = 0.232;
+    /// Opt-5: total 4 K power reduction (#BS 8 → 1).
+    pub const OPT5_TOTAL: f64 = 0.438;
+    /// Opt-6: instruction-bandwidth (and wire-power) reduction.
+    pub const OPT6_BANDWIDTH: f64 = 0.93;
+    /// Fig. 18a: wire share of the advanced-CMOS 4 K power.
+    pub const FIG18_WIRE_SHARE: f64 = 0.812;
+    /// §6.3.1: RX digital share of baseline 4 K power.
+    pub const RX_DIGITAL_SHARE: f64 = 0.547;
+    /// §6.3.1: drive digital share of baseline 4 K power.
+    pub const DRIVE_DIGITAL_SHARE: f64 = 0.133;
+    /// §6.3.2: drive share of RSFQ 4 K power.
+    pub const SFQ_DRIVE_SHARE: f64 = 0.717;
+    /// §6.3.2: mK static share of RSFQ mK power.
+    pub const SFQ_MK_STATIC_SHARE: f64 = 0.997;
+}
+
+/// Readout-latency anchors (Figs. 15, 19, 20).
+pub mod readout {
+    /// Eight naively-serialized SFQ readouts (Fig. 15b).
+    pub const NAIVE_NS: f64 = 5_320.0;
+    /// Shared + pipelined (Fig. 15b).
+    pub const PIPELINED_NS: f64 = 1_255.0;
+    /// Opt-7 multi-round speedup over the 517 ns baseline.
+    pub const MULTIROUND_SPEEDUP: f64 = 0.409;
+    /// Short-readout accuracy anchor: 98.6 % within 267 ns.
+    pub const SHORT_ACCURACY: f64 = 0.986;
+    /// Opt-8 fast resonator driving (Fig. 20a).
+    pub const FAST_DRIVING_NS: f64 = 230.9;
+    /// Resonator-driving and pipelining shares of SFQ readout latency.
+    pub const DRIVING_SHARE: f64 = 0.461;
+    /// Pipelining-overhead share.
+    pub const PIPELINE_SHARE: f64 = 0.463;
+}
+
+/// Fig. 8/10 validation anchors. The paper validates against Intel Horse
+/// Ridge I/II (CMOS, 22 nm, 2.5 GHz) and an AIST post-layout analysis
+/// (RSFQ) with ≤5.1 % / ≤7.2 % error; absolute milliwatt values are read
+/// off the figures (digitized) and our model is calibrated to the same
+/// published anchor points.
+pub mod validation {
+    /// Fig. 8 — per-qubit digital power of Horse Ridge I drive (22 nm,
+    /// 2.5 GHz), digitized, in watts.
+    pub const HR_DRIVE_PER_QUBIT_W: f64 = 7.0e-4;
+    /// Fig. 8 — per-qubit TX power of Horse Ridge II, digitized.
+    pub const HR_TX_PER_QUBIT_W: f64 = 1.6e-4;
+    /// Fig. 8 — per-qubit RX power of Horse Ridge II, digitized.
+    pub const HR_RX_PER_QUBIT_W: f64 = 2.1e-3;
+    /// Fig. 8 — maximum model error the paper reports.
+    pub const FIG8_MAX_ERR: f64 = 0.051;
+    /// Fig. 10 — post-layout power of the four drive blocks (bitstream
+    /// generator, bitstream controller, per-qubit controller ×8,
+    /// control-data buffer ×8), digitized, in watts.
+    pub const SFQ_BLOCK_POWER_W: [f64; 4] = [6.1e-3, 5.3e-3, 3.8e-4, 1.2e-4];
+    /// Fig. 10 — post-layout maximum clock of the blocks, in Hz.
+    pub const SFQ_BLOCK_CLOCK_HZ: f64 = 24.0e9;
+    /// Fig. 10 — maximum frequency/power errors the paper reports.
+    pub const FIG10_MAX_ERR: (f64, f64) = (0.067, 0.072);
+    /// Fig. 11 — average fidelity difference vs. IBMQ machines.
+    pub const FIG11_AVG_DIFF: f64 = 0.051;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn opt1_percentages_are_consistent() {
+        // 0.547 × 0.884 ≈ 0.483 (the paper's own cross-check).
+        let implied = super::power_cuts::RX_DIGITAL_SHARE * super::power_cuts::OPT1_RX;
+        assert!((implied - super::power_cuts::OPT1_TOTAL).abs() < 0.01);
+    }
+
+    #[test]
+    fn opt2_percentages_are_consistent() {
+        let implied = super::power_cuts::DRIVE_DIGITAL_SHARE * super::power_cuts::OPT2_DRIVE;
+        assert!((implied - super::power_cuts::OPT2_TOTAL).abs() < 0.01);
+    }
+
+    #[test]
+    fn near_term_scale_is_d23_patch() {
+        assert_eq!(super::scalability::NEAR_TERM_QUBITS, 2 * 24 * 24);
+        assert_eq!(super::scalability::LONG_TERM_QUBITS, 54 * 1152);
+    }
+}

@@ -1,0 +1,186 @@
+//! The headline scalability analysis (Fig. 6 right-hand side): combine
+//! the runtime-power model and the logical-error model into the
+//! *manageable qubit scale* of a QCI design.
+//!
+//! A design supports `n` qubits iff (1) its total dissipation fits every
+//! refrigerator stage at scale `n`, and (2) its logical error at `d = 23`
+//! meets the roadmap target. The paper reports the power-limited count
+//! when the error target is met; a design failing the error target is
+//! "error-limited" regardless of its power headroom (like the
+//! naively-shared RSFQ readout, Fig. 13b).
+
+use crate::config::QciDesign;
+use qisim_hal::fridge::{Fridge, Stage};
+use qisim_power::{evaluate, max_qubits};
+use qisim_surface::analytic::CALIBRATION;
+use qisim_surface::target::{Target, CODE_DISTANCE};
+
+/// The scalability verdict of one design against one roadmap target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scalability {
+    /// Design name.
+    pub design: String,
+    /// Maximum qubit count the refrigerator budgets allow.
+    pub power_limited_qubits: u64,
+    /// The stage that binds at that scale.
+    pub binding_stage: Option<Stage>,
+    /// Logical error per round at `d = 23`.
+    pub logical_error: f64,
+    /// The target analyzed against.
+    pub target_error: f64,
+    /// Whether the error target is met.
+    pub error_ok: bool,
+    /// ESM round time in ns.
+    pub esm_cycle_ns: f64,
+}
+
+impl Scalability {
+    /// The manageable qubit scale: power-limited if the error target is
+    /// met, zero otherwise (the design cannot run the workload at any
+    /// scale).
+    pub fn manageable_qubits(&self) -> u64 {
+        if self.error_ok {
+            self.power_limited_qubits
+        } else {
+            0
+        }
+    }
+
+    /// Whether the design reaches the target's provisioned scale.
+    pub fn reaches(&self, target: &Target) -> bool {
+        self.error_ok && self.power_limited_qubits >= target.physical_qubits() as u64
+    }
+}
+
+/// Analyzes a design against a roadmap target on the standard fridge.
+pub fn analyze(design: &QciDesign, target: &Target) -> Scalability {
+    analyze_on(design, target, &Fridge::standard())
+}
+
+/// [`analyze`] with a custom refrigerator (future-capacity what-ifs,
+/// §7.1).
+pub fn analyze_on(design: &QciDesign, target: &Target, fridge: &Fridge) -> Scalability {
+    let arch = design.arch();
+    let (power_limited_qubits, binding_stage) = max_qubits(&arch, fridge);
+    let logical_error = design.physical_budget().logical_error(CODE_DISTANCE, &CALIBRATION);
+    let target_error = target.logical_error_target();
+    Scalability {
+        design: design.name(),
+        power_limited_qubits,
+        binding_stage,
+        logical_error,
+        target_error,
+        error_ok: logical_error <= target_error,
+        esm_cycle_ns: design.esm_cycle_ns(),
+    }
+}
+
+/// Per-stage utilization curve for scalability plots (Fig. 12/13/17):
+/// returns `(n, 4K fraction, worst-mK fraction, logical error)` rows.
+pub fn sweep(design: &QciDesign, qubit_counts: &[u64]) -> Vec<(u64, f64, f64, f64)> {
+    let arch = design.arch();
+    let fridge = Fridge::standard();
+    let p_l = design.physical_budget().logical_error(CODE_DISTANCE, &CALIBRATION);
+    qubit_counts
+        .iter()
+        .map(|&n| {
+            let r = evaluate(&arch, &fridge, n);
+            let k4 = r.stage(Stage::K4).expect("4K row").utilization();
+            let mk = r
+                .stage(Stage::Mk100)
+                .expect("100mK row")
+                .utilization()
+                .max(r.stage(Stage::Mk20).expect("20mK row").utilization());
+            (n, k4, mk, p_l)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::{apply_all, Opt};
+
+    #[test]
+    fn near_term_verdicts_match_fig13() {
+        let t = Target::near_term();
+        // CMOS baseline: error fine, power-limited under 1,152.
+        let base = analyze(&QciDesign::cmos_baseline(), &t);
+        assert!(base.error_ok);
+        assert!(!base.reaches(&t), "baseline should miss 1,152: {base:?}");
+        // Opt-1 + Opt-2 reach it.
+        let opt =
+            apply_all(&QciDesign::cmos_baseline(), &[Opt::MemorylessDecision, Opt::LowPrecisionDrive])
+                .unwrap();
+        assert!(analyze(&opt, &t).reaches(&t));
+        // RSFQ baseline misses on power; the optimized design reaches.
+        assert!(!analyze(&QciDesign::rsfq_baseline(), &t).reaches(&t));
+        assert!(analyze(&QciDesign::rsfq_near_term(), &t).reaches(&t));
+    }
+
+    #[test]
+    fn naive_sharing_is_error_limited() {
+        // Fig. 15: naive sharing solves the power problem but the
+        // serialized readout wrecks the logical error.
+        let naive = QciDesign::Sfq(qisim_microarch::SfqConfig {
+            sharing: qisim_microarch::sfq::JpmSharing::SharedNaive,
+            ..qisim_microarch::SfqConfig::baseline_rsfq()
+        });
+        let s = analyze(&naive, &Target::near_term());
+        assert!(!s.error_ok, "naive sharing must be error-limited: {s:?}");
+        assert_eq!(s.manageable_qubits(), 0);
+        assert!(s.power_limited_qubits > 500, "power alone would allow scale");
+    }
+
+    #[test]
+    fn long_term_verdicts_match_fig17() {
+        let t = Target::long_term();
+        let cmos = analyze(&QciDesign::cmos_long_term(), &t);
+        assert!(cmos.reaches(&t), "advanced CMOS should reach 62,208: {cmos:?}");
+        let ersfq = analyze(&QciDesign::ersfq_long_term(), &t);
+        assert!(ersfq.reaches(&t), "ERSFQ should reach 62,208: {ersfq:?}");
+        // Without Opt-7 the advanced CMOS is error-limited.
+        let no_opt7 = QciDesign::CryoCmos(qisim_microarch::CryoCmosConfig {
+            drive_fdm: 32,
+            readout_ns: qisim_microarch::cryo_cmos::READOUT_NS,
+            ..qisim_microarch::CryoCmosConfig::long_term()
+        });
+        let s = analyze(&no_opt7, &t);
+        assert!(!s.error_ok, "pre-Opt-7 advanced CMOS should be error-limited: {s:?}");
+    }
+
+    #[test]
+    fn room_designs_are_wire_limited() {
+        let t = Target::near_term();
+        for d in [QciDesign::room_coax(), QciDesign::room_microstrip(), QciDesign::room_photonic()] {
+            let s = analyze(&d, &t);
+            assert!(s.error_ok, "{}: 300K error should be fine", s.design);
+            assert!(!s.reaches(&t), "{}: must miss 1,152 qubits", s.design);
+            assert!(
+                matches!(s.binding_stage, Some(Stage::Mk100) | Some(Stage::Mk20)),
+                "{}: binding {:?}",
+                s.design,
+                s.binding_stage
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_produces_monotone_utilizations() {
+        let rows = sweep(&QciDesign::cmos_baseline(), &[64, 128, 256, 512]);
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(w[1].1 > w[0].1, "4K utilization must grow");
+        }
+    }
+
+    #[test]
+    fn bigger_fridge_extends_scale() {
+        let t = Target::near_term();
+        let d = QciDesign::cmos_baseline();
+        let std = analyze(&d, &t).power_limited_qubits;
+        let big = analyze_on(&d, &t, &Fridge::standard().with_budget(Stage::K4, 6.0))
+            .power_limited_qubits;
+        assert!(big as f64 > 3.0 * std as f64);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the scalability engine.
+
+use proptest::prelude::*;
+use qisim::config::cmos_1q_error_for_bits;
+use qisim::{analyze_on, QciDesign};
+use qisim_hal::fridge::{Fridge, Stage};
+use qisim_microarch::cryo_cmos::CryoCmosConfig;
+use qisim_microarch::DecisionKind;
+use qisim_surface::target::Target;
+
+fn designs() -> impl Strategy<Value = QciDesign> {
+    prop_oneof![
+        Just(QciDesign::room_coax()),
+        Just(QciDesign::room_microstrip()),
+        Just(QciDesign::room_photonic()),
+        Just(QciDesign::cmos_baseline()),
+        Just(QciDesign::rsfq_baseline()),
+        Just(QciDesign::rsfq_near_term()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A larger refrigerator budget never reduces any design's
+    /// power-limited scale.
+    #[test]
+    fn budget_is_monotone(design in designs(), scale in 1.0f64..8.0) {
+        let t = Target::near_term();
+        let std = Fridge::standard();
+        let big = Fridge::standard()
+            .with_budget(Stage::K4, 1.5 * scale)
+            .with_budget(Stage::Mk100, 200e-6 * scale)
+            .with_budget(Stage::Mk20, 20e-6 * scale);
+        let a = analyze_on(&design, &t, &std).power_limited_qubits;
+        let b = analyze_on(&design, &t, &big).power_limited_qubits;
+        prop_assert!(b >= a, "{}: {a} -> {b}", design.name());
+    }
+
+    /// The drive-precision error model is monotone decreasing in bits and
+    /// bounded below by the Table 2 floor.
+    #[test]
+    fn precision_error_is_monotone(bits in 2u32..15) {
+        let e = cmos_1q_error_for_bits(bits);
+        let e_next = cmos_1q_error_for_bits(bits + 1);
+        prop_assert!(e_next < e);
+        prop_assert!(e > 8.17e-7);
+    }
+
+    /// Scalability analysis is deterministic and internally consistent:
+    /// `manageable <= power_limited`, and `reaches` implies both the
+    /// error check and the scale check.
+    #[test]
+    fn analysis_invariants(design in designs()) {
+        let t = Target::near_term();
+        let s1 = analyze_on(&design, &t, &Fridge::standard());
+        let s2 = analyze_on(&design, &t, &Fridge::standard());
+        prop_assert_eq!(&s1, &s2, "analysis must be deterministic");
+        prop_assert!(s1.manageable_qubits() <= s1.power_limited_qubits);
+        if s1.reaches(&t) {
+            prop_assert!(s1.error_ok);
+            prop_assert!(s1.power_limited_qubits >= t.physical_qubits() as u64);
+        }
+        prop_assert!(s1.logical_error >= 0.0 && s1.logical_error <= 1.0);
+    }
+
+    /// Longer readout windows never improve the logical error and never
+    /// raise the power-limited scale of a CMOS design (the Opt-7 axis).
+    #[test]
+    fn readout_time_tradeoff(extra in 0.0f64..2000.0) {
+        let t = Target::near_term();
+        let base = CryoCmosConfig {
+            decision: DecisionKind::Memoryless,
+            ..CryoCmosConfig::baseline()
+        };
+        let slow = CryoCmosConfig { readout_ns: base.readout_ns + extra, ..base };
+        let f = Fridge::standard();
+        let s_base = analyze_on(&QciDesign::CryoCmos(base), &t, &f);
+        let s_slow = analyze_on(&QciDesign::CryoCmos(slow), &t, &f);
+        prop_assert!(s_slow.logical_error >= s_base.logical_error);
+        prop_assert!(s_slow.esm_cycle_ns >= s_base.esm_cycle_ns);
+    }
+
+    /// FDM degree trades power for error: higher FDM never lengthens the
+    /// per-qubit drive-hardware budget but never shortens the cycle.
+    #[test]
+    fn fdm_tradeoff(fdm in 4u32..64) {
+        let cfg = CryoCmosConfig { drive_fdm: fdm, ..CryoCmosConfig::baseline() };
+        let tight = CryoCmosConfig { drive_fdm: fdm + 4, ..cfg };
+        prop_assert!(tight.esm_profile().cycle_ns() >= cfg.esm_profile().cycle_ns());
+        let n = 512;
+        let drive_lines = |c: &CryoCmosConfig| {
+            c.build().wires.iter().find(|w| w.name == "drive lines").unwrap().cables(n)
+        };
+        prop_assert!(drive_lines(&tight) <= drive_lines(&cfg));
+    }
+}

@@ -1,0 +1,329 @@
+//! Gate-level intermediate representation.
+//!
+//! The cycle-accurate simulator (§4.2) consumes a flat instruction list;
+//! this module defines that IR plus the [`Circuit`] container the QASM
+//! front-end and the workload generators both produce.
+
+use std::fmt;
+
+/// A physical-qubit-level operation kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpKind {
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S (`Rz(π/2)` up to phase).
+    S,
+    /// S-dagger.
+    Sdg,
+    /// T gate (`Rz(π/4)` up to phase).
+    T,
+    /// T-dagger.
+    Tdg,
+    /// X-axis rotation by the angle in radians.
+    Rx(f64),
+    /// Y-axis rotation by the angle in radians.
+    Ry(f64),
+    /// Z-axis rotation by the angle in radians (virtual on CMOS QCIs).
+    Rz(f64),
+    /// The SFQ-friendly fused basis gate `Ry(π/2)·Rz(φ)` (Opt-6).
+    RyPi2Rz(f64),
+    /// Controlled-Z between `qubit` and `other`.
+    Cz,
+    /// Controlled-X between `qubit` (control) and `other` (target).
+    Cx,
+    /// Dispersive / JPM readout into a classical bit.
+    Measure,
+    /// Scheduling barrier across all qubits.
+    Barrier,
+}
+
+impl OpKind {
+    /// Whether this is a two-qubit operation.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, OpKind::Cz | OpKind::Cx)
+    }
+
+    /// Whether this occupies the drive circuit (single-qubit microwave /
+    /// bitstream gates). `Rz` is virtual — zero drive time — on QCIs with
+    /// the paper's extended NCO.
+    pub fn is_drive(&self) -> bool {
+        matches!(
+            self,
+            OpKind::H
+                | OpKind::X
+                | OpKind::Y
+                | OpKind::Rx(_)
+                | OpKind::Ry(_)
+                | OpKind::RyPi2Rz(_)
+        )
+    }
+
+    /// Whether this is a virtual (zero-duration) phase update.
+    pub fn is_virtual_rz(&self) -> bool {
+        matches!(self, OpKind::Z | OpKind::S | OpKind::Sdg | OpKind::T | OpKind::Tdg | OpKind::Rz(_))
+    }
+
+    /// A coarse type label used for SFQ #BS structural hazards: gates with
+    /// the same label can share one broadcast bitstream.
+    pub fn broadcast_class(&self) -> u64 {
+        fn angle_class(theta: f64) -> u64 {
+            // Quantize to the 256-entry φ table the bitstream generator has.
+            let turns = (theta / std::f64::consts::TAU).rem_euclid(1.0);
+            (turns * 256.0).round() as u64 % 256
+        }
+        match self {
+            OpKind::H => 1,
+            OpKind::X => 2,
+            OpKind::Y => 3,
+            OpKind::Rx(t) => 1000 + angle_class(*t),
+            OpKind::Ry(t) => 2000 + angle_class(*t),
+            OpKind::RyPi2Rz(t) => 3000 + angle_class(*t),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Rx(t) => write!(f, "rx({t:.4})"),
+            OpKind::Ry(t) => write!(f, "ry({t:.4})"),
+            OpKind::Rz(t) => write!(f, "rz({t:.4})"),
+            OpKind::RyPi2Rz(t) => write!(f, "ry90rz({t:.4})"),
+            other => write!(f, "{}", format!("{other:?}").to_lowercase()),
+        }
+    }
+}
+
+/// One instruction of a circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Op {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Primary qubit.
+    pub qubit: u32,
+    /// Second qubit for two-qubit gates.
+    pub other: Option<u32>,
+    /// Classical bit for measurements.
+    pub cbit: Option<u32>,
+}
+
+impl Op {
+    /// Single-qubit operation.
+    pub fn one_q(kind: OpKind, qubit: u32) -> Self {
+        assert!(!kind.is_two_qubit(), "two-qubit kind needs Op::two_q");
+        Op { kind, qubit, other: None, cbit: None }
+    }
+
+    /// Two-qubit operation.
+    pub fn two_q(kind: OpKind, qubit: u32, other: u32) -> Self {
+        assert!(kind.is_two_qubit(), "one-qubit kind passed to Op::two_q");
+        assert_ne!(qubit, other, "two-qubit gate needs distinct qubits");
+        Op { kind, qubit, other: Some(other), cbit: None }
+    }
+
+    /// Measurement into classical bit `cbit`.
+    pub fn measure(qubit: u32, cbit: u32) -> Self {
+        Op { kind: OpKind::Measure, qubit, other: None, cbit: Some(cbit) }
+    }
+
+    /// All qubits this op touches.
+    pub fn qubits(&self) -> impl Iterator<Item = u32> {
+        std::iter::once(self.qubit).chain(self.other)
+    }
+}
+
+/// A quantum circuit: a qubit count, a classical-bit count, and a flat
+/// program-order instruction list.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_cyclesim::circuit::{Circuit, Op, OpKind};
+///
+/// let mut c = Circuit::new(2, 2);
+/// c.push(Op::one_q(OpKind::H, 0));
+/// c.push(Op::two_q(OpKind::Cx, 0, 1));
+/// c.push(Op::measure(0, 0));
+/// c.push(Op::measure(1, 1));
+/// assert_eq!(c.ops().len(), 4);
+/// assert_eq!(c.two_qubit_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    qubits: u32,
+    cbits: u32,
+    ops: Vec<Op>,
+    /// Human-readable name for reports.
+    pub name: String,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new(qubits: u32, cbits: u32) -> Self {
+        Circuit { qubits, cbits, ops: Vec::new(), name: String::from("circuit") }
+    }
+
+    /// Creates an empty named circuit.
+    pub fn named(name: &str, qubits: u32, cbits: u32) -> Self {
+        Circuit { qubits, cbits, ops: Vec::new(), name: name.into() }
+    }
+
+    /// Appends an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the op references a qubit or classical bit out of range.
+    pub fn push(&mut self, op: Op) {
+        for q in op.qubits() {
+            assert!(q < self.qubits, "qubit {q} out of range ({} qubits)", self.qubits);
+        }
+        if let Some(c) = op.cbit {
+            assert!(c < self.cbits, "cbit {c} out of range ({} cbits)", self.cbits);
+        }
+        self.ops.push(op);
+    }
+
+    /// Number of qubits.
+    pub fn qubits(&self) -> u32 {
+        self.qubits
+    }
+
+    /// Number of classical bits.
+    pub fn cbits(&self) -> u32 {
+        self.cbits
+    }
+
+    /// The instruction list in program order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Count of two-qubit gates.
+    pub fn two_qubit_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind.is_two_qubit()).count()
+    }
+
+    /// Count of measurements.
+    pub fn measure_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind == OpKind::Measure).count()
+    }
+
+    /// Count of drive-occupying single-qubit gates.
+    pub fn drive_gate_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.kind.is_drive()).count()
+    }
+
+    /// Rewrites `H` followed by `Rz`/`S`/`T` on the same qubit into the
+    /// fused `Ry(π/2)·Rz` basis (the Opt-6 compression; §6.4.1). Returns
+    /// the number of fused pairs.
+    pub fn fuse_h_rz(&mut self) -> usize {
+        use std::f64::consts::PI;
+        let mut fused = 0;
+        let mut out: Vec<Op> = Vec::with_capacity(self.ops.len());
+        for op in self.ops.drain(..) {
+            let angle = match op.kind {
+                OpKind::Rz(t) => Some(t),
+                OpKind::S => Some(PI / 2.0),
+                OpKind::Sdg => Some(-PI / 2.0),
+                OpKind::T => Some(PI / 4.0),
+                OpKind::Tdg => Some(-PI / 4.0),
+                OpKind::Z => Some(PI),
+                _ => None,
+            };
+            if let Some(phi) = angle {
+                if let Some(prev) = out.last_mut() {
+                    if prev.kind == OpKind::H && prev.qubit == op.qubit {
+                        prev.kind = OpKind::RyPi2Rz(phi);
+                        fused += 1;
+                        continue;
+                    }
+                }
+            }
+            out.push(op);
+        }
+        self.ops = out;
+        fused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn op_classification() {
+        assert!(OpKind::Cz.is_two_qubit());
+        assert!(!OpKind::H.is_two_qubit());
+        assert!(OpKind::H.is_drive());
+        assert!(OpKind::Rz(0.3).is_virtual_rz());
+        assert!(!OpKind::Rz(0.3).is_drive());
+    }
+
+    #[test]
+    fn broadcast_class_groups_equal_angles() {
+        assert_eq!(OpKind::Ry(PI / 4.0).broadcast_class(), OpKind::Ry(PI / 4.0).broadcast_class());
+        assert_ne!(OpKind::Ry(PI / 4.0).broadcast_class(), OpKind::Ry(PI / 2.0).broadcast_class());
+        assert_ne!(OpKind::Rx(PI / 4.0).broadcast_class(), OpKind::Ry(PI / 4.0).broadcast_class());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut c = Circuit::new(2, 0);
+        c.push(Op::one_q(OpKind::X, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct qubits")]
+    fn self_cz_panics() {
+        let _ = Op::two_q(OpKind::Cz, 1, 1);
+    }
+
+    #[test]
+    fn fuse_h_rz_compresses_lattice_surgery_pairs() {
+        let mut c = Circuit::new(2, 0);
+        c.push(Op::one_q(OpKind::H, 0));
+        c.push(Op::one_q(OpKind::T, 0));
+        c.push(Op::one_q(OpKind::H, 1));
+        c.push(Op::one_q(OpKind::X, 1)); // not fusable
+        let fused = c.fuse_h_rz();
+        assert_eq!(fused, 1);
+        assert_eq!(c.ops().len(), 3);
+        assert!(matches!(c.ops()[0].kind, OpKind::RyPi2Rz(t) if (t - PI / 4.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn fuse_requires_same_qubit() {
+        let mut c = Circuit::new(2, 0);
+        c.push(Op::one_q(OpKind::H, 0));
+        c.push(Op::one_q(OpKind::T, 1));
+        assert_eq!(c.fuse_h_rz(), 0);
+        assert_eq!(c.ops().len(), 2);
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let mut c = Circuit::new(3, 3);
+        c.push(Op::one_q(OpKind::H, 0));
+        c.push(Op::one_q(OpKind::Rz(0.1), 0));
+        c.push(Op::two_q(OpKind::Cz, 0, 1));
+        c.push(Op::measure(2, 2));
+        assert_eq!(c.drive_gate_count(), 1);
+        assert_eq!(c.two_qubit_count(), 1);
+        assert_eq!(c.measure_count(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(OpKind::H.to_string(), "h");
+        assert_eq!(OpKind::Rz(0.5).to_string(), "rz(0.5000)");
+    }
+}

@@ -1,0 +1,445 @@
+//! Workload generators: the surface-code error-syndrome-measurement (ESM)
+//! round that drives the scalability analysis (§6.1), and the
+//! SupermarQ/ScaffCC-style benchmark set the workload-level validation
+//! runs (§5.3, Fig. 11).
+
+use crate::circuit::{Circuit, Op, OpKind};
+use std::f64::consts::PI;
+
+/// A stabilizer (ancilla) of the rotated surface code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stabilizer {
+    /// Ancilla qubit index within the patch.
+    pub ancilla: u32,
+    /// `true` for X-type (needs the H sandwich), `false` for Z-type.
+    pub is_x: bool,
+    /// Data-qubit indices per CZ layer (length 4; `None` = idle that layer).
+    pub layer_neighbors: [Option<u32>; 4],
+}
+
+/// A rotated surface-code patch of distance `d`: `d²` data qubits and
+/// `d²−1` stabilizer ancillas (Fig. 1a).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Patch {
+    /// Code distance.
+    pub d: u32,
+    /// Stabilizers with their layer schedules.
+    pub stabilizers: Vec<Stabilizer>,
+}
+
+impl Patch {
+    /// Builds the distance-`d` rotated patch with the standard
+    /// collision-free four-layer CZ schedule (X-plaquettes visit their
+    /// data in N-shaped order, Z-plaquettes in mirrored order, so no data
+    /// qubit is touched twice in one layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 2`.
+    pub fn new(d: u32) -> Self {
+        assert!(d >= 2, "code distance must be at least 2");
+        let dd = d as i64;
+        let data = |r: i64, c: i64| -> Option<u32> {
+            if (0..dd).contains(&r) && (0..dd).contains(&c) {
+                Some((r * dd + c) as u32)
+            } else {
+                None
+            }
+        };
+        // Plaquette cells at (r, c) for r, c ∈ −1..d−1; cell corners are
+        // data (r,c), (r,c+1), (r+1,c), (r+1,c+1). Checkerboard typing;
+        // boundary half-plaquettes survive only where their type matches
+        // the boundary (X on top/bottom, Z on left/right).
+        let mut stabilizers = Vec::new();
+        let mut next_ancilla = d * d;
+        for r in -1..dd {
+            for c in -1..dd {
+                let is_x = (r + c).rem_euclid(2) == 0;
+                let corners = [data(r, c), data(r, c + 1), data(r + 1, c), data(r + 1, c + 1)];
+                let present = corners.iter().flatten().count();
+                let keep = match present {
+                    4 => true,
+                    2 => {
+                        let top_or_bottom = r == -1 || r == dd - 1;
+                        let left_or_right = c == -1 || c == dd - 1;
+                        (top_or_bottom && is_x && !left_or_right)
+                            || (left_or_right && !is_x && !top_or_bottom)
+                    }
+                    _ => false,
+                };
+                if !keep {
+                    continue;
+                }
+                // Layer order: X-plaquettes NW, NE, SW, SE; Z-plaquettes
+                // NW, SW, NE, SE (the standard interleave that keeps each
+                // data qubit on one CZ per layer).
+                let [nw, ne, sw, se] = corners;
+                let layer_neighbors =
+                    if is_x { [nw, ne, sw, se] } else { [nw, sw, ne, se] };
+                stabilizers.push(Stabilizer { ancilla: next_ancilla, is_x, layer_neighbors });
+                next_ancilla += 1;
+            }
+        }
+        Patch { d, stabilizers }
+    }
+
+    /// Data-qubit count (`d²`).
+    pub fn data_qubits(&self) -> u32 {
+        self.d * self.d
+    }
+
+    /// Total physical qubits in the patch.
+    pub fn total_qubits(&self) -> u32 {
+        self.data_qubits() + self.stabilizers.len() as u32
+    }
+
+    /// Generates `rounds` ESM rounds as a circuit (Fig. 1b): X-ancillas
+    /// get an H sandwich, four CZ layers run the stabilizer schedule, and
+    /// every ancilla is measured.
+    pub fn esm_circuit(&self, rounds: u32) -> Circuit {
+        let n = self.total_qubits();
+        let mut c = Circuit::named(&format!("esm-d{}-r{rounds}", self.d), n, n);
+        for _ in 0..rounds {
+            for s in &self.stabilizers {
+                if s.is_x {
+                    c.push(Op::one_q(OpKind::H, s.ancilla));
+                }
+            }
+            for layer in 0..4 {
+                for s in &self.stabilizers {
+                    if let Some(dq) = s.layer_neighbors[layer] {
+                        c.push(Op::two_q(OpKind::Cz, s.ancilla, dq));
+                    }
+                }
+            }
+            for s in &self.stabilizers {
+                if s.is_x {
+                    c.push(Op::one_q(OpKind::H, s.ancilla));
+                }
+            }
+            for s in &self.stabilizers {
+                c.push(Op::measure(s.ancilla, s.ancilla));
+            }
+        }
+        c
+    }
+}
+
+/// GHZ state preparation + measurement (SupermarQ).
+pub fn ghz(n: u32) -> Circuit {
+    assert!(n >= 2, "GHZ needs at least two qubits");
+    let mut c = Circuit::named(&format!("ghz-{n}"), n, n);
+    c.push(Op::one_q(OpKind::H, 0));
+    for q in 1..n {
+        c.push(Op::two_q(OpKind::Cx, q - 1, q));
+    }
+    for q in 0..n {
+        c.push(Op::measure(q, q));
+    }
+    c
+}
+
+/// Bernstein–Vazirani with an `n`-bit secret (ScaffCC-style).
+pub fn bernstein_vazirani(n: u32, secret: u64) -> Circuit {
+    assert!(n >= 1 && n <= 63, "secret width out of range");
+    let mut c = Circuit::named(&format!("bv-{n}"), n + 1, n);
+    // Oracle ancilla in |−>.
+    c.push(Op::one_q(OpKind::X, n));
+    c.push(Op::one_q(OpKind::H, n));
+    for q in 0..n {
+        c.push(Op::one_q(OpKind::H, q));
+    }
+    for q in 0..n {
+        if secret >> q & 1 == 1 {
+            c.push(Op::two_q(OpKind::Cx, q, n));
+        }
+    }
+    for q in 0..n {
+        c.push(Op::one_q(OpKind::H, q));
+        c.push(Op::measure(q, q));
+    }
+    c
+}
+
+/// One QAOA layer on a ring MaxCut instance (SupermarQ-style proxy).
+pub fn qaoa_ring(n: u32, gamma: f64, beta: f64) -> Circuit {
+    assert!(n >= 3, "ring needs at least three vertices");
+    let mut c = Circuit::named(&format!("qaoa-{n}"), n, n);
+    for q in 0..n {
+        c.push(Op::one_q(OpKind::H, q));
+    }
+    for q in 0..n {
+        let other = (q + 1) % n;
+        // ZZ(γ) via CX-Rz-CX.
+        c.push(Op::two_q(OpKind::Cx, q, other));
+        c.push(Op::one_q(OpKind::Rz(2.0 * gamma), other));
+        c.push(Op::two_q(OpKind::Cx, q, other));
+    }
+    for q in 0..n {
+        c.push(Op::one_q(OpKind::Rx(2.0 * beta), q));
+        c.push(Op::measure(q, q));
+    }
+    c
+}
+
+/// Trotterized transverse-field Ising evolution (SupermarQ
+/// Hamiltonian-simulation proxy): `steps` first-order Trotter steps on a
+/// line of `n` spins.
+pub fn hamiltonian_tfim(n: u32, steps: u32, dt: f64) -> Circuit {
+    assert!(n >= 2 && steps >= 1, "need a chain and at least one step");
+    let mut c = Circuit::named(&format!("hamsim-{n}x{steps}"), n, n);
+    for _ in 0..steps {
+        for q in 0..n {
+            c.push(Op::one_q(OpKind::Rx(2.0 * dt), q));
+        }
+        for q in 0..n - 1 {
+            c.push(Op::two_q(OpKind::Cx, q, q + 1));
+            c.push(Op::one_q(OpKind::Rz(2.0 * dt), q + 1));
+            c.push(Op::two_q(OpKind::Cx, q, q + 1));
+        }
+    }
+    for q in 0..n {
+        c.push(Op::measure(q, q));
+    }
+    c
+}
+
+/// Mermin–Bell inequality test circuit (SupermarQ).
+pub fn mermin_bell(n: u32) -> Circuit {
+    assert!(n >= 3, "Mermin-Bell needs at least three qubits");
+    let mut c = Circuit::named(&format!("mermin-{n}"), n, n);
+    c.push(Op::one_q(OpKind::H, 0));
+    for q in 1..n {
+        c.push(Op::two_q(OpKind::Cx, 0, q));
+    }
+    c.push(Op::one_q(OpKind::S, 0));
+    for q in 0..n {
+        c.push(Op::one_q(OpKind::H, q));
+        c.push(Op::measure(q, q));
+    }
+    c
+}
+
+/// Hardware-efficient VQE ansatz layer (SupermarQ proxy): Ry rotations +
+/// CZ entangler ladder, two layers.
+pub fn vqe_proxy(n: u32) -> Circuit {
+    assert!(n >= 2, "VQE needs at least two qubits");
+    let mut c = Circuit::named(&format!("vqe-{n}"), n, n);
+    for layer in 0..2u32 {
+        for q in 0..n {
+            let theta = 0.3 + 0.17 * (q + layer * n) as f64;
+            c.push(Op::one_q(OpKind::Ry(theta), q));
+        }
+        for q in 0..n - 1 {
+            c.push(Op::two_q(OpKind::Cz, q, q + 1));
+        }
+    }
+    for q in 0..n {
+        c.push(Op::measure(q, q));
+    }
+    c
+}
+
+/// Three-qubit phase-flip error-correction subroutine (SupermarQ's
+/// error-correction benchmark).
+pub fn phase_flip_code() -> Circuit {
+    let mut c = Circuit::named("ecc-phaseflip", 5, 5);
+    // Encode |+> into the phase-flip code.
+    c.push(Op::one_q(OpKind::H, 0));
+    c.push(Op::two_q(OpKind::Cx, 0, 1));
+    c.push(Op::two_q(OpKind::Cx, 0, 2));
+    for q in 0..3 {
+        c.push(Op::one_q(OpKind::H, q));
+    }
+    // Syndrome extraction with two ancillas (3, 4).
+    for (a, pair) in [(3u32, (0u32, 1u32)), (4, (1, 2))] {
+        c.push(Op::one_q(OpKind::H, a));
+        c.push(Op::two_q(OpKind::Cz, a, pair.0));
+        c.push(Op::two_q(OpKind::Cz, a, pair.1));
+        c.push(Op::one_q(OpKind::H, a));
+        c.push(Op::measure(a, a));
+    }
+    for q in 0..3 {
+        c.push(Op::one_q(OpKind::H, q));
+        c.push(Op::measure(q, q));
+    }
+    c
+}
+
+/// Two-qubit Grover search (ScaffCC-style proxy, marked state `|11⟩`).
+pub fn grover_2q() -> Circuit {
+    let mut c = Circuit::named("grover-2", 2, 2);
+    for q in 0..2 {
+        c.push(Op::one_q(OpKind::H, q));
+    }
+    // Oracle: CZ marks |11>.
+    c.push(Op::two_q(OpKind::Cz, 0, 1));
+    // Diffusion.
+    for q in 0..2 {
+        c.push(Op::one_q(OpKind::H, q));
+        c.push(Op::one_q(OpKind::Z, q));
+    }
+    c.push(Op::two_q(OpKind::Cz, 0, 1));
+    for q in 0..2 {
+        c.push(Op::one_q(OpKind::H, q));
+        c.push(Op::measure(q, q));
+    }
+    c
+}
+
+/// Ripple-carry increment on `n` bits built from CX chains (ScaffCC-style
+/// arithmetic proxy; Toffoli-free approximation).
+pub fn adder_proxy(n: u32) -> Circuit {
+    assert!(n >= 2, "adder needs at least two bits");
+    let mut c = Circuit::named(&format!("adder-{n}"), n, n);
+    c.push(Op::one_q(OpKind::X, 0));
+    for q in 0..n - 1 {
+        c.push(Op::two_q(OpKind::Cx, q, q + 1));
+        c.push(Op::one_q(OpKind::T, q + 1));
+        c.push(Op::two_q(OpKind::Cx, q, q + 1));
+    }
+    for q in 0..n {
+        c.push(Op::measure(q, q));
+    }
+    c
+}
+
+/// The nine-benchmark validation set of Fig. 11, sized ≤ 16 qubits.
+pub fn validation_suite() -> Vec<Circuit> {
+    vec![
+        ghz(8),
+        bernstein_vazirani(7, 0b1011010),
+        qaoa_ring(8, 0.7, 0.4),
+        hamiltonian_tfim(6, 2, 0.3),
+        mermin_bell(5),
+        vqe_proxy(8),
+        phase_flip_code(),
+        grover_2q(),
+        adder_proxy(6),
+    ]
+}
+
+/// A π/2-heavy random-ish single-qubit layer plus CZ brick pattern used
+/// by stress tests; `depth` brick layers on `n` qubits.
+pub fn brickwork(n: u32, depth: u32) -> Circuit {
+    assert!(n >= 2, "brickwork needs at least two qubits");
+    let mut c = Circuit::named(&format!("brickwork-{n}x{depth}"), n, n);
+    for layer in 0..depth {
+        for q in 0..n {
+            let theta = PI / 2.0 * (1.0 + ((q * 31 + layer * 17) % 7) as f64 / 7.0);
+            c.push(Op::one_q(OpKind::Ry(theta), q));
+        }
+        let offset = layer % 2;
+        let mut q = offset;
+        while q + 1 < n {
+            c.push(Op::two_q(OpKind::Cz, q, q + 1));
+            q += 2;
+        }
+    }
+    for q in 0..n {
+        c.push(Op::measure(q, q));
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn patch_has_d_squared_minus_one_stabilizers() {
+        for d in [2u32, 3, 5, 7, 9, 23] {
+            let p = Patch::new(d);
+            assert_eq!(p.stabilizers.len() as u32, d * d - 1, "d = {d}");
+            assert_eq!(p.total_qubits(), 2 * d * d - 1);
+        }
+    }
+
+    #[test]
+    fn x_and_z_stabilizers_balance() {
+        let p = Patch::new(5);
+        let x = p.stabilizers.iter().filter(|s| s.is_x).count();
+        let z = p.stabilizers.len() - x;
+        assert_eq!(x, z, "X {x} vs Z {z}");
+    }
+
+    #[test]
+    fn cz_layers_are_collision_free() {
+        for d in [3u32, 5, 7] {
+            let p = Patch::new(d);
+            for layer in 0..4 {
+                let mut used: HashSet<u32> = HashSet::new();
+                for s in &p.stabilizers {
+                    if let Some(dq) = s.layer_neighbors[layer] {
+                        assert!(used.insert(dq), "data {dq} reused in layer {layer} (d={d})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weight_two_stabilizers_sit_on_the_right_boundaries() {
+        let p = Patch::new(5);
+        for s in &p.stabilizers {
+            let weight = s.layer_neighbors.iter().flatten().count();
+            assert!(weight == 2 || weight == 4);
+        }
+        let w2 = p.stabilizers.iter().filter(|s| s.layer_neighbors.iter().flatten().count() == 2);
+        assert_eq!(w2.count(), 2 * (5 - 1));
+    }
+
+    #[test]
+    fn esm_circuit_has_expected_op_mix() {
+        let d = 3u32;
+        let p = Patch::new(d);
+        let c = p.esm_circuit(1);
+        let n_stab = (d * d - 1) as usize;
+        let n_x = p.stabilizers.iter().filter(|s| s.is_x).count();
+        assert_eq!(c.measure_count(), n_stab);
+        assert_eq!(c.drive_gate_count(), 2 * n_x);
+        // CZ count = total stabilizer weight.
+        let weight: usize =
+            p.stabilizers.iter().map(|s| s.layer_neighbors.iter().flatten().count()).sum();
+        assert_eq!(c.two_qubit_count(), weight);
+    }
+
+    #[test]
+    fn esm_rounds_scale_linearly() {
+        let p = Patch::new(3);
+        let c1 = p.esm_circuit(1);
+        let c3 = p.esm_circuit(3);
+        assert_eq!(c3.ops().len(), 3 * c1.ops().len());
+    }
+
+    #[test]
+    fn validation_suite_is_nine_small_benchmarks() {
+        let suite = validation_suite();
+        assert_eq!(suite.len(), 9);
+        for c in &suite {
+            assert!(c.qubits() <= 16, "{} uses {} qubits", c.name, c.qubits());
+            assert!(c.measure_count() > 0, "{} never measures", c.name);
+        }
+    }
+
+    #[test]
+    fn bv_oracle_matches_secret_weight() {
+        let c = bernstein_vazirani(6, 0b101101);
+        assert_eq!(c.two_qubit_count(), 4);
+    }
+
+    #[test]
+    fn ghz_shape() {
+        let c = ghz(10);
+        assert_eq!(c.two_qubit_count(), 9);
+        assert_eq!(c.measure_count(), 10);
+    }
+
+    #[test]
+    fn brickwork_alternates_offsets() {
+        let c = brickwork(6, 2);
+        // Layer 0: pairs (0,1),(2,3),(4,5); layer 1: (1,2),(3,4).
+        assert_eq!(c.two_qubit_count(), 5);
+    }
+}

@@ -1,0 +1,357 @@
+//! CMOS single-qubit gate error model (§4.4.1).
+//!
+//! The pipeline mirrors Fig. 7 ①–②: generate the digital I/Q samples the
+//! drive circuit would emit at a given bit precision, corrupt them with
+//! the analog chain's Gaussian noise (SNR), drive a three-level transmon
+//! Hamiltonian with the noisy waveform, and compare the resulting unitary
+//! against the ideal gate. A Bloch–Redfield-style decoherence add-on
+//! reproduces the decoherence-included errors IBMQ machines report
+//! (Table 1 validation).
+
+use qisim_microarch::cryo_cmos::drive::iq_samples;
+use qisim_quantum::fidelity::gate_error_leaky;
+use qisim_quantum::integrate::propagator;
+use qisim_quantum::transmon::Transmon;
+use qisim_quantum::CMatrix;
+use crate::noise;
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// Gate error of a multi-level propagator against an ideal 2×2 gate with
+/// the *virtual-Z calibration freedom*: real controllers absorb the
+/// deterministic drive-induced Stark phase into the NCO's frame (`Rz`
+/// pre/post rotations are free), so the reported error minimizes over
+/// both frame phases. Coarse 24×24 grid plus one local refinement.
+pub fn virtual_z_compensated_error(ideal_2x2: &CMatrix, actual_multilevel: &CMatrix) -> f64 {
+    let eval = |pre: f64, post: f64| -> f64 {
+        let dressed = &(&CMatrix::rz(post) * ideal_2x2) * &CMatrix::rz(pre);
+        gate_error_leaky(&dressed, actual_multilevel)
+    };
+    let mut best = (f64::INFINITY, 0.0, 0.0);
+    let n = 24;
+    for i in 0..n {
+        for j in 0..n {
+            let pre = i as f64 / n as f64 * 2.0 * PI;
+            let post = j as f64 / n as f64 * 2.0 * PI;
+            let e = eval(pre, post);
+            if e < best.0 {
+                best = (e, pre, post);
+            }
+        }
+    }
+    // Local refinement: shrink a square around the best grid point.
+    let mut step = 2.0 * PI / n as f64;
+    let (mut e0, mut pre, mut post) = best;
+    for _ in 0..24 {
+        let mut moved = false;
+        for (dp, dq) in [(step, 0.0), (-step, 0.0), (0.0, step), (0.0, -step)] {
+            let e = eval(pre + dp, post + dq);
+            if e < e0 {
+                e0 = e;
+                pre += dp;
+                post += dq;
+                moved = true;
+            }
+        }
+        if !moved {
+            step /= 2.0;
+        }
+    }
+    e0
+}
+
+/// Which single-qubit rotation the drive plays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Axis {
+    /// Rotation about x.
+    X,
+    /// Rotation about y.
+    Y,
+}
+
+/// CMOS single-qubit gate error model.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_error::cmos_1q::{Axis, Cmos1qModel};
+///
+/// let model = Cmos1qModel::baseline();
+/// let err =
+///     model.coherent_gate_error::<rand::rngs::ThreadRng>(Axis::X, std::f64::consts::PI, 14, None);
+/// assert!(err < 1e-4); // high-precision DRAG pulse
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cmos1qModel {
+    /// The driven transmon.
+    pub transmon: Transmon,
+    /// Gate duration in ns (Table 2: 25 ns).
+    pub gate_ns: f64,
+    /// DAC sample rate in Hz (2.5 GHz).
+    pub sample_rate_hz: f64,
+    /// Analog-chain signal-to-noise ratio in dB (Van Dijk et al. report
+    /// ≈48 dB for the full chain).
+    pub snr_db: f64,
+    /// DRAG coefficient multiplying the derivative quadrature (`−1/α`
+    /// scaling is folded in; 1.0 = standard first-order DRAG).
+    pub drag: f64,
+    /// DRAG detuning-correction coefficient: the drive is detuned by
+    /// `drag_detune·Ω²/(2α)` to cancel the drive-induced Stark tilt of
+    /// the rotation axis (1.0 = standard first-order value).
+    pub drag_detune: f64,
+    /// Integration steps per sample.
+    pub steps_per_sample: usize,
+}
+
+impl Cmos1qModel {
+    /// The paper's baseline operating point.
+    pub fn baseline() -> Self {
+        Cmos1qModel {
+            transmon: Transmon::standard(),
+            gate_ns: 25.0,
+            sample_rate_hz: 2.5e9,
+            snr_db: 48.0,
+            drag: 1.0,
+            drag_detune: 1.0,
+            steps_per_sample: 40,
+        }
+    }
+
+    /// Number of DAC samples in one gate.
+    pub fn samples(&self) -> usize {
+        (self.gate_ns * self.sample_rate_hz * 1e-9).round() as usize
+    }
+
+    /// The noiseless continuous envelope (I, Q) at sample `n`, in rad/ns
+    /// of Rabi rate: Hann-shaped main quadrature with peak `2θ/T · …`
+    /// (area = θ) plus the DRAG derivative on the other quadrature.
+    fn ideal_envelope(&self, theta: f64) -> Vec<(f64, f64)> {
+        let n = self.samples();
+        let t_total = self.gate_ns;
+        // Hann pulse Ω(t) = A·½(1−cos 2πt/T); ∫Ω = A·T/2 = θ → A = 2θ/T.
+        let a = 2.0 * theta / t_total;
+        let alpha_rad = 2.0 * PI * self.transmon.anharmonicity_ghz;
+        (0..n)
+            .map(|k| {
+                let t = (k as f64 + 0.5) / n as f64 * t_total;
+                let x = 2.0 * PI * t / t_total;
+                let omega = a * 0.5 * (1.0 - x.cos());
+                let domega = a * 0.5 * (2.0 * PI / t_total) * x.sin();
+                // First-order DRAG: Q = −Ω̇/α.
+                (omega, -self.drag * domega / alpha_rad)
+            })
+            .collect()
+    }
+
+    /// Quantizes an envelope to `bits` and optionally adds Gaussian noise
+    /// at the configured SNR, returning per-sample (I, Q) Rabi rates.
+    fn digital_waveform<R: Rng>(
+        &self,
+        theta: f64,
+        bits: u32,
+        mut rng: Option<&mut R>,
+    ) -> Vec<(f64, f64)> {
+        let env = self.ideal_envelope(theta);
+        let peak = env.iter().map(|(i, q)| i.abs().max(q.abs())).fold(0.0f64, f64::max).max(1e-12);
+        // Reuse the drive circuit's quantizer: amplitudes normalized to
+        // the DAC full scale, zero gate phase (axis handled below).
+        let pairs: Vec<(f64, f64)> = env.iter().map(|&(i, _)| (i / peak, 0.0)).collect();
+        let qi = iq_samples(&pairs, 0.0, 0.0, bits.clamp(2, 16));
+        let pairs_q: Vec<(f64, f64)> = env.iter().map(|&(_, q)| (q.abs() / peak, 0.0)).collect();
+        let qq = iq_samples(&pairs_q, 0.0, 0.0, bits.clamp(2, 16));
+
+        let sigma = peak * 10f64.powf(-self.snr_db / 20.0);
+        env.iter()
+            .enumerate()
+            .map(|(k, &(_, q_raw))| {
+                let mut i = qi[k].0 * peak;
+                let mut q = qq[k].0 * peak * q_raw.signum();
+                if let Some(r) = rng.as_deref_mut() {
+                    i += noise::normal(r, 0.0, sigma);
+                    q += noise::normal(r, 0.0, sigma);
+                }
+                (i, q)
+            })
+            .collect()
+    }
+
+    /// Propagates a waveform and reports the virtual-Z-compensated error.
+    fn error_of_waveform(&self, axis: Axis, theta: f64, wave: &[(f64, f64)]) -> f64 {
+        let n = wave.len();
+        let dt = self.gate_ns / n as f64;
+        let q = self.transmon;
+        let alpha_rad = 2.0 * PI * q.anharmonicity_ghz;
+        let u = propagator(
+            q.levels,
+            |t| {
+                let k = ((t / dt) as usize).min(n - 1);
+                let (i, qq) = wave[k];
+                let detune_ghz =
+                    self.drag_detune * (i * i) / (2.0 * alpha_rad) / (2.0 * PI);
+                match axis {
+                    Axis::X => q.driven_hamiltonian(detune_ghz, i, qq),
+                    Axis::Y => q.driven_hamiltonian(detune_ghz, -qq, i),
+                }
+            },
+            0.0,
+            self.gate_ns,
+            n * self.steps_per_sample,
+        );
+        let ideal = match axis {
+            Axis::X => CMatrix::rx(theta),
+            Axis::Y => CMatrix::ry(theta),
+        };
+        virtual_z_compensated_error(&ideal, &u)
+    }
+
+    /// Rabi amplitude calibration: the scale factor on the nominal
+    /// envelope that minimizes the gate error (the third level's
+    /// repulsion renormalizes the effective Rabi rate, so the naive
+    /// `area = θ` pulse under-rotates — every real controller sweeps the
+    /// amplitude to fix this).
+    pub fn calibrate_amplitude(&self, axis: Axis, theta: f64) -> f64 {
+        let eval = |scale: f64| -> f64 {
+            let wave: Vec<(f64, f64)> =
+                self.ideal_envelope(theta).iter().map(|&(i, q)| (i * scale, q * scale)).collect();
+            self.error_of_waveform(axis, theta, &wave)
+        };
+        let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+        let (mut a, mut b) = (0.98, 1.02);
+        for _ in 0..40 {
+            let c = b - phi * (b - a);
+            let d = a + phi * (b - a);
+            if eval(c) < eval(d) {
+                b = d;
+            } else {
+                a = c;
+            }
+        }
+        0.5 * (a + b)
+    }
+
+    /// Coherent (decoherence-free) gate error of `Rx/Ry(theta)` at the
+    /// given DAC precision, after amplitude calibration. Pass a `rng` to
+    /// include analog SNR noise; `None` gives the pure quantization +
+    /// leakage error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is not finite or zero.
+    pub fn coherent_gate_error<R: Rng>(
+        &self,
+        axis: Axis,
+        theta: f64,
+        bits: u32,
+        rng: Option<&mut R>,
+    ) -> f64 {
+        assert!(theta.is_finite() && theta != 0.0, "rotation angle must be finite and nonzero");
+        let scale = self.calibrate_amplitude(axis, theta);
+        let wave = self.digital_waveform(theta * scale, bits, rng);
+        self.error_of_waveform(axis, theta, &wave)
+    }
+
+    /// Adds the Bloch–Redfield decoherence contribution for the given
+    /// relaxation/dephasing times (in µs): the standard incoherent error
+    /// of a gate of length `t` is `(t/3)(1/T1 + 1/T2)` on average over
+    /// input states (Krantz et al. §2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either time is not positive.
+    pub fn with_decoherence(&self, coherent_error: f64, t1_us: f64, t2_us: f64) -> f64 {
+        assert!(t1_us > 0.0 && t2_us > 0.0, "coherence times must be positive");
+        let t = self.gate_ns;
+        coherent_error + t / 3.0 * (1.0 / (t1_us * 1e3) + 1.0 / (t2_us * 1e3))
+    }
+
+    /// Virtual-Rz error at the NCO's phase resolution: a frame-tracking
+    /// update with a `2π/2^24` step is exact to below 1e-14 — the reason
+    /// the paper adds the virtual-Rz datapath.
+    pub fn virtual_rz_error(&self, phi: f64) -> f64 {
+        let step = 2.0 * PI / (1u64 << 24) as f64;
+        let residual = (phi / step - (phi / step).round()) * step;
+        (residual / 2.0).sin().powi(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn high_precision_pi_pulse_is_sub_1em4() {
+        let m = Cmos1qModel::baseline();
+        let e = m.coherent_gate_error::<StdRng>(Axis::X, PI, 14, None);
+        assert!(e < 2e-5, "14-bit DRAG pi-pulse error {e}");
+    }
+
+    #[test]
+    fn drag_suppresses_leakage() {
+        let with = Cmos1qModel::baseline();
+        let without = Cmos1qModel { drag: 0.0, drag_detune: 0.0, ..with };
+        let e_with = with.coherent_gate_error::<StdRng>(Axis::X, PI, 14, None);
+        let e_without = without.coherent_gate_error::<StdRng>(Axis::X, PI, 14, None);
+        assert!(e_with < 0.5 * e_without, "DRAG {e_with} vs no-DRAG {e_without}");
+    }
+
+    #[test]
+    fn error_saturates_with_bit_precision() {
+        // Fig. 14b: the gate error saturates around 9 bits.
+        let m = Cmos1qModel::baseline();
+        let errs: Vec<f64> = [4u32, 6, 9, 14]
+            .iter()
+            .map(|&b| m.coherent_gate_error::<StdRng>(Axis::X, PI, b, None))
+            .collect();
+        assert!(errs[0] > errs[1], "4-bit {} should exceed 6-bit {}", errs[0], errs[1]);
+        assert!(errs[1] > errs[2] * 0.9, "6-bit {} vs 9-bit {}", errs[1], errs[2]);
+        // 9 → 14 bits changes little (saturated).
+        assert!(errs[2] < 2.0 * errs[3] + 1e-6, "9-bit {} vs 14-bit {}", errs[2], errs[3]);
+    }
+
+    #[test]
+    fn snr_noise_raises_error() {
+        let m = Cmos1qModel { snr_db: 25.0, ..Cmos1qModel::baseline() };
+        let mut rng = StdRng::seed_from_u64(7);
+        let noisy: f64 = (0..12)
+            .map(|_| m.coherent_gate_error(Axis::X, PI, 14, Some(&mut rng)))
+            .sum::<f64>()
+            / 12.0;
+        let clean = m.coherent_gate_error::<StdRng>(Axis::X, PI, 14, None);
+        assert!(noisy > clean, "noisy {noisy} vs clean {clean}");
+    }
+
+    #[test]
+    fn y_axis_matches_x_axis_error_scale() {
+        let m = Cmos1qModel::baseline();
+        let ex = m.coherent_gate_error::<StdRng>(Axis::X, PI / 2.0, 14, None);
+        let ey = m.coherent_gate_error::<StdRng>(Axis::Y, PI / 2.0, 14, None);
+        assert!((ex - ey).abs() < 5.0 * ex.max(ey).max(1e-9), "x {ex} vs y {ey}");
+    }
+
+    #[test]
+    fn decoherence_addon_matches_ibm_scale() {
+        // Table 1: ibm_peekskill Q21 reports 6.59e-5; the model with
+        // T1 = T2 = 280 µs lands within the validation tolerance.
+        let m = Cmos1qModel::baseline();
+        let coh = m.coherent_gate_error::<StdRng>(Axis::X, PI, 14, None);
+        let total = m.with_decoherence(coh, 280.0, 280.0);
+        assert!(total > 4.0e-5 && total < 9.0e-5, "decoherence-included error {total}");
+    }
+
+    #[test]
+    fn virtual_rz_is_essentially_exact() {
+        let m = Cmos1qModel::baseline();
+        for phi in [0.1, PI / 4.0, 1.2345, -2.5] {
+            assert!(m.virtual_rz_error(phi) < 1e-13);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and nonzero")]
+    fn zero_angle_panics() {
+        let m = Cmos1qModel::baseline();
+        let _ = m.coherent_gate_error::<StdRng>(Axis::X, 0.0, 14, None);
+    }
+}

@@ -1,0 +1,260 @@
+//! Two-qubit CZ gate error model (§4.4.3).
+//!
+//! A flux pulse detunes the tunable transmon from its idle point down to
+//! the `|11⟩ ↔ |02⟩` resonance (`Δ = −α` of the partner); after one full
+//! coherent cycle in that two-state subspace, `|11⟩` returns with a π
+//! phase — a CZ up to virtual single-qubit Z's. The model:
+//!
+//! 1. **calibrates** an ideal ramped pulse (peak detuning fraction × hold
+//!    length) by minimizing the Hamiltonian-simulated CZ error — the role
+//!    Baidu Quanlse plays in the paper;
+//! 2. **quantizes** the amplitude samples to the pulse DAC's precision
+//!    and injects thermal noise;
+//! 3. reports the resulting CZ error (Table 1/2 anchor ≈ 1e-3), and shows
+//!    that the *unit-step* pulse of the unmodified Horse Ridge II /
+//!    DigiQ designs "almost cannot realize the CZ gate" (§3.3.2).
+
+use crate::noise;
+use qisim_microarch::cryo_cmos::pulse::{ramped_pulse, unit_step_pulse, AmplitudeRun};
+use qisim_quantum::fidelity::gate_error;
+use qisim_quantum::integrate::propagator;
+use qisim_quantum::transmon::CoupledTransmons;
+use qisim_quantum::{C64, CMatrix};
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// CZ gate model over a coupled-transmon pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CzModel {
+    /// The coupled pair.
+    pub pair: CoupledTransmons,
+    /// Gate window in ns (Table 2: 50 ns).
+    pub gate_ns: f64,
+    /// DAC sample rate in Hz.
+    pub sample_rate_hz: f64,
+    /// Integration steps for the full window.
+    pub steps: usize,
+}
+
+/// A calibrated flux pulse: peak fraction of the idle→resonance swing
+/// plus the run table that realizes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibratedPulse {
+    /// Peak detuning as a fraction of (idle − resonance).
+    pub peak: f64,
+    /// The pulse's run table (amplitude in fraction-of-peak units).
+    pub runs: Vec<AmplitudeRun>,
+    /// Ideal-pulse CZ error achieved by the calibration.
+    pub ideal_error: f64,
+}
+
+impl CzModel {
+    /// The paper's operating point: the standard pair, 50 ns, 2.5 GHz.
+    pub fn baseline() -> Self {
+        CzModel {
+            pair: CoupledTransmons::standard(),
+            gate_ns: 50.0,
+            sample_rate_hz: 2.5e9,
+            steps: 2500,
+        }
+    }
+
+    /// Total samples in the gate window.
+    pub fn samples(&self) -> usize {
+        (self.gate_ns * self.sample_rate_hz * 1e-9).round() as usize
+    }
+
+    /// Expands a run table into per-sample amplitudes, padded with zeros
+    /// to the gate window.
+    fn expand(&self, runs: &[AmplitudeRun]) -> Vec<f64> {
+        let mut amps = Vec::with_capacity(self.samples());
+        for r in runs {
+            for _ in 0..r.length {
+                amps.push(r.amplitude);
+            }
+        }
+        amps.truncate(self.samples());
+        while amps.len() < self.samples() {
+            amps.push(0.0);
+        }
+        amps
+    }
+
+    /// Simulates the gate for per-sample amplitudes (`1.0` = the given
+    /// peak fraction of the idle→resonance swing) and returns the CZ
+    /// error after virtual-Z compensation.
+    pub fn cz_error_for(&self, amps: &[f64], peak: f64) -> f64 {
+        let pair = self.pair;
+        let idle = pair.idle_detuning_ghz();
+        let res = pair.cz_resonance_detuning_ghz();
+        let n = amps.len().max(1);
+        let dt = self.gate_ns / n as f64;
+        let u = propagator(
+            pair.dim(),
+            |t| {
+                let k = ((t / dt) as usize).min(n - 1);
+                let delta = idle - amps[k] * peak * (idle - res);
+                pair.hamiltonian(delta)
+            },
+            0.0,
+            self.gate_ns,
+            self.steps,
+        );
+        // Computational block.
+        let idx = [
+            pair.basis_index(0, 0),
+            pair.basis_index(0, 1),
+            pair.basis_index(1, 0),
+            pair.basis_index(1, 1),
+        ];
+        let mut block = CMatrix::zeros(4, 4);
+        for (r, &ir) in idx.iter().enumerate() {
+            for (c, &ic) in idx.iter().enumerate() {
+                block[(r, c)] = u[(ir, ic)];
+            }
+        }
+        // Virtual-Z freedom: compare against the CZ dressed with the
+        // measured single-qubit phases.
+        let p00 = block[(0, 0)].arg();
+        let p01 = block[(1, 1)].arg();
+        let p10 = block[(2, 2)].arg();
+        let ideal = CMatrix::diag(&[
+            C64::cis(p00),
+            C64::cis(p01),
+            C64::cis(p10),
+            C64::cis(p01 + p10 - p00 + PI),
+        ]);
+        gate_error(&ideal, &block)
+    }
+
+    /// Calibrates the ramped pulse: coordinate descent over the peak
+    /// fraction and plateau length (the Quanlse stand-in). The cosine
+    /// ramp's residual non-adiabatic error floors near 1.2e-3 — right at
+    /// the Table 1 anchor (model 1.09e-3, experiment 9.0e-4 ± 7e-4).
+    pub fn calibrate(&self) -> CalibratedPulse {
+        let ramp_runs = 6u32;
+        let ramp_cycles = 6u32;
+        let mut best = (f64::INFINITY, 1.0f64, 27u32);
+        // Coarse grid.
+        for peak in [0.97, 0.98, 0.99, 1.0, 1.01] {
+            for plateau in (15..=45).step_by(2) {
+                let runs = ramped_pulse(1.0, ramp_runs, ramp_cycles, plateau);
+                let e = self.cz_error_for(&self.expand(&runs), peak);
+                if e < best.0 {
+                    best = (e, peak, plateau);
+                }
+            }
+        }
+        // Local refinement with shrinking peak steps.
+        for step in [0.002, 0.0004] {
+            let mut improved = true;
+            while improved {
+                improved = false;
+                for (dp, dl) in [(step, 0i64), (-step, 0), (0.0, 1), (0.0, -1)] {
+                    let peak = best.1 + dp;
+                    let plateau = (best.2 as i64 + dl).max(4) as u32;
+                    let runs = ramped_pulse(1.0, ramp_runs, ramp_cycles, plateau);
+                    let e = self.cz_error_for(&self.expand(&runs), peak);
+                    if e < best.0 {
+                        best = (e, peak, plateau);
+                        improved = true;
+                    }
+                }
+            }
+        }
+        let runs = ramped_pulse(1.0, ramp_runs, ramp_cycles, best.2);
+        CalibratedPulse { peak: best.1, runs, ideal_error: best.0 }
+    }
+
+    /// CZ error of a calibrated pulse after amplitude quantization to
+    /// `bits` and per-sample thermal noise of relative amplitude
+    /// `noise_rel` (pass a seeded RNG for reproducibility).
+    pub fn noisy_cz_error<R: Rng>(
+        &self,
+        cal: &CalibratedPulse,
+        bits: u32,
+        noise_rel: f64,
+        rng: &mut R,
+    ) -> f64 {
+        assert!((2..=16).contains(&bits), "DAC precision must be 2..=16 bits");
+        let levels = (1u32 << bits) as f64 / 2.0 - 1.0;
+        let amps: Vec<f64> = self
+            .expand(&cal.runs)
+            .iter()
+            .map(|a| (a * levels).round() / levels + noise::normal(rng, 0.0, noise_rel))
+            .collect();
+        self.cz_error_for(&amps, cal.peak)
+    }
+
+    /// CZ error of the *unit-step* pulse (the unmodified Horse Ridge II /
+    /// DigiQ pulse circuit) with the best-case step length.
+    pub fn unit_step_error(&self) -> f64 {
+        let mut best = f64::INFINITY;
+        for cycles in (30..=90).step_by(5) {
+            let runs = unit_step_pulse(1.0, cycles);
+            for peak in [0.96, 1.0, 1.04] {
+                best = best.min(self.cz_error_for(&self.expand(&runs), peak));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn calibrated_pulse_reaches_low_error() {
+        let m = CzModel::baseline();
+        let cal = m.calibrate();
+        assert!(cal.ideal_error < 2e-3, "ideal CZ error {}", cal.ideal_error);
+        assert!(cal.peak > 0.9 && cal.peak < 1.1, "peak {}", cal.peak);
+    }
+
+    #[test]
+    fn quantization_and_noise_land_on_the_1e3_anchor() {
+        // Table 1: model CZ error 1.09e-3 (reference 9.0e-4 ± 7e-4).
+        let m = CzModel::baseline();
+        let cal = m.calibrate();
+        let mut rng = StdRng::seed_from_u64(11);
+        let noisy: f64 = (0..4)
+            .map(|_| m.noisy_cz_error(&cal, 10, 0.004, &mut rng))
+            .sum::<f64>()
+            / 4.0;
+        assert!(noisy > 0.8 * cal.ideal_error, "noise should not improve the gate: {noisy}");
+        assert!(noisy > 2e-4 && noisy < 1e-2, "noisy CZ error {noisy}");
+    }
+
+    #[test]
+    fn unit_step_pulse_fails_badly() {
+        // §3.3.2: "the unit-step voltage almost cannot realize the CZ".
+        // Our virtual-Z-compensated metric is more forgiving than the
+        // paper's raw comparison, but the step pulse is still several
+        // times worse than the calibrated ramp even at its best length.
+        let m = CzModel::baseline();
+        let cal = m.calibrate();
+        let step = m.unit_step_error();
+        assert!(step > 3.0 * cal.ideal_error, "step {} vs ramped {}", step, cal.ideal_error);
+        assert!(step > 4e-3, "unit-step error {step}");
+    }
+
+    #[test]
+    fn detuned_pulse_is_worse() {
+        let m = CzModel::baseline();
+        let cal = m.calibrate();
+        let amps = m.expand(&cal.runs);
+        let off = m.cz_error_for(&amps, cal.peak * 0.90);
+        assert!(off > 3.0 * cal.ideal_error.max(1e-6), "off-resonance error {off}");
+    }
+
+    #[test]
+    fn idle_pulse_is_not_a_cz() {
+        let m = CzModel::baseline();
+        let zeros = vec![0.0; m.samples()];
+        let e = m.cz_error_for(&zeros, 1.0);
+        assert!(e > 0.1, "identity mistaken for CZ: {e}");
+    }
+}

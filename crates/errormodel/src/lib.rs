@@ -1,0 +1,40 @@
+//! # qisim-error
+//!
+//! Gate and readout error-rate models for the QIsim scalability framework
+//! (reproduction of Min et al., *QIsim*, ISCA 2023 — Sections 4.4–4.5).
+//!
+//! Every model follows the paper's Fig. 7 pipeline: generate the *digital*
+//! waveform the microarchitecture would emit, corrupt it with the
+//! hardware's quantization and noise, drive a Hamiltonian simulation from
+//! `qisim-quantum`, and report the gate/readout error:
+//!
+//! * [`cmos_1q`] — I/Q-sample single-qubit gates with DRAG, bit-precision
+//!   and SNR knobs (+ Bloch–Redfield decoherence for validation);
+//! * [`sfq_1q`] — SFQ pulse-train `Ry(π/2)·Rz(φ)` gates with the
+//!   bitstream-optimization loop;
+//! * [`cz`] — flux-pulsed CZ with a Quanlse-style calibrator, showing why
+//!   the unit-step pulse circuits had to be redesigned;
+//! * [`readout_cmos`] — dispersive readout Monte-Carlo over the three RX
+//!   decision units plus the Opt-7 multi-round scheme;
+//! * [`readout_sfq`] — the four-step JPM readout with Opt-3/Opt-8
+//!   schedules;
+//! * [`workload`] — Pauli-channel Monte-Carlo workload fidelity driven by
+//!   cycle-accurate gate timings.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cmos_1q;
+pub mod cz;
+pub mod noise;
+pub mod readout_cmos;
+pub mod readout_sfq;
+pub mod sfq_1q;
+pub mod workload;
+
+pub use cmos_1q::Cmos1qModel;
+pub use cz::CzModel;
+pub use readout_cmos::{CmosReadoutModel, MultiRound};
+pub use readout_sfq::SfqReadoutModel;
+pub use sfq_1q::Sfq1qModel;
+pub use workload::{ErrorRates, WorkloadSim};

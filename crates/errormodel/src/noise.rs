@@ -1,0 +1,46 @@
+//! Small noise-sampling helpers shared by the error models.
+
+use rand::Rng;
+
+/// Samples a standard-normal variate via the Box–Muller transform (keeps
+/// the workspace off `rand_distr`).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mu, sigma²)`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    mu + sigma * standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_right() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 1.5, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be non-negative")]
+    fn negative_sigma_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = normal(&mut rng, 0.0, -1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the error models' invariants.
+
+use proptest::prelude::*;
+use qisim_error::readout_sfq::{ljj_failure, SfqReadoutModel};
+use qisim_error::sfq_1q::Sfq1qModel;
+use qisim_error::workload::ErrorRates;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Idle Pauli probabilities are a sub-distribution, monotone in time,
+    /// and vanish at t = 0.
+    #[test]
+    fn idle_paulis_are_a_subdistribution(
+        t1 in 1.0f64..1000.0,
+        t2_frac in 0.1f64..2.0,
+        t in 0.0f64..1e6,
+    ) {
+        let rates = ErrorRates {
+            one_q: 0.0,
+            two_q: 0.0,
+            readout: 0.0,
+            t1_us: t1,
+            t2_us: t1 * t2_frac,
+        };
+        let (px, py, pz) = rates.idle_paulis(t);
+        prop_assert!(px >= 0.0 && py >= 0.0 && pz >= 0.0);
+        prop_assert!(px + py + pz <= 1.0 + 1e-12, "total {}", px + py + pz);
+        let (x0, y0, z0) = rates.idle_paulis(0.0);
+        prop_assert!(x0.abs() < 1e-15 && y0.abs() < 1e-15 && z0.abs() < 1e-15);
+        let (x2, y2, z2) = rates.idle_paulis(t + 100.0);
+        prop_assert!(x2 >= px && y2 >= py && z2 >= pz);
+    }
+
+    /// The LJJ comparator failure rate is a probability, monotone in the
+    /// jitter and anti-monotone in the designed delay.
+    #[test]
+    fn ljj_failure_is_well_behaved(delay in 0.1f64..50.0, jitter in 0.1f64..20.0) {
+        let p = ljj_failure(delay, jitter);
+        prop_assert!((0.0..=0.5).contains(&p), "failure {p}");
+        prop_assert!(ljj_failure(delay * 2.0, jitter) <= p + 1e-15);
+        prop_assert!(ljj_failure(delay, jitter * 2.0) >= p - 1e-15);
+    }
+
+    /// SFQ Rz-table error is bounded by the worst quantization gap and is
+    /// zero at realizable angles.
+    #[test]
+    fn rz_error_bounds(phi in 0.0f64..6.28) {
+        let m = Sfq1qModel::baseline();
+        let e = m.rz_error(phi);
+        prop_assert!((0.0..=1.0).contains(&e));
+        prop_assert!(e < 2e-4, "table density violated at {phi}: {e}");
+        // A realized angle has zero error.
+        let realized = m.phase_per_cycle() * 17.0 % std::f64::consts::TAU;
+        prop_assert!(m.rz_error(realized) < 1e-20);
+    }
+
+    /// Any pulse train's Ry error is a valid infidelity, and doubling the
+    /// tip of an aligned train moves the result (sanity of the unitary
+    /// composition).
+    #[test]
+    fn train_error_is_bounded(
+        slots in proptest::collection::btree_set(0usize..21, 1..8),
+        tip in 0.01f64..1.5,
+    ) {
+        let m = Sfq1qModel::baseline();
+        let pulses: Vec<usize> = slots.into_iter().collect();
+        let e = m.ry_pi2_error(&pulses, tip);
+        prop_assert!((0.0..=1.0).contains(&e), "error {e}");
+        let u = m.train_unitary(&pulses, tip);
+        prop_assert!(u.is_unitary(1e-9));
+    }
+
+    /// SFQ readout errors decompose consistently for any boost and target
+    /// photon number.
+    #[test]
+    fn sfq_readout_error_decomposition(boost in 1.0f64..4.0, n_target in 2.0f64..40.0) {
+        let m = SfqReadoutModel { boost, n_target, ..SfqReadoutModel::baseline() };
+        let e = m.errors();
+        prop_assert!((e.total() - e.assignment() - e.reset).abs() < 1e-15);
+        prop_assert!(e.driving_tunneling >= 0.0 && e.driving_tunneling <= 1.0);
+        // Driving time scales exactly inversely with the boost.
+        prop_assert!((m.driving_ns() * boost - 578.2).abs() < 1e-9);
+    }
+
+    /// More photons at fixed suppression never increase the miss
+    /// probability side of the assignment error beyond the dark floor.
+    #[test]
+    fn more_photons_help_until_dark_counts(n in 2.0f64..30.0) {
+        let low = SfqReadoutModel { n_target: n, ..SfqReadoutModel::baseline() };
+        let high = SfqReadoutModel { n_target: n * 1.5, ..SfqReadoutModel::baseline() };
+        // Not strictly monotone once false clicks dominate, but within
+        // the operating range brighter is never catastrophically worse.
+        prop_assert!(high.errors().assignment() < 2.0 * low.errors().assignment() + 1e-3);
+    }
+}

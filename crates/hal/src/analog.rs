@@ -1,0 +1,151 @@
+//! Analog front-end power models.
+//!
+//! The paper does not synthesize analog blocks; it adopts published power
+//! numbers (Section 4.1.2): Van Dijk et al. for the drive/TX up-conversion
+//! chain, Park et al. for the pulse DAC and RX amplifier/ADC, Kang et al.
+//! for the RX LNA and mixer, Cha et al. for the 4 K HEMT, and Ranadive et
+//! al. for the mK TWPA. We encode those as per-block constants, calibrated
+//! so the full 4 K CMOS QCI reproduces the paper's power breakdown
+//! (RX digital 54.7 %, drive digital 13.3 % of the baseline total).
+
+use crate::fridge::Stage;
+use crate::units::*;
+
+/// An analog block with a fixed operating power at one stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalogBlock {
+    /// Human-readable block name.
+    pub name: &'static str,
+    /// Stage where the block dissipates.
+    pub stage: Stage,
+    /// Power when active, in watts.
+    pub active_power_w: f64,
+    /// Power when idle (bias kept on), in watts.
+    pub idle_power_w: f64,
+}
+
+impl AnalogBlock {
+    /// Power at a given duty cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `[0, 1]`.
+    pub fn power_w(&self, duty: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&duty), "duty cycle must be in [0,1]");
+        self.idle_power_w + (self.active_power_w - self.idle_power_w) * duty
+    }
+}
+
+/// Drive-circuit analog chain (I/Q DACs, mixers, PLL share) — one per
+/// frequency-multiplexed drive line (Van Dijk et al.).
+pub const DRIVE_ANALOG: AnalogBlock = AnalogBlock {
+    name: "drive up-conversion chain",
+    stage: Stage::K4,
+    active_power_w: 16.0 * MILLI_W,
+    idle_power_w: 4.0 * MILLI_W,
+};
+
+/// TX-circuit analog chain — one per readout TX line.
+pub const TX_ANALOG: AnalogBlock = AnalogBlock {
+    name: "TX up-conversion chain",
+    stage: Stage::K4,
+    active_power_w: 1.2 * MILLI_W,
+    idle_power_w: 0.3 * MILLI_W,
+};
+
+/// RX analog (mixer, IF amplifier, ADC) — one per readout RX line
+/// (Park et al. / Kang et al.).
+pub const RX_ANALOG: AnalogBlock = AnalogBlock {
+    name: "RX down-conversion + ADC",
+    stage: Stage::K4,
+    active_power_w: 2.4 * MILLI_W,
+    idle_power_w: 0.8 * MILLI_W,
+};
+
+/// 4 K HEMT low-noise amplifier — one per RX line (Cha et al., 300 µW).
+pub const HEMT_LNA: AnalogBlock = AnalogBlock {
+    name: "HEMT LNA",
+    stage: Stage::K4,
+    active_power_w: 300.0 * MICRO_W,
+    idle_power_w: 300.0 * MICRO_W,
+};
+
+/// Travelling-wave parametric amplifier pump dissipation at 100 mK —
+/// one per RX line (Ranadive et al.).
+pub const TWPA: AnalogBlock = AnalogBlock {
+    name: "TWPA pump",
+    stage: Stage::Mk100,
+    active_power_w: 10.0 * NANO_W,
+    idle_power_w: 10.0 * NANO_W,
+};
+
+/// Pulse-circuit analog (baseband DAC + reconstruction filter) — one per
+/// qubit (Park et al.).
+pub const PULSE_ANALOG: AnalogBlock = AnalogBlock {
+    name: "pulse DAC",
+    stage: Stage::K4,
+    active_power_w: 40.0 * MICRO_W,
+    idle_power_w: 10.0 * MICRO_W,
+};
+
+/// 300 K arbitrary-waveform-generator channel (14-bit AWG) — rack
+/// electronics, dissipates outside the fridge (not budget-constrained but
+/// reported for completeness).
+pub const AWG_300K_CHANNEL: AnalogBlock = AnalogBlock {
+    name: "300K AWG channel",
+    stage: Stage::K50,
+    active_power_w: 5.0,
+    idle_power_w: 1.0,
+};
+
+/// Electro-optic modulator driver for photonic links (300 K side).
+pub const EOM_DRIVER: AnalogBlock = AnalogBlock {
+    name: "EOM driver",
+    stage: Stage::K50,
+    active_power_w: 0.5,
+    idle_power_w: 0.1,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_interpolates_between_idle_and_active() {
+        let p0 = DRIVE_ANALOG.power_w(0.0);
+        let p1 = DRIVE_ANALOG.power_w(1.0);
+        let ph = DRIVE_ANALOG.power_w(0.5);
+        assert_eq!(p0, DRIVE_ANALOG.idle_power_w);
+        assert_eq!(p1, DRIVE_ANALOG.active_power_w);
+        assert!((ph - 0.5 * (p0 + p1)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hemt_is_always_on() {
+        assert_eq!(HEMT_LNA.power_w(0.0), HEMT_LNA.power_w(1.0));
+    }
+
+    #[test]
+    fn blocks_live_at_expected_stages() {
+        assert_eq!(TWPA.stage, Stage::Mk100);
+        assert_eq!(HEMT_LNA.stage, Stage::K4);
+        assert_eq!(AWG_300K_CHANNEL.stage, Stage::K50);
+    }
+
+    #[test]
+    fn per_qubit_4k_analog_is_sub_milliwatt() {
+        // Baseline 4K CMOS sharing: drive /32, TX /8, RX+HEMT /8, pulse /1.
+        let per_qubit = DRIVE_ANALOG.active_power_w / 32.0
+            + TX_ANALOG.active_power_w / 8.0
+            + (RX_ANALOG.active_power_w + HEMT_LNA.active_power_w) / 8.0
+            + PULSE_ANALOG.active_power_w;
+        assert!(per_qubit < 1.5 * MILLI_W, "analog/qubit = {per_qubit}");
+        assert!(per_qubit > 0.2 * MILLI_W, "analog/qubit = {per_qubit}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle must be in")]
+    fn bad_duty_panics() {
+        let _ = TX_ANALOG.power_w(-0.2);
+    }
+}

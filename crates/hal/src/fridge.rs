@@ -1,0 +1,187 @@
+//! Dilution-refrigerator model: temperature stages and cooling budgets.
+//!
+//! The QCI's scalability constraint #1 (Section 2.4.1): every watt
+//! dissipated at a stage — by devices, by cable heat leaks, by signal
+//! dissipation in attenuators — must fit the stage's cooling capacity.
+//! Capacities follow Krinner et al. (Table 2 of the paper): 1.5 W at 4 K,
+//! 200 µW at 100 mK, 20 µW at 20 mK (and 30 W at the 50 K shield, from the
+//! paper's discussion section).
+
+use crate::units::*;
+
+/// A temperature stage of the dilution refrigerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// 50 K radiation shield.
+    K50,
+    /// 4 K stage (pulse-tube cooled).
+    K4,
+    /// 1 K ("still") stage.
+    K1,
+    /// 100 mK (cold-plate) stage.
+    Mk100,
+    /// 20 mK (mixing-chamber) stage, where the qubits live.
+    Mk20,
+}
+
+impl Stage {
+    /// All stages from warm to cold.
+    pub const ALL: [Stage; 5] = [Stage::K50, Stage::K4, Stage::K1, Stage::Mk100, Stage::Mk20];
+
+    /// Cooling capacity of this stage in watts.
+    pub fn cooling_capacity_w(self) -> f64 {
+        match self {
+            Stage::K50 => 30.0,
+            Stage::K4 => 1.5,
+            Stage::K1 => 30.0 * MILLI_W,
+            Stage::Mk100 => 200.0 * MICRO_W,
+            Stage::Mk20 => 20.0 * MICRO_W,
+        }
+    }
+
+    /// Physical temperature in kelvin.
+    pub fn temperature_k(self) -> f64 {
+        match self {
+            Stage::K50 => 50.0,
+            Stage::K4 => 4.0,
+            Stage::K1 => 1.0,
+            Stage::Mk100 => 0.1,
+            Stage::Mk20 => 0.02,
+        }
+    }
+
+    /// Attenuation (dB) inserted at this stage by the paper's fixed
+    /// microwave attenuator chain (0-20-10-10-20 dB for 50K-4K-1K-100mK-20mK).
+    pub fn attenuation_db(self) -> f64 {
+        match self {
+            Stage::K50 => 0.0,
+            Stage::K4 => 20.0,
+            Stage::K1 => 10.0,
+            Stage::Mk100 => 10.0,
+            Stage::Mk20 => 20.0,
+        }
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::K50 => "50K",
+            Stage::K4 => "4K",
+            Stage::K1 => "1K",
+            Stage::Mk100 => "100mK",
+            Stage::Mk20 => "20mK",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A dilution refrigerator with (possibly customized) per-stage budgets.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_hal::fridge::{Fridge, Stage};
+///
+/// let fridge = Fridge::standard();
+/// assert_eq!(fridge.budget_w(Stage::K4), 1.5);
+/// assert!(fridge.fits(Stage::Mk20, 19e-6));
+/// assert!(!fridge.fits(Stage::Mk20, 21e-6));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fridge {
+    budgets_w: [f64; 5],
+}
+
+impl Fridge {
+    /// The Table 2 refrigerator.
+    pub fn standard() -> Self {
+        let mut budgets_w = [0.0; 5];
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            budgets_w[i] = s.cooling_capacity_w();
+        }
+        Fridge { budgets_w }
+    }
+
+    /// Overrides one stage's budget (for future-technology what-ifs,
+    /// Section 7.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is not positive.
+    pub fn with_budget(mut self, stage: Stage, watts: f64) -> Self {
+        assert!(watts > 0.0, "budget must be positive");
+        self.budgets_w[Self::index(stage)] = watts;
+        self
+    }
+
+    fn index(stage: Stage) -> usize {
+        Stage::ALL.iter().position(|s| *s == stage).expect("stage in ALL")
+    }
+
+    /// Cooling budget of a stage in watts.
+    pub fn budget_w(&self, stage: Stage) -> f64 {
+        self.budgets_w[Self::index(stage)]
+    }
+
+    /// Whether a dissipation fits within a stage's budget.
+    pub fn fits(&self, stage: Stage, power_w: f64) -> bool {
+        power_w <= self.budget_w(stage)
+    }
+
+    /// Utilization fraction (power / budget) of a stage.
+    pub fn utilization(&self, stage: Stage, power_w: f64) -> f64 {
+        power_w / self.budget_w(stage)
+    }
+}
+
+impl Default for Fridge {
+    fn default() -> Self {
+        Fridge::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_match_table2() {
+        let f = Fridge::standard();
+        assert_eq!(f.budget_w(Stage::K4), 1.5);
+        assert!((f.budget_w(Stage::Mk100) - 200e-6).abs() < 1e-12);
+        assert!((f.budget_w(Stage::Mk20) - 20e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stages_get_colder_and_tighter() {
+        for w in Stage::ALL.windows(2) {
+            assert!(w[0].temperature_k() > w[1].temperature_k());
+        }
+        // 4K budget dwarfs the mK budgets.
+        assert!(Stage::K4.cooling_capacity_w() / Stage::Mk20.cooling_capacity_w() > 1e4);
+    }
+
+    #[test]
+    fn attenuator_chain_totals_60db() {
+        let total: f64 = Stage::ALL.iter().map(|s| s.attenuation_db()).sum();
+        assert_eq!(total, 60.0);
+    }
+
+    #[test]
+    fn budget_override() {
+        let f = Fridge::standard().with_budget(Stage::Mk20, 40e-6);
+        assert!(f.fits(Stage::Mk20, 30e-6));
+        assert!((f.utilization(Stage::Mk20, 20e-6) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Stage::Mk20.to_string(), "20mK");
+        assert_eq!(Stage::K4.to_string(), "4K");
+    }
+}

@@ -1,0 +1,47 @@
+//! # qisim-hal
+//!
+//! Technology and device models for the QIsim QCI scalability framework
+//! (reproduction of Min et al., ISCA 2023). This crate is the Rust stand-in
+//! for the paper's "circuit model" (Fig. 6): where the original artifact
+//! synthesizes parameterized Verilog through CryoModel/Design Compiler
+//! (CMOS) and Yosys + SFQ netlist optimization (SFQ), QIsim-rs describes
+//! circuits as gate-equivalent / cell-count inventories and derives their
+//! frequency and static/dynamic power from the analytical models here:
+//!
+//! * [`cmos`] — cryogenic CMOS logic and SRAM across nodes (45/22/14/7 nm),
+//!   temperatures (300 K / 4 K) and voltage-scaling points;
+//! * [`sfq`] — RSFQ/ERSFQ Josephson-junction logic including the mK
+//!   `0.01·I_c` scaling and zero-static-power LJJ lines;
+//! * [`wire`] — per-cable passive/active heat loads for every interconnect
+//!   of Table 2, plus the digital 300K→4K instruction link;
+//! * [`fridge`] — dilution-refrigerator stages and cooling budgets;
+//! * [`analog`] — published analog front-end block powers;
+//! * [`units`] — SI constants and formatting.
+//!
+//! # Examples
+//!
+//! How many coax cables fit the 100 mK budget?
+//!
+//! ```
+//! use qisim_hal::{fridge::{Fridge, Stage}, wire::WireKind};
+//!
+//! let per_cable = WireKind::Coax.load_w(Stage::Mk100, 1.0);
+//! let fridge = Fridge::standard();
+//! let max_cables = fridge.budget_w(Stage::Mk100) / per_cable;
+//! assert!(max_cables < 600.0); // the paper's ~400-qubit coax wall
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analog;
+pub mod cmos;
+pub mod fridge;
+pub mod sfq;
+pub mod units;
+pub mod wire;
+
+pub use cmos::{CmosNode, CmosTech, CmosTemp};
+pub use fridge::{Fridge, Stage};
+pub use sfq::{SfqCell, SfqFamily, SfqStage, SfqTech};
+pub use wire::{InstructionLink, WireKind};

@@ -1,0 +1,268 @@
+//! Single-flux-quantum (SFQ) superconducting logic model.
+//!
+//! Stand-in for the paper's XQsim SFQ flow (Yosys + SFQ-specific netlist
+//! optimization): circuits are described as cell counts from an
+//! MITLL-SFQ5ee-style library (the ColdFlux cell set the paper adopts to
+//! keep its artifact open source), and this module supplies per-cell
+//! Josephson-junction (JJ) counts and the technology's static/dynamic power:
+//!
+//! * **RSFQ** — resistively biased: every JJ draws `I_b·V_b` of static
+//!   power; switching costs `I_c·Φ₀` per flux quantum.
+//! * **ERSFQ** — inductively biased (Kirichenko et al.): zero static power,
+//!   slightly higher dynamic overhead from the bias-regulation junctions.
+//! * **mK operation** — devices placed at the 20/100 mK stages use the
+//!   paper's `0.01·I_c` critical-current scaling, cutting both static and
+//!   dynamic power by 100×.
+//! * **LJJ transmission lines** — inductance-biased, zero static power
+//!   (the key to the Opt-3 shared JPM readout).
+
+use crate::units::*;
+
+/// SFQ logic family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SfqFamily {
+    /// Conventional resistively-biased rapid SFQ.
+    Rsfq,
+    /// Energy-efficient RSFQ with inductive biasing (zero static power).
+    Ersfq,
+}
+
+/// Temperature stage an SFQ circuit is deployed at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SfqStage {
+    /// The 4 K stage (full critical current).
+    Cryo4K,
+    /// A millikelvin stage (20/100 mK) with `0.01·I_c` scaling.
+    MilliKelvin,
+}
+
+/// Cells of the MITLL-SFQ5ee-style library with their JJ counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SfqCell {
+    /// Josephson transmission line segment.
+    Jtl,
+    /// Splitter (one input, two outputs).
+    Splitter,
+    /// Confluence buffer / merger.
+    Merger,
+    /// D flip-flop.
+    Dff,
+    /// Non-destructive readout cell (storage that survives reads).
+    Ndro,
+    /// Toggle flip-flop (frequency divider).
+    Tff,
+    /// AND gate.
+    And,
+    /// OR gate.
+    Or,
+    /// XOR gate.
+    Xor,
+    /// Inverter.
+    Not,
+    /// 2:1 multiplexer (NDRO-based switch).
+    Mux2,
+    /// 1:2 demultiplexer.
+    Demux2,
+    /// SFQ-to-DC converter cell (drives a DC bias from a pulse stream).
+    SfqDc,
+    /// Long-Josephson-junction transmission-line segment (inductance
+    /// biased, zero static power; used by the mK JPM readout).
+    LjjSegment,
+    /// DC-to-SFQ converter (input interface).
+    DcSfq,
+}
+
+impl SfqCell {
+    /// JJ count of one cell instance (ColdFlux/MITLL-typical values).
+    pub fn jj_count(self) -> u32 {
+        match self {
+            SfqCell::Jtl => 2,
+            SfqCell::Splitter => 3,
+            SfqCell::Merger => 7,
+            SfqCell::Dff => 6,
+            SfqCell::Ndro => 11,
+            SfqCell::Tff => 8,
+            SfqCell::And => 11,
+            SfqCell::Or => 9,
+            SfqCell::Xor => 11,
+            SfqCell::Not => 10,
+            SfqCell::Mux2 => 14,
+            SfqCell::Demux2 => 12,
+            SfqCell::SfqDc => 16,
+            SfqCell::LjjSegment => 2,
+            SfqCell::DcSfq => 5,
+        }
+    }
+
+    /// Whether the cell draws static bias power under RSFQ biasing.
+    /// LJJ segments are inductance-biased and never do.
+    pub fn draws_static_bias(self) -> bool {
+        !matches!(self, SfqCell::LjjSegment)
+    }
+}
+
+/// Critical current of a 4 K junction in amperes (MITLL SFQ5ee typical).
+const IC_4K_A: f64 = 100e-6;
+/// The paper's mK critical-current scaling (`0.01·I_c`).
+const MK_IC_SCALE: f64 = 0.01;
+/// Bias current as a fraction of critical current.
+const BIAS_FRACTION: f64 = 0.7;
+/// Bias-rail voltage of resistively-biased RSFQ in volts.
+const BIAS_VOLTAGE_V: f64 = 2.6e-3;
+/// ERSFQ dynamic overhead from the bias-regulating junctions.
+const ERSFQ_DYNAMIC_OVERHEAD: f64 = 1.4;
+/// Nominal SFQ system clock (Table 2).
+pub const SFQ_CLOCK_HZ: f64 = 24.0 * GIGA_HZ;
+/// Maximum boosted clock for short bursts (Opt-8 fast resonator driving).
+pub const SFQ_BOOST_CLOCK_HZ: f64 = 48.0 * GIGA_HZ;
+
+/// A fully-specified SFQ technology operating point.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_hal::sfq::{SfqFamily, SfqStage, SfqTech};
+///
+/// let rsfq = SfqTech::new(SfqFamily::Rsfq, SfqStage::Cryo4K);
+/// let ersfq = SfqTech::new(SfqFamily::Ersfq, SfqStage::Cryo4K);
+/// assert!(rsfq.static_power_per_jj_w() > 0.0);
+/// assert_eq!(ersfq.static_power_per_jj_w(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SfqTech {
+    /// Logic family.
+    pub family: SfqFamily,
+    /// Deployment temperature stage.
+    pub stage: SfqStage,
+}
+
+impl SfqTech {
+    /// Creates a technology point.
+    pub fn new(family: SfqFamily, stage: SfqStage) -> Self {
+        SfqTech { family, stage }
+    }
+
+    /// Critical current at this stage.
+    pub fn critical_current_a(&self) -> f64 {
+        match self.stage {
+            SfqStage::Cryo4K => IC_4K_A,
+            SfqStage::MilliKelvin => IC_4K_A * MK_IC_SCALE,
+        }
+    }
+
+    /// Static bias power of one statically-biased JJ, in watts.
+    pub fn static_power_per_jj_w(&self) -> f64 {
+        match self.family {
+            SfqFamily::Rsfq => self.critical_current_a() * BIAS_FRACTION * BIAS_VOLTAGE_V,
+            SfqFamily::Ersfq => 0.0,
+        }
+    }
+
+    /// Switching energy of one JJ per flux quantum, in joules.
+    pub fn switching_energy_j(&self) -> f64 {
+        let base = self.critical_current_a() * FLUX_QUANTUM_WB;
+        match self.family {
+            SfqFamily::Rsfq => base,
+            SfqFamily::Ersfq => base * ERSFQ_DYNAMIC_OVERHEAD,
+        }
+    }
+
+    /// Static power of a circuit containing the given cell mix, in watts.
+    pub fn static_power_w(&self, cells: &[(SfqCell, u64)]) -> f64 {
+        let biased_jj: f64 = cells
+            .iter()
+            .filter(|(c, _)| c.draws_static_bias())
+            .map(|(c, n)| c.jj_count() as f64 * *n as f64)
+            .sum();
+        biased_jj * self.static_power_per_jj_w()
+    }
+
+    /// Dynamic power of a circuit: total JJs × switching activity ×
+    /// clock × per-switch energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]`.
+    pub fn dynamic_power_w(&self, cells: &[(SfqCell, u64)], clock_hz: f64, activity: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&activity), "activity must be in [0,1]");
+        let jj: f64 = cells.iter().map(|(c, n)| c.jj_count() as f64 * *n as f64).sum();
+        jj * self.switching_energy_j() * clock_hz * activity
+    }
+
+    /// Total JJ count of a cell mix.
+    pub fn total_jj(cells: &[(SfqCell, u64)]) -> u64 {
+        cells.iter().map(|(c, n)| c.jj_count() as u64 * n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsfq_static_per_jj_is_182nw() {
+        let t = SfqTech::new(SfqFamily::Rsfq, SfqStage::Cryo4K);
+        let p = t.static_power_per_jj_w();
+        assert!((p - 182.0e-9).abs() < 1e-9, "per-JJ static {p}");
+    }
+
+    #[test]
+    fn mk_scaling_cuts_power_100x() {
+        let warm = SfqTech::new(SfqFamily::Rsfq, SfqStage::Cryo4K);
+        let cold = SfqTech::new(SfqFamily::Rsfq, SfqStage::MilliKelvin);
+        assert!((warm.static_power_per_jj_w() / cold.static_power_per_jj_w() - 100.0).abs() < 1e-9);
+        assert!((warm.switching_energy_j() / cold.switching_energy_j() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ersfq_has_zero_static_but_more_dynamic() {
+        let rsfq = SfqTech::new(SfqFamily::Rsfq, SfqStage::Cryo4K);
+        let ersfq = SfqTech::new(SfqFamily::Ersfq, SfqStage::Cryo4K);
+        assert_eq!(ersfq.static_power_per_jj_w(), 0.0);
+        assert!(ersfq.switching_energy_j() > rsfq.switching_energy_j());
+    }
+
+    #[test]
+    fn ljj_draws_no_static_power() {
+        let t = SfqTech::new(SfqFamily::Rsfq, SfqStage::MilliKelvin);
+        let p = t.static_power_w(&[(SfqCell::LjjSegment, 1000)]);
+        assert_eq!(p, 0.0);
+        // But a DFF chain does.
+        let p = t.static_power_w(&[(SfqCell::Dff, 10)]);
+        assert!(p > 0.0);
+    }
+
+    #[test]
+    fn switching_energy_is_attojoule_scale() {
+        let t = SfqTech::new(SfqFamily::Rsfq, SfqStage::Cryo4K);
+        let e = t.switching_energy_j();
+        assert!((e - 2.068e-19).abs() < 1e-21, "E_sw {e}");
+    }
+
+    #[test]
+    fn cell_mix_accounting() {
+        let cells = [(SfqCell::Dff, 4u64), (SfqCell::Splitter, 2), (SfqCell::LjjSegment, 5)];
+        assert_eq!(SfqTech::total_jj(&cells), 4 * 6 + 2 * 3 + 5 * 2);
+        let t = SfqTech::new(SfqFamily::Rsfq, SfqStage::Cryo4K);
+        let s = t.static_power_w(&cells);
+        // Only the DFFs and splitters bias.
+        let expected = (4.0 * 6.0 + 2.0 * 3.0) * t.static_power_per_jj_w();
+        assert!((s - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dynamic_power_scales_with_clock() {
+        let t = SfqTech::new(SfqFamily::Rsfq, SfqStage::Cryo4K);
+        let cells = [(SfqCell::Dff, 100u64)];
+        let p24 = t.dynamic_power_w(&cells, SFQ_CLOCK_HZ, 0.3);
+        let p48 = t.dynamic_power_w(&cells, SFQ_BOOST_CLOCK_HZ, 0.3);
+        assert!((p48 / p24 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "activity must be in")]
+    fn bad_activity_panics() {
+        let t = SfqTech::new(SfqFamily::Rsfq, SfqStage::Cryo4K);
+        let _ = t.dynamic_power_w(&[(SfqCell::Dff, 1)], 1e9, -0.1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Readable SI unit constants and formatting helpers.
+//!
+//! All powers in this workspace are carried in **watts** and all energies in
+//! **joules**; these constants keep the technology tables legible.
+
+/// One milliwatt in watts.
+pub const MILLI_W: f64 = 1e-3;
+/// One microwatt in watts.
+pub const MICRO_W: f64 = 1e-6;
+/// One nanowatt in watts.
+pub const NANO_W: f64 = 1e-9;
+/// One picowatt in watts.
+pub const PICO_W: f64 = 1e-12;
+
+/// One picojoule in joules.
+pub const PICO_J: f64 = 1e-12;
+/// One femtojoule in joules.
+pub const FEMTO_J: f64 = 1e-15;
+/// One attojoule in joules.
+pub const ATTO_J: f64 = 1e-18;
+
+/// One gigahertz in hertz.
+pub const GIGA_HZ: f64 = 1e9;
+/// One megahertz in hertz.
+pub const MEGA_HZ: f64 = 1e6;
+
+/// The magnetic flux quantum Φ₀ in webers — sets the switching energy
+/// `E = I_c·Φ₀` of a Josephson junction.
+pub const FLUX_QUANTUM_WB: f64 = 2.067_833_848e-15;
+
+/// Formats a power in watts with an adaptive SI prefix.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_hal::units::format_power;
+///
+/// assert_eq!(format_power(1.5), "1.500 W");
+/// assert_eq!(format_power(2.2523e-3), "2.252 mW");
+/// assert_eq!(format_power(128.2e-9), "128.200 nW");
+/// ```
+pub fn format_power(watts: f64) -> String {
+    let a = watts.abs();
+    if a >= 1.0 {
+        format!("{watts:.3} W")
+    } else if a >= MILLI_W {
+        format!("{:.3} mW", watts / MILLI_W)
+    } else if a >= MICRO_W {
+        format!("{:.3} uW", watts / MICRO_W)
+    } else if a >= NANO_W {
+        format!("{:.3} nW", watts / NANO_W)
+    } else {
+        format!("{:.3} pW", watts / PICO_W)
+    }
+}
+
+/// Formats an energy in joules with an adaptive SI prefix.
+pub fn format_energy(joules: f64) -> String {
+    let a = joules.abs();
+    if a >= PICO_J {
+        format!("{:.3} pJ", joules / PICO_J)
+    } else if a >= FEMTO_J {
+        format!("{:.3} fJ", joules / FEMTO_J)
+    } else {
+        format!("{:.3} aJ", joules / ATTO_J)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_cover_ranges() {
+        assert_eq!(format_power(0.5e-6), "500.000 nW");
+        assert_eq!(format_power(3.0e-12), "3.000 pW");
+        assert_eq!(format_energy(2.5e-13), "250.000 fJ");
+        assert_eq!(format_energy(2.07e-19), "0.207 aJ");
+    }
+
+    #[test]
+    fn flux_quantum_energy_scale() {
+        // A 100 uA junction switches with ~0.2 aJ.
+        let e = 100e-6 * FLUX_QUANTUM_WB;
+        assert!((e - 2.07e-19).abs() < 1e-21);
+    }
+}

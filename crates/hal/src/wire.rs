@@ -1,0 +1,210 @@
+//! Interconnect heat-load models (Table 2 of the paper).
+//!
+//! Every cable entering the refrigerator leaks heat into each stage it
+//! passes (*passive load*: thermal conduction, attenuator anchoring) and
+//! dissipates part of the signal it carries (*active load*: attenuated
+//! microwave power, or the photodetector's electrical dissipation for
+//! photonic links). Both are per-cable numbers at 100 % activation; the
+//! runtime-power model multiplies active loads by the duty cycle the
+//! cycle-accurate simulator reports.
+
+use crate::fridge::Stage;
+use crate::units::*;
+
+/// Interconnect technology between temperature stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireKind {
+    /// Stainless 300 K coaxial cable (SC-086/50-SS-SS class).
+    Coax,
+    /// Flexible multi-channel microstrip (CrioFlex3 class).
+    Microstrip,
+    /// Optical fiber with a 20 mK photodetector restoring the microwave.
+    PhotonicLink,
+    /// Superconducting NbTi coaxial cable (SC-033/50-NbTi-CN class);
+    /// 7.4× lower passive load than 300 K coax at similar attenuation.
+    SuperconductingCoax,
+    /// Prototype superconducting Nb thin-film microstrip (Tuckerman et al.),
+    /// the paper's long-term 4K–mK interconnect assumption.
+    SuperconductingMicrostrip,
+}
+
+/// Passive-load reduction of the superconducting coax vs. 300 K coax.
+const SC_COAX_PASSIVE_RATIO: f64 = 1.0 / 7.4;
+
+impl WireKind {
+    /// Passive heat load of one cable at a stage, in watts (Table 2).
+    pub fn passive_load_w(self, stage: Stage) -> f64 {
+        match (self, stage) {
+            (WireKind::Coax, Stage::K4) => 1.0 * MILLI_W,
+            (WireKind::Coax, Stage::Mk100) => 400.0 * NANO_W,
+            (WireKind::Coax, Stage::Mk20) => 13.0 * NANO_W,
+
+            (WireKind::Microstrip, Stage::K4) => 315.0 * MICRO_W,
+            (WireKind::Microstrip, Stage::Mk100) => 210.0 * NANO_W,
+            (WireKind::Microstrip, Stage::Mk20) => 4.3 * NANO_W,
+
+            (WireKind::PhotonicLink, Stage::K4) => 250.0 * NANO_W,
+            (WireKind::PhotonicLink, Stage::Mk100) => 0.1 * NANO_W,
+            (WireKind::PhotonicLink, Stage::Mk20) => 0.003 * NANO_W,
+
+            (WireKind::SuperconductingCoax, s) => WireKind::Coax.passive_load_w(s) * SC_COAX_PASSIVE_RATIO,
+
+            (WireKind::SuperconductingMicrostrip, Stage::K4) => 315.0 * MICRO_W,
+            (WireKind::SuperconductingMicrostrip, Stage::Mk100) => 0.1 * NANO_W,
+            (WireKind::SuperconductingMicrostrip, Stage::Mk20) => 0.003 * NANO_W,
+
+            // The paper's Table 2 tracks the 4K/100mK/20mK domains only;
+            // the 50K shield and 1K still absorb heat too, but their
+            // budgets are sized for it and the paper does not model them.
+            (_, Stage::K50) | (_, Stage::K1) => 0.0,
+        }
+    }
+
+    /// Active (signal-dissipation) load of one cable at a stage under 100 %
+    /// activation, in watts (Table 2).
+    pub fn active_load_w(self, stage: Stage) -> f64 {
+        match (self, stage) {
+            (WireKind::Coax | WireKind::Microstrip | WireKind::SuperconductingCoax, Stage::K4) => {
+                7.9 * MICRO_W
+            }
+            (WireKind::Coax | WireKind::Microstrip | WireKind::SuperconductingCoax, Stage::Mk100) => {
+                7.9 * NANO_W
+            }
+            (WireKind::Coax | WireKind::Microstrip | WireKind::SuperconductingCoax, Stage::Mk20) => {
+                0.79 * NANO_W
+            }
+
+            // The optical signal dissipates nothing along the fiber; the
+            // photodetector restoring the microwave at 20 mK is the cost.
+            (WireKind::PhotonicLink, Stage::Mk20) => 790.0 * NANO_W,
+            (WireKind::PhotonicLink, _) => 0.0,
+
+            (WireKind::SuperconductingMicrostrip, Stage::K4) => 7.9 * MICRO_W,
+            (WireKind::SuperconductingMicrostrip, Stage::Mk100) => 7.9 * NANO_W,
+            (WireKind::SuperconductingMicrostrip, Stage::Mk20) => 0.79 * NANO_W,
+
+            (_, Stage::K50) | (_, Stage::K1) => 0.0,
+        }
+    }
+
+    /// Total per-cable load at a stage for a given duty cycle of activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `[0, 1]`.
+    pub fn load_w(self, stage: Stage, duty: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&duty), "duty cycle must be in [0,1]");
+        self.passive_load_w(stage) + self.active_load_w(stage) * duty
+    }
+
+    /// Whether this wire can span 300 K to millikelvin (the superconducting
+    /// variants only work below their critical temperature and are used for
+    /// the 4K–mK segment).
+    pub fn spans_room_to_mk(self) -> bool {
+        matches!(self, WireKind::Coax | WireKind::Microstrip | WireKind::PhotonicLink)
+    }
+}
+
+/// The digital 300K→4K instruction link used by 4 K QCIs.
+///
+/// 4 K QCIs receive instructions, not microwaves, from room temperature;
+/// the link's heat at 4 K scales with the instruction bandwidth (this is
+/// what Opt-6's instruction masking attacks, Fig. 18).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionLink {
+    /// Payload capacity of one digital cable in bits/s.
+    pub cable_capacity_bps: f64,
+    /// Heat load of one digital cable at 4 K in watts.
+    pub cable_load_4k_w: f64,
+}
+
+impl InstructionLink {
+    /// Standard link: 6 Gb/s per lane over 300 K coax (1 mW at 4 K each).
+    pub fn standard() -> Self {
+        InstructionLink { cable_capacity_bps: 6.0e9, cable_load_4k_w: 1.0 * MILLI_W }
+    }
+
+    /// Number of cables needed for `bandwidth_bps` (fractional — large
+    /// systems bundle thousands of lanes, so quantization is negligible).
+    pub fn cables_for(&self, bandwidth_bps: f64) -> f64 {
+        assert!(bandwidth_bps >= 0.0, "bandwidth must be non-negative");
+        bandwidth_bps / self.cable_capacity_bps
+    }
+
+    /// Heat dissipated at 4 K to deliver `bandwidth_bps`, in watts.
+    pub fn power_4k_w(&self, bandwidth_bps: f64) -> f64 {
+        self.cables_for(bandwidth_bps) * self.cable_load_4k_w
+    }
+}
+
+impl Default for InstructionLink {
+    fn default() -> Self {
+        InstructionLink::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_coax_values() {
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-9 * b.abs().max(1.0);
+        assert!(close(WireKind::Coax.passive_load_w(Stage::K4), 1e-3));
+        assert!(close(WireKind::Coax.passive_load_w(Stage::Mk100), 400e-9));
+        assert!(close(WireKind::Coax.passive_load_w(Stage::Mk20), 13e-9));
+        assert!(close(WireKind::Coax.active_load_w(Stage::Mk100), 7.9e-9));
+    }
+
+    #[test]
+    fn superconducting_coax_is_7p4x_lighter() {
+        for s in [Stage::K4, Stage::Mk100, Stage::Mk20] {
+            let ratio = WireKind::Coax.passive_load_w(s) / WireKind::SuperconductingCoax.passive_load_w(s);
+            assert!((ratio - 7.4).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn photonic_pd_dominates_at_20mk() {
+        let passive = WireKind::PhotonicLink.passive_load_w(Stage::Mk20);
+        let active = WireKind::PhotonicLink.active_load_w(Stage::Mk20);
+        assert!(active / passive > 1e5);
+        assert!((active - 790e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duty_cycle_scales_active_only() {
+        let full = WireKind::Microstrip.load_w(Stage::Mk100, 1.0);
+        let idle = WireKind::Microstrip.load_w(Stage::Mk100, 0.0);
+        assert!((idle - 210e-9).abs() < 1e-12);
+        assert!((full - idle - 7.9e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn microstrip_lighter_than_coax_everywhere() {
+        for s in [Stage::K4, Stage::Mk100, Stage::Mk20] {
+            assert!(WireKind::Microstrip.passive_load_w(s) < WireKind::Coax.passive_load_w(s));
+        }
+    }
+
+    #[test]
+    fn span_classification() {
+        assert!(WireKind::Coax.spans_room_to_mk());
+        assert!(WireKind::PhotonicLink.spans_room_to_mk());
+        assert!(!WireKind::SuperconductingCoax.spans_room_to_mk());
+    }
+
+    #[test]
+    fn instruction_link_power_scales_linearly() {
+        let link = InstructionLink::standard();
+        let p1 = link.power_4k_w(6.0e9);
+        assert!((p1 - 1e-3).abs() < 1e-12);
+        assert!((link.power_4k_w(60.0e9) - 10.0 * p1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle must be in")]
+    fn bad_duty_panics() {
+        let _ = WireKind::Coax.load_w(Stage::K4, 1.5);
+    }
+}

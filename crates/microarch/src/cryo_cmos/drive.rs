@@ -1,0 +1,386 @@
+//! 4 K CMOS drive circuit (Fig. 4a/4b).
+//!
+//! The drive circuit turns a gate instruction into an I/Q sample stream:
+//! per-qubit NCOs track each qubit's rotating frame, the gate table +
+//! envelope memory supply the pulse shape `A[n], Φ_G[n]`, and the polar
+//! modulation unit forms `I/Q[n] = A[n]·cos/sin(ω·n + Φ_Q + Φ_G[n])`
+//! (Eq. (1) of the paper).
+//!
+//! Two pieces are **new designs** the paper contributes on top of Horse
+//! Ridge I (and that we therefore implement behaviorally, not just as power
+//! inventories):
+//!
+//! * **virtual `Rz(φ)`** — realized by adding φ to the target qubit's NCO
+//!   phase accumulator instead of playing a microwave;
+//! * **Z-correction** — after any `Rx/Ry` on one qubit of an FDM group, the
+//!   AC-Stark phase shifts incurred by the *other* qubits are compensated
+//!   from a per-qubit correction table.
+
+use crate::inventory::{Component, Resource};
+use qisim_hal::analog;
+use qisim_hal::cmos::CmosTech;
+use qisim_hal::fridge::Stage;
+use std::f64::consts::PI;
+
+/// Phase accumulator width in bits (phase resolution `2π/2^24`).
+pub const PHASE_BITS: u32 = 24;
+
+/// A behavioral numerically-controlled oscillator with the paper's
+/// virtual-Rz datapath and Z-correction table.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_microarch::cryo_cmos::drive::Nco;
+/// use std::f64::consts::PI;
+///
+/// let mut nco = Nco::new(0.1); // 0.1 rad per clock cycle
+/// nco.tick();
+/// nco.virtual_rz(PI / 2.0);
+/// assert!((nco.phase() - (0.1 + PI / 2.0)).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nco {
+    /// Frequency control word: phase increment per clock in radians.
+    omega_per_cycle: f64,
+    /// Accumulated phase `Φ_Q`, wrapped to `[0, 2π)` and quantized to
+    /// [`PHASE_BITS`].
+    phase_acc: u64,
+}
+
+const PHASE_LEVELS: u64 = 1 << PHASE_BITS;
+
+fn quantize_phase(rad: f64) -> u64 {
+    let turns = rad / (2.0 * PI);
+    let frac = turns.rem_euclid(1.0);
+    ((frac * PHASE_LEVELS as f64).round() as u64) % PHASE_LEVELS
+}
+
+impl Nco {
+    /// Creates an NCO with the given per-cycle phase increment (radians).
+    pub fn new(omega_per_cycle: f64) -> Self {
+        Nco { omega_per_cycle, phase_acc: 0 }
+    }
+
+    /// Advances the accumulator by one clock cycle.
+    pub fn tick(&mut self) {
+        self.phase_acc = (self.phase_acc + quantize_phase(self.omega_per_cycle)) % PHASE_LEVELS;
+    }
+
+    /// Advances by `n` cycles.
+    pub fn tick_n(&mut self, n: u64) {
+        self.phase_acc =
+            (self.phase_acc + n.wrapping_mul(quantize_phase(self.omega_per_cycle))) % PHASE_LEVELS;
+    }
+
+    /// The virtual-Rz datapath: adds `phi` radians directly to the phase
+    /// accumulator (the paper's `Rz mode = 1` path, Fig. 4b).
+    pub fn virtual_rz(&mut self, phi: f64) {
+        self.phase_acc = (self.phase_acc + quantize_phase(phi)) % PHASE_LEVELS;
+    }
+
+    /// Current accumulated phase in radians `[0, 2π)`.
+    pub fn phase(&self) -> f64 {
+        self.phase_acc as f64 / PHASE_LEVELS as f64 * 2.0 * PI
+    }
+
+    /// Phase quantization step in radians.
+    pub fn resolution(&self) -> f64 {
+        2.0 * PI / PHASE_LEVELS as f64
+    }
+}
+
+/// The Z-correction table (Fig. 4b): for each (driven qubit, victim qubit)
+/// pair of an FDM group, the AC-Stark phase to add to the victim's NCO when
+/// the driven qubit receives an `Rx/Ry`.
+#[derive(Debug, Clone)]
+pub struct ZCorrectionTable {
+    group: usize,
+    /// `phi[driven][victim]` in radians; diagonal entries are zero.
+    phi: Vec<f64>,
+}
+
+impl ZCorrectionTable {
+    /// Builds a table for an FDM group of `group` qubits from the AC-Stark
+    /// model `φ = stark_coeff / |Δf|` (inverse-detuning scaling; Krantz et
+    /// al. §4.2), given the group's qubit frequencies in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs_ghz.len() != group` or any two frequencies collide.
+    pub fn from_frequencies(group: usize, freqs_ghz: &[f64], stark_coeff: f64) -> Self {
+        assert_eq!(freqs_ghz.len(), group, "need one frequency per group member");
+        let mut phi = vec![0.0; group * group];
+        for d in 0..group {
+            for v in 0..group {
+                if d == v {
+                    continue;
+                }
+                let df = (freqs_ghz[d] - freqs_ghz[v]).abs();
+                assert!(df > 1e-9, "qubits {d} and {v} share a frequency");
+                phi[d * group + v] = stark_coeff / df;
+            }
+        }
+        ZCorrectionTable { group, phi }
+    }
+
+    /// Correction phase for `victim` when `driven` is driven, in radians.
+    pub fn correction(&self, driven: usize, victim: usize) -> f64 {
+        assert!(driven < self.group && victim < self.group, "index out of group");
+        self.phi[driven * self.group + victim]
+    }
+
+    /// Applies corrections for a gate on `driven` to all victims' NCOs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ncos.len() != group`.
+    pub fn apply(&self, driven: usize, ncos: &mut [Nco]) {
+        assert_eq!(ncos.len(), self.group, "one NCO per group member");
+        for (v, nco) in ncos.iter_mut().enumerate() {
+            if v != driven {
+                nco.virtual_rz(self.correction(driven, v));
+            }
+        }
+    }
+
+    /// Group size.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+}
+
+/// Generates the digital I/Q samples of Eq. (1) for a gate envelope, at a
+/// given DAC bit precision (the quantity Opt-2 reduces from 9+ to 6 bits).
+///
+/// `envelope` holds `(A[n], Φ_G[n])` pairs with `A ∈ [0, 1]`; `phase_q` is
+/// the qubit's NCO phase at gate start; `omega` is the NCO increment per
+/// sample in radians.
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `2..=16` (a 1-bit mid-tread DAC has no
+/// nonzero level).
+pub fn iq_samples(
+    envelope: &[(f64, f64)],
+    phase_q: f64,
+    omega: f64,
+    bits: u32,
+) -> Vec<(f64, f64)> {
+    assert!((2..=16).contains(&bits), "DAC precision must be 2..=16 bits");
+    let levels = (1u32 << bits) as f64 / 2.0 - 1.0; // signed mid-tread
+    let q = |x: f64| (x * levels).round() / levels;
+    envelope
+        .iter()
+        .enumerate()
+        .map(|(n, &(a, phi_g))| {
+            let theta = omega * n as f64 + phase_q + phi_g;
+            (q(a * theta.cos()), q(a * theta.sin()))
+        })
+        .collect()
+}
+
+/// A raised-cosine (Hann) pulse envelope of `samples` points with peak
+/// amplitude `amp` and constant gate phase `phi_g` — the shape QIsim uses
+/// for `Rx/Ry(φ)` drives.
+pub fn hann_envelope(samples: usize, amp: f64, phi_g: f64) -> Vec<(f64, f64)> {
+    assert!(samples >= 2, "envelope needs at least two samples");
+    (0..samples)
+        .map(|n| {
+            let x = n as f64 / (samples - 1) as f64;
+            (amp * 0.5 * (1.0 - (2.0 * PI * x).cos()), phi_g)
+        })
+        .collect()
+}
+
+/// Per-qubit envelope-memory capacity in KB (Intel's 7.65 KB/qubit spec,
+/// Section 6.1: eight drive + four pulse + one TX envelope per qubit).
+pub const ENVELOPE_MEMORY_KB: f64 = 7.65;
+
+/// Gate-equivalent count of the per-qubit NCO datapath as a function of the
+/// output bit precision: a fixed phase-accumulator/control part plus a
+/// width-proportional polar-modulation datapath. Calibrated so 14-bit →
+/// 6-bit precision cuts the drive digital power by the paper's ≈30.9 %
+/// (Opt-2, Fig. 14).
+pub fn nco_ge(bits: u32) -> f64 {
+    1800.0 + 157.0 * bits as f64
+}
+
+/// Builds the drive-circuit component inventory for one 4 K CMOS QCI.
+///
+/// * `tech` — CMOS operating point;
+/// * `bits` — DAC bit precision (baseline 14; Opt-2 uses 6);
+/// * `fdm` — qubits sharing one drive line/analog chain (baseline 32);
+/// * `gate_duty` — fraction of the ESM cycle the shared bank spends
+///   generating samples;
+/// * `per_qubit_gate_duty` — fraction of the cycle any one qubit's envelope
+///   memory is being read.
+pub fn components(
+    tech: CmosTech,
+    bits: u32,
+    fdm: u32,
+    gate_duty: f64,
+    per_qubit_gate_duty: f64,
+) -> Vec<Component> {
+    vec![
+        // Per-qubit NCO: runs every cycle to track the rotating frame
+        // (phase coherence cannot be paused), hence duty 1.0.
+        Component {
+            name: "drive NCO (per-qubit)".into(),
+            stage: Stage::K4,
+            resource: Resource::CmosLogic { tech, ge: nco_ge(bits), activity: 0.25 },
+            qubits_per_instance: 1.0,
+            duty: 1.0,
+        },
+        // Z-correction table: a small per-qubit LUT consulted at gate ends.
+        Component {
+            name: "drive Z-correction table".into(),
+            stage: Stage::K4,
+            resource: Resource::CmosSram { tech, kb: 0.25, accesses_per_cycle: 0.05 },
+            qubits_per_instance: 1.0,
+            duty: per_qubit_gate_duty,
+        },
+        // Envelope memory: read once per sample while this qubit's gate is
+        // being generated.
+        Component {
+            name: "drive envelope memory".into(),
+            stage: Stage::K4,
+            resource: Resource::CmosSram { tech, kb: ENVELOPE_MEMORY_KB, accesses_per_cycle: 1.0 },
+            qubits_per_instance: 1.0,
+            duty: per_qubit_gate_duty,
+        },
+        // Two digital banks (polar modulation, gate sequencing) shared by
+        // the FDM group.
+        Component {
+            name: "drive bank logic (shared)".into(),
+            stage: Stage::K4,
+            resource: Resource::CmosLogic { tech, ge: 6000.0 + 430.0 * bits as f64, activity: 0.25 },
+            qubits_per_instance: fdm as f64,
+            duty: gate_duty,
+        },
+        // Analog up-conversion chain, one per drive line.
+        Component {
+            name: "drive analog chain".into(),
+            stage: Stage::K4,
+            resource: Resource::Analog(analog::DRIVE_ANALOG),
+            qubits_per_instance: fdm as f64,
+            duty: gate_duty,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nco_accumulates_linearly() {
+        let mut nco = Nco::new(0.01);
+        for _ in 0..100 {
+            nco.tick();
+        }
+        assert!((nco.phase() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nco_tick_n_matches_loop() {
+        let mut a = Nco::new(0.37);
+        let mut b = Nco::new(0.37);
+        for _ in 0..1000 {
+            a.tick();
+        }
+        b.tick_n(1000);
+        assert_eq!(a.phase(), b.phase());
+    }
+
+    #[test]
+    fn virtual_rz_adds_phase_mod_2pi() {
+        let mut nco = Nco::new(0.0);
+        nco.virtual_rz(3.0 * PI); // = π mod 2π
+        assert!((nco.phase() - PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phase_resolution_is_2pi_over_2p24() {
+        let nco = Nco::new(0.0);
+        assert!((nco.resolution() - 2.0 * PI / (1 << 24) as f64).abs() < 1e-18);
+    }
+
+    #[test]
+    fn z_correction_scales_inverse_with_detuning() {
+        let t = ZCorrectionTable::from_frequencies(3, &[5.0, 5.1, 5.3], 0.01);
+        // Victim closer in frequency gets a larger correction.
+        assert!(t.correction(0, 1) > t.correction(0, 2));
+        assert_eq!(t.correction(1, 1), 0.0);
+    }
+
+    #[test]
+    fn z_correction_applies_to_victims_only() {
+        let t = ZCorrectionTable::from_frequencies(2, &[5.0, 5.2], 0.02);
+        let mut ncos = vec![Nco::new(0.0), Nco::new(0.0)];
+        t.apply(0, &mut ncos);
+        assert_eq!(ncos[0].phase(), 0.0);
+        assert!((ncos[1].phase() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a frequency")]
+    fn degenerate_frequencies_panic() {
+        let _ = ZCorrectionTable::from_frequencies(2, &[5.0, 5.0], 0.01);
+    }
+
+    #[test]
+    fn iq_samples_respect_precision() {
+        let env = hann_envelope(16, 1.0, 0.0);
+        let s = iq_samples(&env, 0.3, 0.2, 6);
+        let levels = (1u32 << 6) as f64 / 2.0 - 1.0;
+        for (i, q) in &s {
+            let ri = i * levels;
+            let rq = q * levels;
+            assert!((ri - ri.round()).abs() < 1e-9);
+            assert!((rq - rq.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_bits_give_smaller_quantization_error() {
+        let env = hann_envelope(64, 0.8, 0.4);
+        let fine = iq_samples(&env, 0.1, 0.07, 14);
+        let coarse = iq_samples(&env, 0.1, 0.07, 4);
+        let err = |s: &[(f64, f64)]| -> f64 {
+            env.iter()
+                .zip(s)
+                .enumerate()
+                .map(|(n, (&(a, pg), &(i, q)))| {
+                    let th = 0.07 * n as f64 + 0.1 + pg;
+                    ((a * th.cos() - i).powi(2) + (a * th.sin() - q).powi(2)).sqrt()
+                })
+                .sum()
+        };
+        assert!(err(&fine) < 0.1 * err(&coarse));
+    }
+
+    #[test]
+    fn hann_envelope_starts_and_ends_at_zero() {
+        let e = hann_envelope(32, 1.0, 0.0);
+        assert!(e[0].0.abs() < 1e-12);
+        assert!(e[31].0.abs() < 1e-12);
+        let peak = e.iter().map(|p| p.0).fold(0.0f64, f64::max);
+        assert!((peak - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn opt2_precision_cut_is_about_31_pct() {
+        let ratio = 1.0 - nco_ge(6) / nco_ge(14);
+        assert!((ratio - 0.309).abs() < 0.02, "drive GE cut {ratio}");
+    }
+
+    #[test]
+    fn inventory_has_per_qubit_and_shared_parts() {
+        let cs = components(CmosTech::baseline_4k(), 14, 32, 0.36, 0.045);
+        let nco = cs.iter().find(|c| c.name.contains("NCO")).unwrap();
+        assert_eq!(nco.qubits_per_instance, 1.0);
+        let bank = cs.iter().find(|c| c.name.contains("bank")).unwrap();
+        assert_eq!(bank.qubits_per_instance, 32.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! 4 K CMOS pulse circuit — the paper's **new** arbitrary-ramp design
+//! (Fig. 4c).
+//!
+//! Horse Ridge II's pulse circuit can only hold one amplitude for a counted
+//! length (a unit-step pulse), which the paper's Hamiltonian simulations
+//! show "almost cannot realize the CZ gate". The new design stores a series
+//! of `(amplitude, length)` runs per neighbor direction, so the short
+//! ramp-up/ramp-down of a flux pulse is arbitrary while the flat top stays
+//! a single run — giving AWG quality with negligible memory.
+
+use crate::inventory::{Component, Resource};
+use qisim_hal::analog;
+use qisim_hal::cmos::CmosTech;
+use qisim_hal::fridge::Stage;
+
+/// One `(amplitude, length)` run of the pulse-amplitude memory.
+/// Amplitude is a signed fraction of full scale in `[-1, 1]`; length is in
+/// clock cycles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AmplitudeRun {
+    /// DAC amplitude as a fraction of full scale.
+    pub amplitude: f64,
+    /// Run length in clock cycles.
+    pub length: u32,
+}
+
+/// The four neighbor directions of a qubit in the 2D lattice — the 2-bit
+/// *CZ target* field of the pulse ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CzTarget {
+    /// Neighbor in +x.
+    East,
+    /// Neighbor in −x.
+    West,
+    /// Neighbor in +y.
+    North,
+    /// Neighbor in −y.
+    South,
+}
+
+impl CzTarget {
+    /// All four directions.
+    pub const ALL: [CzTarget; 4] = [CzTarget::East, CzTarget::West, CzTarget::North, CzTarget::South];
+
+    /// 2-bit ISA encoding.
+    pub fn encode(self) -> u8 {
+        match self {
+            CzTarget::East => 0,
+            CzTarget::West => 1,
+            CzTarget::North => 2,
+            CzTarget::South => 3,
+        }
+    }
+
+    /// Decodes the 2-bit field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code > 3`.
+    pub fn decode(code: u8) -> Self {
+        match code {
+            0 => CzTarget::East,
+            1 => CzTarget::West,
+            2 => CzTarget::North,
+            3 => CzTarget::South,
+            _ => panic!("CZ target is a 2-bit field, got {code}"),
+        }
+    }
+}
+
+/// Behavioral model of the new pulse sequencer: per-neighbor run tables
+/// played out sample by sample.
+#[derive(Debug, Clone)]
+pub struct PulseSequencer {
+    /// Run tables per neighbor direction.
+    tables: [Vec<AmplitudeRun>; 4],
+    /// DAC bit precision.
+    bits: u32,
+}
+
+impl PulseSequencer {
+    /// Creates a sequencer with empty tables at the given DAC precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=16`.
+    pub fn new(bits: u32) -> Self {
+        assert!((2..=16).contains(&bits), "DAC precision must be 2..=16 bits");
+        PulseSequencer { tables: Default::default(), bits }
+    }
+
+    /// Loads the run table for one neighbor direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any run has zero length or amplitude outside `[-1, 1]`.
+    pub fn load(&mut self, target: CzTarget, runs: Vec<AmplitudeRun>) {
+        for r in &runs {
+            assert!(r.length > 0, "zero-length run");
+            assert!((-1.0..=1.0).contains(&r.amplitude), "amplitude out of range");
+        }
+        self.tables[target.encode() as usize] = runs;
+    }
+
+    /// Plays out the pulse toward `target` and returns the quantized DAC
+    /// samples (one per clock cycle). This is the paper's
+    /// read-amplitude/count-length/advance-address loop.
+    pub fn play(&self, target: CzTarget) -> Vec<f64> {
+        let levels = (1u32 << self.bits) as f64 / 2.0 - 1.0;
+        let q = |x: f64| (x * levels).round() / levels;
+        let mut out = Vec::new();
+        for run in &self.tables[target.encode() as usize] {
+            for _ in 0..run.length {
+                out.push(q(run.amplitude));
+            }
+        }
+        out
+    }
+
+    /// Total pulse length toward `target` in clock cycles.
+    pub fn pulse_cycles(&self, target: CzTarget) -> u64 {
+        self.tables[target.encode() as usize].iter().map(|r| r.length as u64).sum()
+    }
+
+    /// Memory footprint of all loaded tables in bits (amplitude `bits` +
+    /// 8-bit length per run) — the "negligible overhead" claim of §3.3.2.
+    pub fn memory_bits(&self) -> u64 {
+        let runs: u64 = self.tables.iter().map(|t| t.len() as u64).sum();
+        runs * (self.bits as u64 + 8)
+    }
+}
+
+/// Builds an erf-like ramp + flat-top run table: `ramp_runs` quantized ramp
+/// steps up, one plateau run, `ramp_runs` steps down.
+///
+/// # Panics
+///
+/// Panics if `ramp_runs == 0` or `plateau_cycles == 0`.
+pub fn ramped_pulse(
+    peak: f64,
+    ramp_runs: u32,
+    ramp_cycles_per_run: u32,
+    plateau_cycles: u32,
+) -> Vec<AmplitudeRun> {
+    assert!(ramp_runs > 0 && plateau_cycles > 0, "degenerate pulse");
+    let mut runs = Vec::with_capacity(2 * ramp_runs as usize + 1);
+    for k in 1..=ramp_runs {
+        // Smooth (cosine) ramp profile sampled at run midpoints.
+        let x = (k as f64 - 0.5) / ramp_runs as f64;
+        let a = peak * 0.5 * (1.0 - (std::f64::consts::PI * x).cos());
+        runs.push(AmplitudeRun { amplitude: a, length: ramp_cycles_per_run });
+    }
+    runs.push(AmplitudeRun { amplitude: peak, length: plateau_cycles });
+    for k in (1..=ramp_runs).rev() {
+        let x = (k as f64 - 0.5) / ramp_runs as f64;
+        let a = peak * 0.5 * (1.0 - (std::f64::consts::PI * x).cos());
+        runs.push(AmplitudeRun { amplitude: a, length: ramp_cycles_per_run });
+    }
+    runs
+}
+
+/// The unit-step pulse of the *existing* Horse Ridge II design (baseline
+/// for the CZ-error comparison): a single full-amplitude run.
+pub fn unit_step_pulse(peak: f64, cycles: u32) -> Vec<AmplitudeRun> {
+    vec![AmplitudeRun { amplitude: peak, length: cycles }]
+}
+
+/// Builds the pulse-circuit component inventory (per-qubit, §3.3.2).
+pub fn components(tech: CmosTech, cz_duty: f64) -> Vec<Component> {
+    vec![
+        Component {
+            name: "pulse sequencer logic".into(),
+            stage: Stage::K4,
+            resource: Resource::CmosLogic { tech, ge: 900.0, activity: 0.25 },
+            qubits_per_instance: 1.0,
+            duty: cz_duty,
+        },
+        Component {
+            name: "pulse amplitude memory".into(),
+            stage: Stage::K4,
+            resource: Resource::CmosSram { tech, kb: 1.0, accesses_per_cycle: 1.0 },
+            qubits_per_instance: 1.0,
+            duty: cz_duty,
+        },
+        Component {
+            name: "pulse DAC".into(),
+            stage: Stage::K4,
+            resource: Resource::Analog(analog::PULSE_ANALOG),
+            qubits_per_instance: 1.0,
+            duty: cz_duty,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cz_target_roundtrip() {
+        for t in CzTarget::ALL {
+            assert_eq!(CzTarget::decode(t.encode()), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2-bit field")]
+    fn bad_cz_code_panics() {
+        let _ = CzTarget::decode(4);
+    }
+
+    #[test]
+    fn sequencer_plays_run_lengths() {
+        let mut seq = PulseSequencer::new(8);
+        seq.load(CzTarget::North, ramped_pulse(0.8, 4, 5, 60));
+        let samples = seq.play(CzTarget::North);
+        assert_eq!(samples.len() as u64, seq.pulse_cycles(CzTarget::North));
+        assert_eq!(samples.len(), 4 * 5 + 60 + 4 * 5);
+        // Plateau holds the quantized peak.
+        let mid = samples[4 * 5 + 30];
+        assert!((mid - 0.8).abs() < 1.0 / 127.0);
+    }
+
+    #[test]
+    fn ramp_is_monotone_up_then_down() {
+        let runs = ramped_pulse(1.0, 6, 2, 10);
+        for w in runs[..6].windows(2) {
+            assert!(w[1].amplitude > w[0].amplitude);
+        }
+        for w in runs[7..].windows(2) {
+            assert!(w[1].amplitude < w[0].amplitude);
+        }
+        assert_eq!(runs[6].amplitude, 1.0);
+    }
+
+    #[test]
+    fn unit_step_is_single_run() {
+        let runs = unit_step_pulse(0.5, 125);
+        assert_eq!(runs.len(), 1);
+        let mut seq = PulseSequencer::new(10);
+        seq.load(CzTarget::East, runs);
+        assert_eq!(seq.play(CzTarget::East).len(), 125);
+    }
+
+    #[test]
+    fn memory_overhead_is_negligible() {
+        // A 50 ns CZ at 2.5 GHz is 125 cycles; an 8-run ramp each side +
+        // plateau stores 17 runs ≈ 38 bytes — versus 125 raw samples.
+        let mut seq = PulseSequencer::new(10);
+        seq.load(CzTarget::East, ramped_pulse(0.7, 8, 2, 93));
+        let raw_bits = 125 * 10;
+        assert!(seq.memory_bits() < raw_bits / 3, "memory {} bits", seq.memory_bits());
+    }
+
+    #[test]
+    fn empty_direction_plays_nothing() {
+        let seq = PulseSequencer::new(8);
+        assert!(seq.play(CzTarget::West).is_empty());
+        assert_eq!(seq.pulse_cycles(CzTarget::West), 0);
+    }
+
+    #[test]
+    fn inventory_is_per_qubit() {
+        for c in components(CmosTech::baseline_4k(), 0.18) {
+            assert_eq!(c.qubits_per_instance, 1.0, "{}", c.name);
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! 4 K CMOS RX (readout-analysis) circuit (§3.3.4) and state-decision
+//! units, including the Opt-1 memoryless redesign.
+//!
+//! The RX chain down-converts the reflected multi-tone microwave, extracts
+//! per-qubit DC I/Q samples, and feeds a *state-decision unit*:
+//!
+//! * **bin counting** (Horse Ridge II baseline): 7-bit-quantize each I/Q
+//!   sample, count occupancy of every (I,Q) coordinate in a 32 KB per-qubit
+//!   memory, and at the end compare the counts on the two sides of the
+//!   state-discriminating line;
+//! * **single point**: average all samples and compare the mean's side;
+//! * **Opt-1 memoryless**: compare each sample against the line as it
+//!   arrives and keep only a signed 32-bit counter — same decision as bin
+//!   counting, 88 % less RX power (Fig. 14a).
+
+use crate::inventory::{Component, Resource};
+use qisim_hal::analog;
+use qisim_hal::cmos::CmosTech;
+use qisim_hal::fridge::Stage;
+
+/// Bin-plane resolution (7-bit I × 7-bit Q, 16-bit counters → 32 KB), the
+/// error-saturating point per §6.3.1.
+pub const BIN_PLANE_BITS: u32 = 7;
+/// Per-qubit bin-counter memory in KB.
+pub const BIN_MEMORY_KB: f64 = 32.0;
+
+/// The state-discriminating line in the I/Q plane: points with
+/// `(p − anchor)·normal > 0` are classified as `|1⟩`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscriminatingLine {
+    /// A point on the line.
+    pub anchor: (f64, f64),
+    /// The normal direction (need not be normalized).
+    pub normal: (f64, f64),
+}
+
+impl DiscriminatingLine {
+    /// Perpendicular bisector of the two pointer states: the optimal line
+    /// for symmetric Gaussian noise.
+    pub fn between(p0: (f64, f64), p1: (f64, f64)) -> Self {
+        DiscriminatingLine {
+            anchor: ((p0.0 + p1.0) / 2.0, (p0.1 + p1.1) / 2.0),
+            normal: (p1.0 - p0.0, p1.1 - p0.1),
+        }
+    }
+
+    /// Signed distance proxy of a sample (positive ⇒ `|1⟩` side).
+    pub fn side(&self, p: (f64, f64)) -> f64 {
+        (p.0 - self.anchor.0) * self.normal.0 + (p.1 - self.anchor.1) * self.normal.1
+    }
+}
+
+/// A state-decision outcome with the sample-count difference the multi-round
+/// scheme (Opt-7) thresholds on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Assigned qubit state.
+    pub excited: bool,
+    /// `#(|1⟩-side samples) − #(|0⟩-side samples)` (bin/memoryless) or the
+    /// signed mean projection (single point) — the decision confidence.
+    pub confidence: f64,
+}
+
+/// Quantizes a sample to the bin plane's 7-bit grid over `[-full, full]`.
+fn quantize(v: f64, full: f64) -> f64 {
+    let levels = (1u32 << BIN_PLANE_BITS) as f64;
+    let x = (v / full).clamp(-1.0, 1.0);
+    (x * (levels / 2.0 - 1.0)).round() / (levels / 2.0 - 1.0) * full
+}
+
+/// Bin-counting decision (Horse Ridge II): builds the (I,Q) occupancy
+/// histogram, then counts samples on each side of the line.
+///
+/// `full_scale` sets the ADC range for the 7-bit quantization.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn bin_counting(
+    samples: &[(f64, f64)],
+    line: &DiscriminatingLine,
+    full_scale: f64,
+) -> Decision {
+    assert!(!samples.is_empty(), "readout produced no samples");
+    use std::collections::HashMap;
+    let mut bins: HashMap<(i32, i32), u32> = HashMap::new();
+    let levels = (1u32 << BIN_PLANE_BITS) as f64 / 2.0 - 1.0;
+    for &(i, q) in samples {
+        let ki = ((i / full_scale).clamp(-1.0, 1.0) * levels).round() as i32;
+        let kq = ((q / full_scale).clamp(-1.0, 1.0) * levels).round() as i32;
+        *bins.entry((ki, kq)).or_insert(0) += 1;
+    }
+    let mut diff: i64 = 0;
+    for ((ki, kq), n) in bins {
+        let p = (ki as f64 / levels * full_scale, kq as f64 / levels * full_scale);
+        if line.side(p) > 0.0 {
+            diff += n as i64;
+        } else {
+            diff -= n as i64;
+        }
+    }
+    Decision { excited: diff > 0, confidence: diff as f64 }
+}
+
+/// Opt-1 memoryless decision: same per-sample compare as bin counting but
+/// with only a running signed counter (no 32 KB memory).
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn memoryless(samples: &[(f64, f64)], line: &DiscriminatingLine, full_scale: f64) -> Decision {
+    assert!(!samples.is_empty(), "readout produced no samples");
+    let mut diff: i64 = 0;
+    for &(i, q) in samples {
+        let p = (quantize(i, full_scale), quantize(q, full_scale));
+        if line.side(p) > 0.0 {
+            diff += 1;
+        } else {
+            diff -= 1;
+        }
+    }
+    Decision { excited: diff > 0, confidence: diff as f64 }
+}
+
+/// Single-point decision: average all I/Q samples and classify the mean.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn single_point(samples: &[(f64, f64)], line: &DiscriminatingLine) -> Decision {
+    assert!(!samples.is_empty(), "readout produced no samples");
+    let n = samples.len() as f64;
+    let mean = (
+        samples.iter().map(|s| s.0).sum::<f64>() / n,
+        samples.iter().map(|s| s.1).sum::<f64>() / n,
+    );
+    let proj = line.side(mean);
+    Decision { excited: proj > 0.0, confidence: proj }
+}
+
+/// Which decision unit an RX circuit instantiates (power differs; Fig. 14a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecisionKind {
+    /// Horse Ridge II bin-counting memory (baseline).
+    BinCounting,
+    /// Single-point averaging.
+    SinglePoint,
+    /// Opt-1: memoryless comparator + 32-bit counter.
+    Memoryless,
+}
+
+/// Builds the RX component inventory for the chosen decision unit.
+///
+/// `bank_duty` is the fraction of the ESM cycle any one qubit's digital
+/// bank is active (ancillas only, so ~0.5 × readout fraction);
+/// `line_duty` is the fraction the shared analog line carries signal.
+pub fn components(
+    tech: CmosTech,
+    decision: DecisionKind,
+    bank_duty: f64,
+    line_duty: f64,
+) -> Vec<Component> {
+    let mut cs = vec![
+        // Per-qubit digital bank: NCO + sin/cos LUT + down mixer + I/Q
+        // accumulators.
+        Component {
+            name: "RX NCO+mixer bank".into(),
+            stage: Stage::K4,
+            resource: Resource::CmosLogic { tech, ge: 9000.0, activity: 0.25 },
+            qubits_per_instance: 1.0,
+            duty: bank_duty,
+        },
+        // Shared analog per RX line.
+        Component {
+            name: "RX analog chain".into(),
+            stage: Stage::K4,
+            resource: Resource::Analog(analog::RX_ANALOG),
+            qubits_per_instance: 8.0,
+            duty: line_duty,
+        },
+        Component {
+            name: "RX HEMT LNA".into(),
+            stage: Stage::K4,
+            resource: Resource::Analog(analog::HEMT_LNA),
+            qubits_per_instance: 8.0,
+            duty: line_duty,
+        },
+        Component {
+            name: "RX TWPA pump".into(),
+            stage: Stage::Mk100,
+            resource: Resource::Analog(analog::TWPA),
+            qubits_per_instance: 8.0,
+            duty: line_duty,
+        },
+    ];
+    match decision {
+        DecisionKind::BinCounting => {
+            cs.push(Component {
+                name: "RX decision bin-counter memory".into(),
+                stage: Stage::K4,
+                resource: Resource::CmosSram {
+                    tech,
+                    kb: BIN_MEMORY_KB,
+                    // Read-modify-write per sample ("twice per cycle").
+                    accesses_per_cycle: 2.0,
+                },
+                qubits_per_instance: 1.0,
+                duty: bank_duty,
+            });
+            // Address generation, counter update, and the end-of-readout
+            // plane sweep/compare — the bulk of the decision unit.
+            cs.push(Component {
+                name: "RX decision control".into(),
+                stage: Stage::K4,
+                resource: Resource::CmosLogic { tech, ge: 53000.0, activity: 0.25 },
+                qubits_per_instance: 1.0,
+                duty: bank_duty,
+            });
+        }
+        DecisionKind::SinglePoint => {
+            cs.push(Component {
+                name: "RX decision averager".into(),
+                stage: Stage::K4,
+                resource: Resource::CmosLogic { tech, ge: 1200.0, activity: 0.25 },
+                qubits_per_instance: 1.0,
+                duty: bank_duty,
+            });
+        }
+        DecisionKind::Memoryless => {
+            cs.push(Component {
+                name: "RX decision comparator".into(),
+                stage: Stage::K4,
+                resource: Resource::CmosLogic { tech, ge: 700.0, activity: 0.25 },
+                qubits_per_instance: 1.0,
+                duty: bank_duty,
+            });
+        }
+    }
+    cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> DiscriminatingLine {
+        DiscriminatingLine::between((-1.0, 0.0), (1.0, 0.0))
+    }
+
+    fn cloud(center: (f64, f64), spread: f64, n: usize) -> Vec<(f64, f64)> {
+        // Deterministic pseudo-noise (LCG) — unit tests must not depend on
+        // rand seeding.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| (center.0 + spread * next(), center.1 + spread * next())).collect()
+    }
+
+    #[test]
+    fn all_methods_agree_on_clean_clouds() {
+        let l = line();
+        for (c, expect) in [((0.8, 0.1), true), ((-0.8, -0.1), false)] {
+            let s = cloud(c, 0.2, 200);
+            assert_eq!(bin_counting(&s, &l, 2.0).excited, expect);
+            assert_eq!(memoryless(&s, &l, 2.0).excited, expect);
+            assert_eq!(single_point(&s, &l).excited, expect);
+        }
+    }
+
+    #[test]
+    fn memoryless_matches_bin_counting_decision() {
+        // The Opt-1 claim: same precision and functionality without memory.
+        let l = line();
+        for seed_center in [(0.05, 0.0), (-0.03, 0.1), (0.6, -0.4)] {
+            let s = cloud(seed_center, 1.0, 301);
+            let a = bin_counting(&s, &l, 2.0);
+            let b = memoryless(&s, &l, 2.0);
+            assert_eq!(a.excited, b.excited);
+            assert_eq!(a.confidence, b.confidence);
+        }
+    }
+
+    #[test]
+    fn confidence_is_near_zero_for_ambiguous_clouds() {
+        let l = line();
+        let s = cloud((0.0, 0.0), 1.0, 400);
+        let d = memoryless(&s, &l, 2.0);
+        assert!(d.confidence.abs() < 100.0, "ambiguous cloud diff {}", d.confidence);
+        let clear = memoryless(&cloud((0.9, 0.0), 0.1, 400), &l, 2.0);
+        assert_eq!(clear.confidence, 400.0);
+    }
+
+    #[test]
+    fn discriminating_line_bisects() {
+        let l = DiscriminatingLine::between((0.0, -1.0), (0.0, 1.0));
+        assert!(l.side((0.0, 0.5)) > 0.0);
+        assert!(l.side((0.0, -0.5)) < 0.0);
+        assert_eq!(l.side((5.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn bin_memory_matches_paper_spec() {
+        // (2^7 × 2^7 coordinates) × 16-bit counters = 32 KB.
+        let bytes = (1u64 << BIN_PLANE_BITS) * (1u64 << BIN_PLANE_BITS) * 2;
+        assert_eq!(bytes, 32 * 1024);
+        assert_eq!(BIN_MEMORY_KB, 32.0);
+    }
+
+    #[test]
+    fn opt1_slashes_rx_decision_power() {
+        let tech = CmosTech::baseline_4k();
+        let power = |kind| -> f64 {
+            components(tech, kind, 0.23, 0.46)
+                .iter()
+                .filter(|c| c.name.starts_with("RX decision"))
+                .map(|c| c.power_w(2.5e9))
+                .sum()
+        };
+        let base = power(DecisionKind::BinCounting);
+        let opt = power(DecisionKind::Memoryless);
+        assert!(opt < 0.05 * base, "memoryless {opt} vs bin {base}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_samples_panic() {
+        let _ = single_point(&[], &line());
+    }
+}

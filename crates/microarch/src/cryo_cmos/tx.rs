@@ -1,0 +1,93 @@
+//! 4 K CMOS TX (readout-drive) circuit (§3.3.3).
+//!
+//! Reproduces Horse Ridge II's TX with the FDM level of the state-of-the-art
+//! CMOS readout (Kang et al.): eight digital banks — each an NCO plus a
+//! sin/cos LUT tuned to one resonator — generate a multi-tone microwave on
+//! a single TX line for eight parallel readouts.
+
+use crate::inventory::{Component, Resource};
+use qisim_hal::analog;
+use qisim_hal::cmos::CmosTech;
+use qisim_hal::fridge::Stage;
+
+/// Readout FDM degree of the baseline (eight resonators per TX/RX line).
+pub const READOUT_FDM: u32 = 8;
+
+/// Behavioral multi-tone synthesizer: sums the enabled banks' tones.
+///
+/// `tones` is `(omega_per_sample_rad, phase_rad, enabled)` per bank;
+/// returns `samples` time-domain points of the summed waveform, normalized
+/// by the bank count so full scale is `[-1, 1]`.
+pub fn multi_tone(tones: &[(f64, f64, bool)], samples: usize) -> Vec<f64> {
+    assert!(!tones.is_empty(), "need at least one bank");
+    let norm = tones.len() as f64;
+    (0..samples)
+        .map(|n| {
+            tones
+                .iter()
+                .filter(|t| t.2)
+                .map(|&(w, p, _)| (w * n as f64 + p).cos())
+                .sum::<f64>()
+                / norm
+        })
+        .collect()
+}
+
+/// Builds the TX component inventory.
+pub fn components(tech: CmosTech, readout_duty: f64) -> Vec<Component> {
+    vec![
+        // Eight per-resonator banks (NCO + sin/cos LUT) per TX line.
+        Component {
+            name: "TX digital banks".into(),
+            stage: Stage::K4,
+            resource: Resource::CmosLogic {
+                tech,
+                ge: 1500.0 * READOUT_FDM as f64,
+                activity: 0.25,
+            },
+            qubits_per_instance: READOUT_FDM as f64,
+            duty: readout_duty,
+        },
+        Component {
+            name: "TX analog chain".into(),
+            stage: Stage::K4,
+            resource: Resource::Analog(analog::TX_ANALOG),
+            qubits_per_instance: READOUT_FDM as f64,
+            duty: readout_duty,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tone_is_cosine() {
+        let w = 0.3;
+        let s = multi_tone(&[(w, 0.0, true)], 50);
+        for (n, v) in s.iter().enumerate() {
+            assert!((v - (w * n as f64).cos()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn disabled_banks_are_silent() {
+        let s = multi_tone(&[(0.3, 0.0, false), (0.5, 0.0, false)], 20);
+        assert!(s.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn multi_tone_stays_in_range() {
+        let tones: Vec<_> = (0..8).map(|k| (0.1 + 0.07 * k as f64, 0.3 * k as f64, true)).collect();
+        let s = multi_tone(&tones, 500);
+        assert!(s.iter().all(|v| v.abs() <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn inventory_shares_per_eight() {
+        for c in components(CmosTech::baseline_4k(), 0.46) {
+            assert_eq!(c.qubits_per_instance, 8.0, "{}", c.name);
+        }
+    }
+}

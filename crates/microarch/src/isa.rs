@@ -1,0 +1,253 @@
+//! Instruction-set encodings and 300K→4K bandwidth accounting.
+//!
+//! Every QCI circuit receives its instructions from the room-temperature
+//! quantum control processor. For 4 K QCIs that traffic crosses the fridge
+//! boundary on digital cables whose heat scales with bandwidth — the
+//! bottleneck Opt-6 (FTQC-friendly instruction masking, Fig. 18) attacks by
+//! compressing the Horse-Ridge-style 42-bit per-gate encoding into an
+//! *instruction select* plus a *per-qubit mask*, and by fusing the
+//! `H·Rz(nπ/4)` pairs of lattice surgery into single `Ry(π/2)·Rz(nπ/4)`
+//! instructions.
+
+/// A fixed-width instruction field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: &'static str,
+    /// Width in bits.
+    pub bits: u32,
+}
+
+/// An instruction format: a list of fields, possibly plus a per-qubit mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsaFormat {
+    /// Format name.
+    pub name: &'static str,
+    /// Fixed fields sent once per instruction.
+    pub fields: Vec<Field>,
+    /// Bits sent per *qubit in the group* per instruction (mask bits).
+    pub mask_bits_per_qubit: u32,
+}
+
+impl IsaFormat {
+    /// Total fixed bits per instruction (excluding the mask).
+    pub fn fixed_bits(&self) -> u32 {
+        self.fields.iter().map(|f| f.bits).sum()
+    }
+
+    /// Bits on the wire for one instruction addressing a group of
+    /// `group_qubits` qubits.
+    pub fn bits_per_instruction(&self, group_qubits: u32) -> u32 {
+        self.fixed_bits() + self.mask_bits_per_qubit * group_qubits
+    }
+
+    /// Horse Ridge I-style single-qubit drive instruction (Fig. 4a):
+    /// `start time(16) | target qubit(5) | gate address(10) | Rz mode(1) |
+    /// bank select(2) | parity/framing(8)` = 42 bits, addressing one qubit.
+    pub fn horse_ridge_drive() -> Self {
+        IsaFormat {
+            name: "Horse-Ridge drive (42-bit per gate)",
+            fields: vec![
+                Field { name: "start time", bits: 16 },
+                Field { name: "target qubit", bits: 5 },
+                Field { name: "gate table address / Rz angle", bits: 10 },
+                Field { name: "Rz mode", bits: 1 },
+                Field { name: "bank select", bits: 2 },
+                Field { name: "framing", bits: 8 },
+            ],
+            mask_bits_per_qubit: 0,
+        }
+    }
+
+    /// Our new 4K-CMOS pulse-circuit instruction (Fig. 4c): `start
+    /// time(16)` plus a per-qubit `valid(1) + CZ target(2)` mask.
+    pub fn pulse_masked() -> Self {
+        IsaFormat {
+            name: "AWG pulse (masked)",
+            fields: vec![Field { name: "start time", bits: 16 }],
+            mask_bits_per_qubit: 3,
+        }
+    }
+
+    /// Readout (TX+RX) instruction: `start time(16) | duration(12)` plus a
+    /// per-qubit enable bit.
+    pub fn readout() -> Self {
+        IsaFormat {
+            name: "readout",
+            fields: vec![
+                Field { name: "start time", bits: 16 },
+                Field { name: "duration", bits: 12 },
+            ],
+            mask_bits_per_qubit: 1,
+        }
+    }
+
+    /// SFQ drive instruction (DigiQ-style, Fig. 5): `bitstream select
+    /// (3 per #BS lane × lanes)` plus per-qubit gate select of
+    /// `ceil(log2(#BS+1))` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bs` is zero.
+    pub fn sfq_drive(bs: u32) -> Self {
+        assert!(bs > 0, "#BS must be at least 1");
+        let select_bits = 8 * bs; // 8-bit gate index per broadcast lane
+        let per_qubit = 32 - (bs as u32).leading_zeros(); // ceil(log2(bs+1))
+        IsaFormat {
+            name: "SFQ drive",
+            fields: vec![Field { name: "bitstream select", bits: select_bits }],
+            mask_bits_per_qubit: per_qubit.max(1),
+        }
+    }
+
+    /// Opt-6 masked single-qubit instruction: `instruction select(4)`
+    /// choosing among the eight `Ry(π/2)·Rz(nπ/4)` basis gates (+idle),
+    /// plus a 1-bit per-qubit mask.
+    pub fn masked_drive() -> Self {
+        IsaFormat {
+            name: "FTQC-masked drive (Opt-6)",
+            fields: vec![Field { name: "instruction select", bits: 4 }],
+            mask_bits_per_qubit: 1,
+        }
+    }
+}
+
+/// Per-qubit instruction traffic of one ESM round, used to size the
+/// 300K→4K link (bits averaged over the ESM cycle time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EsmTraffic {
+    /// Single-qubit gate instructions per qubit per round (2 Hadamards on
+    /// ancillas → averaged over data+ancilla = 1; plus Z-corrections).
+    pub one_q_per_qubit: f64,
+    /// Two-qubit (CZ) instructions per qubit per round (4 CZ layers touch
+    /// each qubit ~2 times as control side).
+    pub two_q_per_qubit: f64,
+    /// Readout instructions per qubit per round (ancillas only → 0.5).
+    pub readout_per_qubit: f64,
+}
+
+impl EsmTraffic {
+    /// The surface-code ESM instruction mix (Fig. 1b): per round each
+    /// ancilla gets 2 H + 4 CZ + 1 measure; data qubits participate in CZs
+    /// and receive AC-Stark Z-corrections. Averaged per physical qubit.
+    pub fn standard_esm() -> Self {
+        EsmTraffic { one_q_per_qubit: 2.0, two_q_per_qubit: 2.0, readout_per_qubit: 0.5 }
+    }
+
+    /// Average link bandwidth in bits/s per qubit for the given formats and
+    /// ESM cycle time.
+    ///
+    /// `group_qubits` is the masking-group size used by mask-style formats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle_ns` is not positive.
+    pub fn bandwidth_bps_per_qubit(
+        &self,
+        drive: &IsaFormat,
+        pulse: &IsaFormat,
+        readout: &IsaFormat,
+        group_qubits: u32,
+        cycle_ns: f64,
+    ) -> f64 {
+        assert!(cycle_ns > 0.0, "cycle time must be positive");
+        let g = group_qubits as f64;
+        // A masked instruction addresses the whole group at once: its cost
+        // *per qubit* is (fixed + mask·g) / g. An unmasked (per-gate) format
+        // costs its full width per gate.
+        let per_qubit_cost = |fmt: &IsaFormat, ops: f64| -> f64 {
+            if fmt.mask_bits_per_qubit > 0 {
+                // One group instruction per layer; layers ≈ ops.
+                ops * (fmt.fixed_bits() as f64 / g + fmt.mask_bits_per_qubit as f64)
+            } else {
+                ops * fmt.fixed_bits() as f64
+            }
+        };
+        let bits = per_qubit_cost(drive, self.one_q_per_qubit)
+            + per_qubit_cost(pulse, self.two_q_per_qubit)
+            + per_qubit_cost(readout, self.readout_per_qubit);
+        bits / (cycle_ns * 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horse_ridge_drive_is_42_bits() {
+        let isa = IsaFormat::horse_ridge_drive();
+        assert_eq!(isa.fixed_bits(), 42);
+        assert_eq!(isa.bits_per_instruction(32), 42);
+    }
+
+    #[test]
+    fn masked_drive_compresses_by_more_than_90pct() {
+        // Opt-6, Fig. 18: 93 % bandwidth reduction. The masked format sends
+        // 4 fixed bits + 1 bit/qubit for a whole 32-qubit group where the
+        // baseline sent 42 bits per gate per qubit; additionally the
+        // H·Rz fusion halves the 1Q instruction count.
+        let base = IsaFormat::horse_ridge_drive();
+        let masked = IsaFormat::masked_drive();
+        let t = EsmTraffic::standard_esm();
+        let pulse = IsaFormat::pulse_masked();
+        let ro = IsaFormat::readout();
+        let bw_base = t.bandwidth_bps_per_qubit(&base, &pulse, &ro, 32, 1000.0);
+        // Fused basis: half the 1Q instructions.
+        let fused = EsmTraffic { one_q_per_qubit: t.one_q_per_qubit / 2.0, ..t };
+        let bw_masked = fused.bandwidth_bps_per_qubit(&masked, &pulse, &ro, 32, 1000.0);
+        let reduction = 1.0 - bw_masked / bw_base;
+        assert!(reduction > 0.80, "reduction {reduction}");
+        assert!(reduction < 0.99, "reduction {reduction}");
+    }
+
+    #[test]
+    fn mask_cost_amortizes_over_group() {
+        let pulse = IsaFormat::pulse_masked();
+        // 16 fixed bits over 32 qubits + 3 mask bits each.
+        assert_eq!(pulse.bits_per_instruction(32), 16 + 3 * 32);
+    }
+
+    #[test]
+    fn sfq_drive_mask_width_grows_with_bs() {
+        let bs1 = IsaFormat::sfq_drive(1);
+        let bs8 = IsaFormat::sfq_drive(8);
+        assert!(bs8.fixed_bits() > bs1.fixed_bits());
+        assert!(bs8.mask_bits_per_qubit > bs1.mask_bits_per_qubit);
+        assert_eq!(bs1.mask_bits_per_qubit, 1);
+        assert_eq!(bs8.mask_bits_per_qubit, 4);
+    }
+
+    #[test]
+    fn bandwidth_scales_inverse_with_cycle_time() {
+        let t = EsmTraffic::standard_esm();
+        let d = IsaFormat::horse_ridge_drive();
+        let p = IsaFormat::pulse_masked();
+        let r = IsaFormat::readout();
+        let fast = t.bandwidth_bps_per_qubit(&d, &p, &r, 32, 500.0);
+        let slow = t.bandwidth_bps_per_qubit(&d, &p, &r, 32, 1000.0);
+        assert!((fast / slow - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "#BS must be at least 1")]
+    fn zero_bs_panics() {
+        let _ = IsaFormat::sfq_drive(0);
+    }
+
+    #[test]
+    fn esm_traffic_baseline_bandwidth_is_hundreds_of_mbps() {
+        // Sanity anchor for Fig. 18: at ~1 µs cycles the 42-bit ISA needs
+        // O(100 Mb/s) per qubit, which at 62,208 qubits exceeds 1,000
+        // 6 Gb/s lanes — exactly the wire-power wall the paper reports.
+        let t = EsmTraffic::standard_esm();
+        let bw = t.bandwidth_bps_per_qubit(
+            &IsaFormat::horse_ridge_drive(),
+            &IsaFormat::pulse_masked(),
+            &IsaFormat::readout(),
+            32,
+            1117.0,
+        );
+        assert!(bw > 50.0e6 && bw < 500.0e6, "bw {bw}");
+    }
+}

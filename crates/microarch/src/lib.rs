@@ -1,0 +1,53 @@
+//! # qisim-microarch
+//!
+//! Detailed QCI microarchitectures for the QIsim scalability framework
+//! (reproduction of Min et al., *QIsim*, ISCA 2023 — Section 3).
+//!
+//! One module per temperature/technology candidate:
+//!
+//! * [`room_cmos`] — 300 K CMOS QCIs over coax, microstrip, or photonic
+//!   links (§3.1–3.2);
+//! * [`cryo_cmos`] — the 4 K CMOS QCI: Horse-Ridge-style drive/TX/RX plus
+//!   the paper's new virtual-Rz/Z-correction NCO, arbitrary-ramp pulse
+//!   circuit, and the three RX state-decision units (§3.3);
+//! * [`sfq`] — the 4 K SFQ QCI: bitstream drive with re-designed
+//!   control-data buffer & bitstream generator, the new SFQDC AWG pulse
+//!   circuit, and the full four-step JPM readout (§3.4).
+//!
+//! Each design is expressed twice: *behaviorally* (NCOs, sequencers,
+//! bitstreams, decision units — the models the error crates exercise) and
+//! as a power *inventory* ([`inventory::QciArch`]) consumed by
+//! `qisim-power` and the scalability engine.
+//!
+//! # Examples
+//!
+//! Compare the 4 K device power of the baseline and Opt-1-optimized CMOS
+//! QCIs:
+//!
+//! ```
+//! use qisim_microarch::cryo_cmos::{CryoCmosConfig, DecisionKind};
+//! use qisim_hal::fridge::Stage;
+//!
+//! let base = CryoCmosConfig::baseline().build();
+//! let opt1 = CryoCmosConfig { decision: DecisionKind::Memoryless, ..CryoCmosConfig::baseline() }
+//!     .build();
+//! let n = 1152;
+//! let p = |a: &qisim_microarch::inventory::QciArch| {
+//!     a.device_static_w(Stage::K4, n) + a.device_dynamic_w(Stage::K4, n)
+//! };
+//! assert!(p(&opt1) < 0.6 * p(&base)); // Opt-1 halves the 4 K power
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cryo_cmos;
+pub mod inventory;
+pub mod isa;
+pub mod room_cmos;
+pub mod sfq;
+
+pub use cryo_cmos::{CryoCmosConfig, DecisionKind, EsmProfile};
+pub use inventory::{Component, QciArch, Resource, WirePlan};
+pub use room_cmos::RoomInterconnect;
+pub use sfq::SfqConfig;

@@ -1,0 +1,230 @@
+//! 300 K CMOS QCIs (§3.1, §3.2): today's rack electronics driving the
+//! qubits through 300K–mK cables, in three interconnect flavours —
+//! coaxial cable, flexible microstrip, and photonic link.
+//!
+//! The defining property of the 300 K designs is that all digital/analog
+//! generation happens *outside* the refrigerator: the fridge only sees the
+//! cables' passive heat leaks, the dissipated signal (active load), the
+//! 20 mK photodetectors of the photonic variant, and the 100 mK TWPA pumps.
+//! That is why the paper finds them to have "little room for architectural
+//! innovation": their scalability is entirely a wire story (Fig. 12).
+
+use crate::cryo_cmos::{EsmProfile, ONE_Q_NS, READOUT_NS, TWO_Q_NS};
+use crate::inventory::{Component, QciArch, Resource, WirePlan};
+use qisim_hal::analog;
+use qisim_hal::fridge::Stage;
+use qisim_hal::wire::WireKind;
+
+/// The electrical interconnect of a 300 K QCI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoomInterconnect {
+    /// Stainless coaxial cable (baseline, Fig. 12a).
+    Coax,
+    /// Flexible multi-channel microstrip (Fig. 12b).
+    Microstrip,
+    /// Photonic link with 20 mK photodetectors (Fig. 12c).
+    Photonic,
+}
+
+impl RoomInterconnect {
+    /// Display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            RoomInterconnect::Coax => "coaxial cable",
+            RoomInterconnect::Microstrip => "microstrip",
+            RoomInterconnect::Photonic => "photonic link",
+        }
+    }
+}
+
+/// ESM timing profile of a 300 K QCI.
+///
+/// The electrical variants share one AWG among 32 qubits (state-of-the-art
+/// FDM) and serialize single-qubit gates exactly like the 4 K CMOS design;
+/// the photonic variant has a *per-qubit* AWG, so nothing serializes.
+pub fn esm_profile(kind: RoomInterconnect) -> EsmProfile {
+    match kind {
+        RoomInterconnect::Coax | RoomInterconnect::Microstrip => EsmProfile::for_cmos(32, READOUT_NS),
+        RoomInterconnect::Photonic => EsmProfile {
+            h_layer_ns: ONE_Q_NS,
+            cz_phase_ns: 4.0 * TWO_Q_NS,
+            readout_ns: READOUT_NS,
+        },
+    }
+}
+
+/// Builds the 300 K QCI architecture for the chosen interconnect.
+pub fn build(kind: RoomInterconnect) -> QciArch {
+    let esm = esm_profile(kind);
+    // The 300 K rack electronics (AWGs, readout analyzers, EOM drivers)
+    // dissipate outside the refrigerator and are not budget-constrained,
+    // so — like the paper — they are not part of the inventory. Only the
+    // in-fridge hardware appears below.
+    let components = vec![
+        // TWPA pump at 100 mK, one per 8-qubit readout chain.
+        Component {
+            name: "RX TWPA pump".into(),
+            stage: Stage::Mk100,
+            resource: Resource::Analog(analog::TWPA),
+            qubits_per_instance: 8.0,
+            duty: esm.readout_line_duty(),
+        },
+    ];
+
+    let wires = match kind {
+        RoomInterconnect::Coax | RoomInterconnect::Microstrip => {
+            let w = if kind == RoomInterconnect::Coax {
+                WireKind::Coax
+            } else {
+                WireKind::Microstrip
+            };
+            vec![
+                WirePlan {
+                    name: "drive lines",
+                    kind: w,
+                    qubits_per_cable: 32.0,
+                    duty: esm.drive_bank_duty(),
+                },
+                WirePlan {
+                    name: "TX lines",
+                    kind: w,
+                    qubits_per_cable: 8.0,
+                    duty: esm.readout_line_duty(),
+                },
+                WirePlan {
+                    name: "RX lines",
+                    kind: w,
+                    qubits_per_cable: 8.0,
+                    duty: esm.readout_line_duty(),
+                },
+                WirePlan {
+                    name: "flux/pulse lines",
+                    kind: w,
+                    qubits_per_cable: 1.0,
+                    duty: esm.cz_duty(),
+                },
+            ]
+        }
+        RoomInterconnect::Photonic => {
+            vec![
+                // Per-qubit optical drive link: the 20 mK photodetector's
+                // 790 nW dissipation is the wire's active load.
+                WirePlan {
+                    name: "drive photonic links",
+                    kind: WireKind::PhotonicLink,
+                    qubits_per_cable: 1.0,
+                    duty: esm.per_qubit_gate_duty(),
+                },
+                // Per-qubit optical TX link (readout drive).
+                WirePlan {
+                    name: "TX photonic links",
+                    kind: WireKind::PhotonicLink,
+                    qubits_per_cable: 1.0,
+                    duty: esm.readout_bank_duty(),
+                },
+                // Reflected readout returns optically through the mK EOM;
+                // the EOM modulates passively, so only fiber passive load.
+                WirePlan {
+                    name: "RX optical return",
+                    kind: WireKind::PhotonicLink,
+                    qubits_per_cable: 8.0,
+                    duty: 0.0,
+                },
+                // No two-qubit-gate demonstration over photonics (§3.2):
+                // the pulse circuit keeps per-qubit microstrips.
+                WirePlan {
+                    name: "flux/pulse microstrips",
+                    kind: WireKind::Microstrip,
+                    qubits_per_cable: 1.0,
+                    duty: esm.cz_duty(),
+                },
+            ]
+        }
+    };
+
+    QciArch {
+        name: format!("300K CMOS ({})", kind.label()),
+        clock_hz: 2.5e9,
+        components,
+        wires,
+        // Instructions never cross the fridge boundary: the AWGs sit in
+        // the rack next to the control processor.
+        instr_bandwidth_bps_per_qubit: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_power_per_qubit(kind: RoomInterconnect, stage: Stage) -> f64 {
+        let arch = build(kind);
+        let n = 1024;
+        (arch.wire_load_w(stage, n)
+            + arch.device_static_w(stage, n)
+            + arch.device_dynamic_w(stage, n))
+            / n as f64
+    }
+
+    #[test]
+    fn coax_is_bound_near_400_qubits_at_100mk() {
+        let per_qubit = mk_power_per_qubit(RoomInterconnect::Coax, Stage::Mk100);
+        let max = Stage::Mk100.cooling_capacity_w() / per_qubit;
+        assert!(max > 300.0 && max < 500.0, "coax scalability {max}");
+    }
+
+    #[test]
+    fn microstrip_is_bound_near_650_qubits_at_100mk() {
+        let per_qubit = mk_power_per_qubit(RoomInterconnect::Microstrip, Stage::Mk100);
+        let max = Stage::Mk100.cooling_capacity_w() / per_qubit;
+        assert!(max > 500.0 && max < 850.0, "microstrip scalability {max}");
+    }
+
+    #[test]
+    fn photonic_is_bound_near_70_qubits_at_20mk() {
+        let per_qubit = mk_power_per_qubit(RoomInterconnect::Photonic, Stage::Mk20);
+        let max = Stage::Mk20.cooling_capacity_w() / per_qubit;
+        assert!(max > 40.0 && max < 110.0, "photonic scalability {max}");
+    }
+
+    #[test]
+    fn ordering_matches_fig12() {
+        // photonic << coax < microstrip in manageable qubits.
+        let scal = |k, s| Stage::Mk100.cooling_capacity_w().min(1e9) / mk_power_per_qubit(k, s);
+        let coax = Stage::Mk100.cooling_capacity_w()
+            / mk_power_per_qubit(RoomInterconnect::Coax, Stage::Mk100);
+        let ustrip = Stage::Mk100.cooling_capacity_w()
+            / mk_power_per_qubit(RoomInterconnect::Microstrip, Stage::Mk100);
+        let photonic = Stage::Mk20.cooling_capacity_w()
+            / mk_power_per_qubit(RoomInterconnect::Photonic, Stage::Mk20);
+        assert!(photonic < coax && coax < ustrip);
+        let _ = scal; // silence helper when unused in future edits
+    }
+
+    #[test]
+    fn no_instruction_link_heat() {
+        for k in [RoomInterconnect::Coax, RoomInterconnect::Microstrip, RoomInterconnect::Photonic] {
+            assert_eq!(build(k).instr_bandwidth_bps_per_qubit, 0.0);
+        }
+    }
+
+    #[test]
+    fn photonic_has_no_fdm_serialization() {
+        let e = esm_profile(RoomInterconnect::Photonic);
+        assert_eq!(e.h_layer_ns, ONE_Q_NS);
+        let e_el = esm_profile(RoomInterconnect::Coax);
+        assert!(e_el.h_layer_ns > e.h_layer_ns);
+    }
+
+    #[test]
+    fn four_kelvin_does_not_bind_300k_designs() {
+        // Fig. 12: 300 K designs die at the mK stages, not at 4 K.
+        for k in [RoomInterconnect::Coax, RoomInterconnect::Microstrip] {
+            let p4k = mk_power_per_qubit(k, Stage::K4);
+            let pmk = mk_power_per_qubit(k, Stage::Mk100);
+            let max4k = Stage::K4.cooling_capacity_w() / p4k;
+            let maxmk = Stage::Mk100.cooling_capacity_w() / pmk;
+            assert!(max4k > maxmk, "{k:?}: 4K {max4k} vs mK {maxmk}");
+        }
+    }
+}

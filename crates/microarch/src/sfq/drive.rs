@@ -1,0 +1,362 @@
+//! 4 K SFQ drive circuit (§3.4.1): DigiQ-style bitstream drive with the
+//! paper's **re-designed** control-data buffer and bitstream generator.
+//!
+//! The drive applies `Ry(π/2)·Rz(φ)` basis gates as SFQ pulse trains: a
+//! short burst of pulses tips the qubit by π/2 around y, and the *idle
+//! time before the burst* sets φ through free z-precession. The bitstream
+//! generator therefore only needs **one** stored `Ry(π/2)` pulse pattern
+//! and a bank of output shift registers with different numbers of DFF
+//! delays — each delay realizing a different `Rz(NΔφ)` (Fig. 5b).
+//!
+//! Opt-4 replaces the 256 output shift registers with a single
+//! splitter-equipped register; Opt-5 reduces the broadcast parallelism
+//! #BS from 8 to 1 (FTQC workloads never need eight distinct simultaneous
+//! single-qubit gates).
+
+use crate::inventory::{Component, Resource};
+use qisim_hal::fridge::Stage;
+use qisim_hal::sfq::{SfqCell, SfqTech};
+
+/// Number of distinct `Rz(NΔφ)` values the generator provides (8-bit φ
+/// select; §5.1.2's 16-bit Rz field addresses pairs of these).
+pub const RZ_VARIANTS: usize = 256;
+/// Length of the `Ry(π/2)` pulse section in QCI clock cycles (5-bit).
+pub const RY_SECTION_BITS: usize = 5;
+/// Total bitstream register length in QCI clock cycles (21-bit: 5-bit Ry +
+/// 16-bit Rz idle section, §5.1.2).
+pub const BITSTREAM_BITS: usize = 21;
+
+/// An SFQ pulse pattern clocked at the QCI frequency: `true` = pulse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitstream {
+    bits: Vec<bool>,
+}
+
+impl Bitstream {
+    /// Creates a bitstream from explicit pulse positions.
+    pub fn new(bits: Vec<bool>) -> Self {
+        Bitstream { bits }
+    }
+
+    /// The base `Ry(π/2)` pattern: `RY_SECTION_BITS` consecutive pulses at
+    /// the head of a `BITSTREAM_BITS`-cycle frame.
+    pub fn ry_base() -> Self {
+        let mut bits = vec![false; BITSTREAM_BITS];
+        for b in bits.iter_mut().take(RY_SECTION_BITS) {
+            *b = true;
+        }
+        Bitstream { bits }
+    }
+
+    /// Delays the pattern by `dffs` cycles (prepends idle time) — the
+    /// free-precession `Rz` knob. The frame grows by the delay.
+    pub fn delayed(&self, dffs: usize) -> Self {
+        let mut bits = vec![false; dffs];
+        bits.extend_from_slice(&self.bits);
+        Bitstream { bits }
+    }
+
+    /// Raw pulse pattern.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Number of pulses in the pattern.
+    pub fn pulse_count(&self) -> usize {
+        self.bits.iter().filter(|b| **b).count()
+    }
+
+    /// Index of the first pulse, or `None` for an all-idle stream.
+    pub fn first_pulse(&self) -> Option<usize> {
+        self.bits.iter().position(|b| *b)
+    }
+}
+
+/// Behavioral bitstream generator: one stored base pattern, `RZ_VARIANTS`
+/// delayed outputs.
+#[derive(Debug, Clone)]
+pub struct BitstreamGenerator {
+    base: Bitstream,
+}
+
+impl BitstreamGenerator {
+    /// Generator loaded with the standard `Ry(π/2)` base pattern.
+    pub fn standard() -> Self {
+        BitstreamGenerator { base: Bitstream::ry_base() }
+    }
+
+    /// Output of the `phi_index`-th shift register: the base pattern
+    /// delayed by `phi_index` DFFs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi_index >= RZ_VARIANTS`.
+    pub fn output(&self, phi_index: usize) -> Bitstream {
+        assert!(phi_index < RZ_VARIANTS, "φ select out of range");
+        self.base.delayed(phi_index)
+    }
+
+    /// The `Rz` angle realized by output `phi_index` for a qubit of
+    /// frequency `f_qubit_hz` clocked at `f_qci_hz`: `φ = 2π·f_q·k/f_QCI`
+    /// (mod 2π).
+    pub fn rz_angle(&self, phi_index: usize, f_qubit_hz: f64, f_qci_hz: f64) -> f64 {
+        assert!(phi_index < RZ_VARIANTS, "φ select out of range");
+        let turns = f_qubit_hz * phi_index as f64 / f_qci_hz;
+        turns.rem_euclid(1.0) * std::f64::consts::TAU
+    }
+}
+
+/// Behavioral control-data buffer (Fig. 5b): shift registers collect the
+/// next instruction bit-serially while the NDRO memory broadcasts the
+/// current one every cycle.
+#[derive(Debug, Clone)]
+pub struct ControlDataBuffer {
+    width: usize,
+    shift: Vec<bool>,
+    ndro: Vec<bool>,
+}
+
+impl ControlDataBuffer {
+    /// Creates a buffer for `width`-bit instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "instruction width must be positive");
+        ControlDataBuffer { width, shift: vec![false; width], ndro: vec![false; width] }
+    }
+
+    /// Shifts one instruction bit in (clocked by the *Valid* signal).
+    pub fn shift_in(&mut self, bit: bool) {
+        self.shift.rotate_right(1);
+        self.shift[0] = bit;
+    }
+
+    /// The *Go* signal: latches the shift registers into the NDRO memory.
+    pub fn go(&mut self) {
+        self.ndro.copy_from_slice(&self.shift);
+    }
+
+    /// The currently-broadcast instruction (NDRO reads are non-destructive,
+    /// so this may be called every cycle).
+    pub fn current(&self) -> &[bool] {
+        &self.ndro
+    }
+
+    /// Instruction width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// Per-qubit controller: selects one of the #BS broadcast lanes (or idles).
+///
+/// # Panics
+///
+/// Panics if `select` is `Some(lane)` with `lane >= lanes.len()`.
+pub fn select_lane<'a>(lanes: &'a [Bitstream], select: Option<usize>) -> Option<&'a Bitstream> {
+    match select {
+        None => None,
+        Some(lane) => {
+            assert!(lane < lanes.len(), "lane select out of range");
+            Some(&lanes[lane])
+        }
+    }
+}
+
+/// Bitstream-generator flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BitgenKind {
+    /// DigiQ-style: 256 output shift registers (power-hungry baseline).
+    PerPhiShiftRegisters,
+    /// Opt-4: one splitter-equipped shift register.
+    SplitterShared,
+}
+
+/// Cell inventory of the bitstream generator (shared by `group` qubits).
+pub fn bitgen_cells(kind: BitgenKind) -> Vec<(SfqCell, u64)> {
+    match kind {
+        BitgenKind::PerPhiShiftRegisters => vec![
+            // 256 output shift registers × 21 DFFs.
+            (SfqCell::Dff, (RZ_VARIANTS * BITSTREAM_BITS) as u64),
+            // Broadcast tree feeding them.
+            (SfqCell::Splitter, (RZ_VARIANTS - 1) as u64),
+        ],
+        BitgenKind::SplitterShared => vec![
+            // One shared 21-bit register...
+            (SfqCell::Dff, BITSTREAM_BITS as u64),
+            // ...tapped by a splitter per φ output.
+            (SfqCell::Splitter, (RZ_VARIANTS - 1) as u64),
+        ],
+    }
+}
+
+/// Builds the SFQ drive inventory.
+///
+/// * `tech` — 4 K SFQ operating point (RSFQ or ERSFQ);
+/// * `bitgen` — generator flavour (Opt-4 toggles this);
+/// * `bs` — broadcast parallelism #BS (Opt-5 reduces 8 → 1);
+/// * `group` — qubits sharing one generator/controller (8);
+/// * `gate_duty` — fraction of the ESM cycle single-qubit gates play.
+pub fn components(
+    tech: SfqTech,
+    bitgen: BitgenKind,
+    bs: u32,
+    group: u32,
+    gate_duty: f64,
+) -> Vec<Component> {
+    assert!(bs >= 1, "#BS must be at least 1");
+    vec![
+        Component {
+            name: format!("SFQ drive bitstream generator ({bitgen:?})"),
+            stage: Stage::K4,
+            resource: Resource::SfqCells { tech, cells: bitgen_cells(bitgen), activity: 0.2 },
+            qubits_per_instance: group as f64,
+            duty: gate_duty,
+        },
+        // Bitstream controller: one 256:1 serial-stream selector per lane.
+        Component {
+            name: "SFQ drive bitstream controller".into(),
+            stage: Stage::K4,
+            resource: Resource::SfqCells {
+                tech,
+                cells: vec![
+                    (SfqCell::Mux2, (RZ_VARIANTS as u64 - 1) * bs as u64),
+                    (SfqCell::Jtl, 20 * bs as u64),
+                ],
+                activity: 0.15,
+            },
+            qubits_per_instance: group as f64,
+            duty: gate_duty,
+        },
+        // Per-qubit lane receiver: NDRO gate + merger + JTL run per lane.
+        Component {
+            name: "SFQ drive per-qubit receiver".into(),
+            stage: Stage::K4,
+            resource: Resource::SfqCells {
+                tech,
+                cells: vec![
+                    (SfqCell::Ndro, bs as u64),
+                    (SfqCell::Merger, bs as u64),
+                    (SfqCell::Jtl, 117 * bs as u64),
+                ],
+                activity: 0.15,
+            },
+            qubits_per_instance: 1.0,
+            duty: gate_duty,
+        },
+        // Per-qubit control-data buffer (42-bit instructions).
+        Component {
+            name: "SFQ drive control-data buffer".into(),
+            stage: Stage::K4,
+            resource: Resource::SfqCells {
+                tech,
+                cells: vec![(SfqCell::Dff, 42), (SfqCell::Ndro, 42)],
+                activity: 0.2,
+            },
+            qubits_per_instance: 1.0,
+            duty: gate_duty,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qisim_hal::sfq::{SfqFamily, SfqStage, SfqTech};
+
+    #[test]
+    fn ry_base_has_five_leading_pulses() {
+        let b = Bitstream::ry_base();
+        assert_eq!(b.pulse_count(), RY_SECTION_BITS);
+        assert_eq!(b.first_pulse(), Some(0));
+        assert_eq!(b.bits().len(), BITSTREAM_BITS);
+    }
+
+    #[test]
+    fn delay_shifts_pulses_not_count() {
+        let g = BitstreamGenerator::standard();
+        for k in [0usize, 1, 100, 255] {
+            let out = g.output(k);
+            assert_eq!(out.pulse_count(), RY_SECTION_BITS);
+            assert_eq!(out.first_pulse(), Some(k));
+        }
+    }
+
+    #[test]
+    fn rz_angle_wraps_mod_2pi() {
+        let g = BitstreamGenerator::standard();
+        // 5 GHz qubit, 24 GHz clock: one delay step = 2π·5/24.
+        let step = g.rz_angle(1, 5.0e9, 24.0e9);
+        assert!((step - std::f64::consts::TAU * 5.0 / 24.0).abs() < 1e-12);
+        let a24 = g.rz_angle(24, 5.0e9, 24.0e9);
+        // 24 steps = 5 full turns → 0.
+        assert!(a24 < 1e-9 || (std::f64::consts::TAU - a24) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn phi_select_out_of_range_panics() {
+        let _ = BitstreamGenerator::standard().output(RZ_VARIANTS);
+    }
+
+    #[test]
+    fn control_data_buffer_double_buffers() {
+        let mut cdb = ControlDataBuffer::new(4);
+        for bit in [true, false, true, true] {
+            cdb.shift_in(bit);
+        }
+        // Still broadcasting the old (empty) instruction.
+        assert_eq!(cdb.current(), &[false; 4]);
+        cdb.go();
+        assert_eq!(cdb.current(), &[true, true, false, true]);
+        // Shifting a new instruction does not disturb the broadcast.
+        cdb.shift_in(false);
+        assert_eq!(cdb.current(), &[true, true, false, true]);
+    }
+
+    #[test]
+    fn lane_selection() {
+        let g = BitstreamGenerator::standard();
+        let lanes = vec![g.output(0), g.output(7)];
+        assert!(select_lane(&lanes, None).is_none());
+        assert_eq!(select_lane(&lanes, Some(1)).unwrap().first_pulse(), Some(7));
+    }
+
+    #[test]
+    fn opt4_bitgen_saves_more_than_95pct_of_jjs() {
+        let base = SfqTech::total_jj(&bitgen_cells(BitgenKind::PerPhiShiftRegisters));
+        let opt = SfqTech::total_jj(&bitgen_cells(BitgenKind::SplitterShared));
+        let cut = 1.0 - opt as f64 / base as f64;
+        assert!(cut > 0.95, "Opt-4 JJ cut {cut}");
+    }
+
+    #[test]
+    fn opt5_cuts_bs_proportional_power() {
+        let tech = SfqTech::new(SfqFamily::Rsfq, SfqStage::Cryo4K);
+        let p = |bs: u32| -> f64 {
+            components(tech, BitgenKind::SplitterShared, bs, 8, 0.3)
+                .iter()
+                .map(|c| c.instances(8) * c.power_w(24e9))
+                .sum()
+        };
+        let p8 = p(8);
+        let p1 = p(1);
+        assert!(p1 < 0.6 * p8, "#BS 8→1: {p1} vs {p8}");
+    }
+
+    #[test]
+    fn drive_dominates_rsfq_4k_power() {
+        // §6.3.2: the drive circuit is ~71.7 % of RSFQ 4 K power; here we
+        // check the weaker invariant that its static power per qubit is
+        // milliwatt-scale (the scalability killer).
+        let tech = SfqTech::new(SfqFamily::Rsfq, SfqStage::Cryo4K);
+        let per_qubit: f64 = components(tech, BitgenKind::PerPhiShiftRegisters, 8, 8, 0.3)
+            .iter()
+            .map(|c| c.instances(8) * c.static_power_w())
+            .sum::<f64>()
+            / 8.0;
+        assert!(per_qubit > 1.0e-3 && per_qubit < 4.0e-3, "drive/qubit {per_qubit}");
+    }
+}

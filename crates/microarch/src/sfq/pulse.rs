@@ -1,0 +1,221 @@
+//! 4 K SFQ pulse circuit — the paper's **new** SFQDC-based AWG (§3.4.2,
+//! Fig. 5c).
+//!
+//! DigiQ's pulse circuit could only switch a fixed number of SFQ-to-DC
+//! converter (SFQDC) cells on, producing a unit-step flux pulse. The new
+//! design stores *SFQDC-control bitstreams at 4 K*: every clock cycle the
+//! bitstream sets how many SFQDC cells are on, so the DC amplitude follows
+//! an arbitrary staircase — an AWG with no extra 300K–4K bandwidth.
+//!
+//! For parallel ESM the lattice is divided into four qubit subgroups with
+//! different CZ frequencies; the ISA carries a per-subgroup *CZ select* and
+//! a per-qubit *mask*.
+
+use crate::inventory::{Component, Resource};
+use qisim_hal::fridge::Stage;
+use qisim_hal::sfq::{SfqCell, SfqTech};
+
+/// Number of CZ-frequency subgroups driven in parallel (§3.4.2).
+pub const CZ_SUBGROUPS: usize = 4;
+/// SFQDC cells per qubit — the amplitude resolution in unit steps.
+pub const SFQDC_PER_QUBIT: usize = 8;
+
+/// A per-cycle SFQDC on-count sequence: the staircase waveform one
+/// subgroup's CZ pulse follows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SfqdcWaveform {
+    on_counts: Vec<u8>,
+}
+
+impl SfqdcWaveform {
+    /// Creates a waveform from per-cycle on-counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count exceeds [`SFQDC_PER_QUBIT`].
+    pub fn new(on_counts: Vec<u8>) -> Self {
+        assert!(
+            on_counts.iter().all(|c| (*c as usize) <= SFQDC_PER_QUBIT),
+            "on-count exceeds SFQDC cell count"
+        );
+        SfqdcWaveform { on_counts }
+    }
+
+    /// A unit-step pulse (the old DigiQ behaviour): `level` cells on for
+    /// `cycles` cycles.
+    pub fn unit_step(level: u8, cycles: usize) -> Self {
+        SfqdcWaveform::new(vec![level; cycles])
+    }
+
+    /// A ramped pulse: cosine ramp over `ramp_cycles` up to `peak`, hold
+    /// for `plateau_cycles`, cosine ramp down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peak as usize > SFQDC_PER_QUBIT`.
+    pub fn ramped(peak: u8, ramp_cycles: usize, plateau_cycles: usize) -> Self {
+        assert!((peak as usize) <= SFQDC_PER_QUBIT, "peak exceeds SFQDC cells");
+        let mut counts = Vec::with_capacity(2 * ramp_cycles + plateau_cycles);
+        for k in 0..ramp_cycles {
+            let x = (k as f64 + 0.5) / ramp_cycles as f64;
+            let a = peak as f64 * 0.5 * (1.0 - (std::f64::consts::PI * x).cos());
+            counts.push(a.round() as u8);
+        }
+        counts.extend(std::iter::repeat(peak).take(plateau_cycles));
+        for k in (0..ramp_cycles).rev() {
+            let x = (k as f64 + 0.5) / ramp_cycles as f64;
+            let a = peak as f64 * 0.5 * (1.0 - (std::f64::consts::PI * x).cos());
+            counts.push(a.round() as u8);
+        }
+        SfqdcWaveform { on_counts: counts }
+    }
+
+    /// Normalized amplitude samples in `[0, 1]` (on-count / cell count).
+    pub fn amplitudes(&self) -> Vec<f64> {
+        self.on_counts.iter().map(|c| *c as f64 / SFQDC_PER_QUBIT as f64).collect()
+    }
+
+    /// Pulse length in QCI clock cycles.
+    pub fn cycles(&self) -> usize {
+        self.on_counts.len()
+    }
+
+    /// Whether the waveform ever changes level mid-pulse (i.e. is a true
+    /// AWG shape rather than a unit step).
+    pub fn is_shaped(&self) -> bool {
+        let interior = &self.on_counts[..];
+        interior.windows(2).any(|w| w[0] != w[1])
+    }
+}
+
+/// The SFQDC controller: routes the selected waveform of each subgroup to
+/// the masked qubits.
+///
+/// Returns, per qubit, the waveform it receives (`None` when masked off).
+///
+/// # Panics
+///
+/// Panics if `subgroup_of.len() != mask.len()`, or any subgroup index is
+/// out of range.
+pub fn route_waveforms<'a>(
+    waveforms: &'a [SfqdcWaveform; CZ_SUBGROUPS],
+    subgroup_of: &[u8],
+    mask: &[bool],
+) -> Vec<Option<&'a SfqdcWaveform>> {
+    assert_eq!(subgroup_of.len(), mask.len(), "one mask bit per qubit");
+    subgroup_of
+        .iter()
+        .zip(mask)
+        .map(|(&sg, &on)| {
+            assert!((sg as usize) < CZ_SUBGROUPS, "subgroup out of range");
+            if on {
+                Some(&waveforms[sg as usize])
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Builds the SFQ pulse-circuit inventory.
+pub fn components(tech: SfqTech, cz_duty: f64) -> Vec<Component> {
+    vec![
+        // Per-qubit SFQDC bank.
+        Component {
+            name: "SFQ pulse SFQDC cells".into(),
+            stage: Stage::K4,
+            resource: Resource::SfqCells {
+                tech,
+                cells: vec![(SfqCell::SfqDc, SFQDC_PER_QUBIT as u64), (SfqCell::Jtl, 20)],
+                activity: 0.3,
+            },
+            qubits_per_instance: 1.0,
+            duty: cz_duty,
+        },
+        // Per-subgroup control-bitstream registers, shared by 16 qubits.
+        Component {
+            name: "SFQ pulse subgroup controller".into(),
+            stage: Stage::K4,
+            resource: Resource::SfqCells {
+                tech,
+                cells: vec![
+                    (SfqCell::Dff, 64 * CZ_SUBGROUPS as u64),
+                    (SfqCell::Splitter, 15 * CZ_SUBGROUPS as u64),
+                ],
+                activity: 0.25,
+            },
+            qubits_per_instance: 16.0,
+            duty: cz_duty,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_step_is_flat() {
+        let w = SfqdcWaveform::unit_step(5, 100);
+        assert!(!w.is_shaped());
+        assert_eq!(w.cycles(), 100);
+        assert!(w.amplitudes().iter().all(|a| (*a - 5.0 / 8.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn ramped_is_shaped_and_peaks_correctly() {
+        let w = SfqdcWaveform::ramped(8, 20, 60);
+        assert!(w.is_shaped());
+        assert_eq!(w.cycles(), 100);
+        let amps = w.amplitudes();
+        assert!((amps[50] - 1.0).abs() < 1e-12);
+        assert!(amps[0] < 0.2);
+        assert!(amps[99] < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds SFQDC")]
+    fn overdriven_waveform_panics() {
+        let _ = SfqdcWaveform::unit_step(9, 10);
+    }
+
+    #[test]
+    fn routing_respects_mask_and_subgroup() {
+        let ws = [
+            SfqdcWaveform::unit_step(1, 4),
+            SfqdcWaveform::unit_step(2, 4),
+            SfqdcWaveform::unit_step(3, 4),
+            SfqdcWaveform::unit_step(4, 4),
+        ];
+        let routed = route_waveforms(&ws, &[0, 1, 2, 3], &[true, false, true, true]);
+        assert_eq!(routed[0], Some(&ws[0]));
+        assert_eq!(routed[1], None);
+        assert_eq!(routed[2], Some(&ws[2]));
+        assert_eq!(routed[3], Some(&ws[3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "subgroup out of range")]
+    fn bad_subgroup_panics() {
+        let ws = [
+            SfqdcWaveform::unit_step(0, 1),
+            SfqdcWaveform::unit_step(0, 1),
+            SfqdcWaveform::unit_step(0, 1),
+            SfqdcWaveform::unit_step(0, 1),
+        ];
+        let _ = route_waveforms(&ws, &[4], &[true]);
+    }
+
+    #[test]
+    fn inventory_is_cheap_relative_to_drive() {
+        use qisim_hal::sfq::{SfqFamily, SfqStage};
+        let tech = SfqTech::new(SfqFamily::Rsfq, SfqStage::Cryo4K);
+        let per_qubit: f64 = components(tech, 0.18)
+            .iter()
+            .map(|c| c.instances(16) * c.static_power_w())
+            .sum::<f64>()
+            / 16.0;
+        // Pulse hardware is a small slice of the 2.8 mW/qubit total.
+        assert!(per_qubit < 0.2e-3, "pulse static/qubit {per_qubit}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the microarchitecture models.
+
+use proptest::prelude::*;
+use qisim_hal::fridge::Stage;
+use qisim_microarch::cryo_cmos::drive::{hann_envelope, iq_samples, Nco};
+use qisim_microarch::cryo_cmos::pulse::{ramped_pulse, CzTarget, PulseSequencer};
+use qisim_microarch::cryo_cmos::rx::{memoryless, single_point, DiscriminatingLine};
+use qisim_microarch::cryo_cmos::{CryoCmosConfig, EsmProfile};
+use qisim_microarch::isa::{EsmTraffic, IsaFormat};
+use qisim_microarch::sfq::drive::BitstreamGenerator;
+use qisim_microarch::sfq::readout::{JpmSharing, ReadoutSchedule, SHARING_DEGREE};
+use std::f64::consts::TAU;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// NCO phase arithmetic: `n` ticks then `virtual_rz(φ)` equals the
+    /// accumulated value mod 2π (up to the 24-bit quantization).
+    #[test]
+    fn nco_accumulates_mod_2pi(omega in 0.0f64..1.0, n in 1u64..10_000, phi in -10.0f64..10.0) {
+        let mut nco = Nco::new(omega);
+        nco.tick_n(n);
+        nco.virtual_rz(phi);
+        let quantum = TAU / (1u64 << 24) as f64;
+        let q = |x: f64| ((x / quantum).round() * quantum).rem_euclid(TAU);
+        let expected = (q(omega) * n as f64 + q(phi)).rem_euclid(TAU);
+        let mut diff = (nco.phase() - expected).abs();
+        if diff > TAU / 2.0 {
+            diff = TAU - diff;
+        }
+        prop_assert!(diff < n as f64 * quantum + 1e-9, "phase drift {diff}");
+    }
+
+    /// Quantized I/Q samples never exceed the DAC full scale.
+    #[test]
+    fn iq_samples_respect_full_scale(
+        amp in 0.0f64..1.0,
+        phase in -3.2f64..3.2,
+        omega in 0.0f64..0.5,
+        bits in 2u32..=16,
+    ) {
+        let env = hann_envelope(32, amp, phase);
+        for (i, q) in iq_samples(&env, 0.0, omega, bits) {
+            prop_assert!(i.abs() <= 1.0 + 1e-12);
+            prop_assert!(q.abs() <= 1.0 + 1e-12);
+        }
+    }
+
+    /// The pulse sequencer plays exactly the programmed length and stays
+    /// within [-1, 1].
+    #[test]
+    fn pulse_sequencer_length_and_range(
+        peak in 0.05f64..1.0,
+        ramp_runs in 1u32..12,
+        ramp_cycles in 1u32..6,
+        plateau in 1u32..80,
+        bits in 2u32..16,
+    ) {
+        let mut seq = PulseSequencer::new(bits);
+        let runs = ramped_pulse(peak, ramp_runs, ramp_cycles, plateau);
+        seq.load(CzTarget::North, runs);
+        let samples = seq.play(CzTarget::North);
+        prop_assert_eq!(samples.len() as u64, seq.pulse_cycles(CzTarget::North));
+        prop_assert_eq!(
+            samples.len() as u32,
+            2 * ramp_runs * ramp_cycles + plateau
+        );
+        for s in samples {
+            prop_assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+
+    /// Memoryless and bin-counting decisions agree with the sign of the
+    /// projection for far-away clouds, and single-point agrees too.
+    #[test]
+    fn decision_units_agree_on_clear_signals(cx in -0.9f64..0.9, cy in -0.9f64..0.9) {
+        prop_assume!(cx.abs() > 0.2);
+        let line = DiscriminatingLine::between((-1.0, 0.0), (1.0, 0.0));
+        let samples: Vec<(f64, f64)> = (0..64).map(|k| {
+            (cx + 0.01 * (k % 5) as f64, cy + 0.01 * (k % 3) as f64)
+        }).collect();
+        let expect = cx > 0.0;
+        prop_assert_eq!(memoryless(&samples, &line, 2.0).excited, expect);
+        prop_assert_eq!(single_point(&samples, &line).excited, expect);
+    }
+
+    /// The bitstream generator's delayed outputs preserve pulse count and
+    /// shift the first pulse by exactly the φ index.
+    #[test]
+    fn bitgen_outputs_are_delays(idx in 0usize..256) {
+        let g = BitstreamGenerator::standard();
+        let out = g.output(idx);
+        prop_assert_eq!(out.first_pulse(), Some(idx));
+        prop_assert_eq!(out.pulse_count(), 5);
+    }
+
+    /// The ESM profile's duties are fractions and the cycle decomposes.
+    #[test]
+    fn esm_profile_is_consistent(fdm in 1u32..64, readout in 100.0f64..2000.0) {
+        let p = EsmProfile::for_cmos(fdm, readout);
+        let cycle = p.cycle_ns();
+        prop_assert!((cycle - (2.0 * p.h_layer_ns + p.cz_phase_ns + p.readout_ns)).abs() < 1e-9);
+        for duty in [
+            p.drive_bank_duty(),
+            p.per_qubit_gate_duty(),
+            p.cz_duty(),
+            p.readout_line_duty(),
+            p.readout_bank_duty(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&duty));
+        }
+    }
+
+    /// Device power grows monotonically with qubit count at every stage.
+    #[test]
+    fn power_is_monotone_in_qubits(n1 in 1u64..5000, extra in 1u64..5000) {
+        let arch = CryoCmosConfig::baseline().build();
+        let n2 = n1 + extra;
+        for stage in [Stage::K4, Stage::Mk100, Stage::Mk20] {
+            let p1 = arch.device_static_w(stage, n1)
+                + arch.device_dynamic_w(stage, n1)
+                + arch.wire_load_w(stage, n1);
+            let p2 = arch.device_static_w(stage, n2)
+                + arch.device_dynamic_w(stage, n2)
+                + arch.wire_load_w(stage, n2);
+            prop_assert!(p2 >= p1, "{stage}: {p1} -> {p2}");
+        }
+    }
+
+    /// Masked ISA bandwidth is always below the unmasked encoding, for
+    /// any group size and cycle time.
+    #[test]
+    fn masked_isa_always_wins(group in 2u32..64, cycle in 300.0f64..3000.0) {
+        let t = EsmTraffic::standard_esm();
+        let pulse = IsaFormat::pulse_masked();
+        let ro = IsaFormat::readout();
+        let base = t.bandwidth_bps_per_qubit(&IsaFormat::horse_ridge_drive(), &pulse, &ro, group, cycle);
+        let masked = t.bandwidth_bps_per_qubit(&IsaFormat::masked_drive(), &pulse, &ro, group, cycle);
+        prop_assert!(masked < base);
+    }
+
+    /// Readout-schedule latencies: unshared ≤ pipelined ≤ naive for any
+    /// driving time, and per-qubit latencies never exceed the group's
+    /// completion plus the trailing reset.
+    #[test]
+    fn readout_schedule_ordering(driving in 50.0f64..1000.0) {
+        let mk = |sharing| ReadoutSchedule { driving_ns: driving, sharing };
+        let unshared = mk(JpmSharing::Unshared).group_latency_ns();
+        let piped = mk(JpmSharing::SharedPipelined).group_latency_ns();
+        let naive = mk(JpmSharing::SharedNaive).group_latency_ns();
+        prop_assert!(unshared <= piped);
+        prop_assert!(piped <= naive);
+        for i in 0..SHARING_DEGREE {
+            for sched in [mk(JpmSharing::Unshared), mk(JpmSharing::SharedPipelined)] {
+                prop_assert!(sched.qubit_latency_ns(i) <= sched.group_latency_ns());
+            }
+        }
+    }
+}

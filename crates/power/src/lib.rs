@@ -1,0 +1,254 @@
+//! # qisim-power
+//!
+//! Runtime-power model for the QIsim scalability framework (reproduction
+//! of Min et al., *QIsim*, ISCA 2023 — §4.3): aggregates a QCI
+//! microarchitecture's device static/dynamic power, analog-cable heat
+//! loads, and 300K→4K instruction-link heat per refrigerator stage, and
+//! checks the totals against the dilution refrigerator's cooling budgets.
+//!
+//! # Examples
+//!
+//! ```
+//! use qisim_power::{evaluate, max_qubits};
+//! use qisim_microarch::CryoCmosConfig;
+//! use qisim_hal::fridge::{Fridge, Stage};
+//!
+//! let arch = CryoCmosConfig::baseline().build();
+//! let fridge = Fridge::standard();
+//! let report = evaluate(&arch, &fridge, 1024);
+//! assert!(!report.fits()); // the baseline dies before 1,024 qubits...
+//! let (max, binding) = max_qubits(&arch, &fridge);
+//! assert!(max < 1024);     // ...at the 4 K stage (Fig. 13a)
+//! assert_eq!(binding, Some(Stage::K4));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use qisim_hal::fridge::{Fridge, Stage};
+use qisim_hal::wire::InstructionLink;
+use qisim_microarch::QciArch;
+
+/// Power accounting of one refrigerator stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagePower {
+    /// The stage.
+    pub stage: Stage,
+    /// Device static power in watts.
+    pub device_static_w: f64,
+    /// Device dynamic power in watts.
+    pub device_dynamic_w: f64,
+    /// Analog-cable heat load in watts.
+    pub wire_w: f64,
+    /// 300K→4K digital instruction-link heat in watts (4 K stage only).
+    pub instr_link_w: f64,
+    /// Stage cooling budget in watts.
+    pub budget_w: f64,
+}
+
+impl StagePower {
+    /// Total dissipation at the stage.
+    pub fn total_w(&self) -> f64 {
+        self.device_static_w + self.device_dynamic_w + self.wire_w + self.instr_link_w
+    }
+
+    /// Fraction of the stage budget consumed.
+    pub fn utilization(&self) -> f64 {
+        self.total_w() / self.budget_w
+    }
+
+    /// Whether the stage is within budget.
+    pub fn fits(&self) -> bool {
+        self.total_w() <= self.budget_w
+    }
+}
+
+/// A full per-stage power report for one design at one qubit count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// Evaluated qubit count.
+    pub n_qubits: u64,
+    /// Per-stage accounting (warm → cold).
+    pub stages: Vec<StagePower>,
+}
+
+impl PowerReport {
+    /// Whether every stage is within budget.
+    pub fn fits(&self) -> bool {
+        self.stages.iter().all(StagePower::fits)
+    }
+
+    /// The most-loaded stage (by utilization).
+    pub fn binding_stage(&self) -> Option<Stage> {
+        self.stages
+            .iter()
+            .max_by(|a, b| a.utilization().partial_cmp(&b.utilization()).expect("finite"))
+            .map(|s| s.stage)
+    }
+
+    /// The accounting row for one stage.
+    pub fn stage(&self, stage: Stage) -> Option<&StagePower> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+}
+
+/// Evaluates a design's per-stage power at `n_qubits` using the standard
+/// 6 Gb/s instruction link.
+pub fn evaluate(arch: &QciArch, fridge: &Fridge, n_qubits: u64) -> PowerReport {
+    evaluate_with_link(arch, fridge, n_qubits, &InstructionLink::standard())
+}
+
+/// Evaluates with a custom instruction link (future-technology what-ifs).
+pub fn evaluate_with_link(
+    arch: &QciArch,
+    fridge: &Fridge,
+    n_qubits: u64,
+    link: &InstructionLink,
+) -> PowerReport {
+    assert!(n_qubits > 0, "need at least one qubit");
+    let stages = Stage::ALL
+        .iter()
+        .map(|&stage| StagePower {
+            stage,
+            device_static_w: arch.device_static_w(stage, n_qubits),
+            device_dynamic_w: arch.device_dynamic_w(stage, n_qubits),
+            wire_w: arch.wire_load_w(stage, n_qubits),
+            instr_link_w: if stage == Stage::K4 {
+                link.power_4k_w(arch.instr_bandwidth_bps(n_qubits))
+            } else {
+                0.0
+            },
+            budget_w: fridge.budget_w(stage),
+        })
+        .collect();
+    PowerReport { n_qubits, stages }
+}
+
+/// The maximum qubit count the refrigerator can power for this design,
+/// and the stage that binds at that scale (§4.3 → Fig. 12/13/17).
+///
+/// Binary search over qubit count (power is monotone in `n`).
+pub fn max_qubits(arch: &QciArch, fridge: &Fridge) -> (u64, Option<Stage>) {
+    max_qubits_with_link(arch, fridge, &InstructionLink::standard())
+}
+
+/// [`max_qubits`] with a custom instruction link.
+pub fn max_qubits_with_link(
+    arch: &QciArch,
+    fridge: &Fridge,
+    link: &InstructionLink,
+) -> (u64, Option<Stage>) {
+    if !evaluate_with_link(arch, fridge, 1, link).fits() {
+        return (0, evaluate_with_link(arch, fridge, 1, link).binding_stage());
+    }
+    let mut lo = 1u64; // fits
+    let mut hi = 2u64;
+    while evaluate_with_link(arch, fridge, hi, link).fits() {
+        lo = hi;
+        hi *= 2;
+        if hi > 1 << 40 {
+            return (lo, None); // effectively unbounded by power
+        }
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if evaluate_with_link(arch, fridge, mid, link).fits() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let binding = evaluate_with_link(arch, fridge, hi, link).binding_stage();
+    (lo, binding)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qisim_microarch::{CryoCmosConfig, DecisionKind, RoomInterconnect, SfqConfig};
+
+    #[test]
+    fn report_structure() {
+        let arch = CryoCmosConfig::baseline().build();
+        let r = evaluate(&arch, &Fridge::standard(), 128);
+        assert_eq!(r.stages.len(), 5);
+        assert!(r.stage(Stage::K4).unwrap().device_dynamic_w > 0.0);
+        assert_eq!(r.stage(Stage::Mk20).unwrap().instr_link_w, 0.0);
+        assert!(r.stage(Stage::K4).unwrap().instr_link_w > 0.0);
+    }
+
+    #[test]
+    fn cmos_baseline_binds_at_4k_near_700() {
+        // Fig. 13a: "the 4K CMOS QCI cannot support more than 700 qubits".
+        let arch = CryoCmosConfig::baseline().build();
+        let (max, binding) = max_qubits(&arch, &Fridge::standard());
+        assert!(max > 450 && max < 900, "baseline 4K CMOS max {max}");
+        assert_eq!(binding, Some(Stage::K4));
+    }
+
+    #[test]
+    fn opt1_opt2_reach_the_near_term_scale() {
+        // Fig. 13a: Opt-1 + Opt-2 lift the design to 1,399 qubits.
+        let cfg = CryoCmosConfig {
+            decision: DecisionKind::Memoryless,
+            drive_bits: 6,
+            ..CryoCmosConfig::baseline()
+        };
+        let (max, _) = max_qubits(&cfg.build(), &Fridge::standard());
+        assert!(max >= 1152, "optimized 4K CMOS max {max}");
+        assert!(max < 2200, "optimized 4K CMOS max {max}");
+    }
+
+    #[test]
+    fn room_temperature_designs_bind_at_mk_stages() {
+        for (kind, lo, hi, stage) in [
+            (RoomInterconnect::Coax, 250u64, 550u64, Stage::Mk100),
+            (RoomInterconnect::Microstrip, 500, 900, Stage::Mk100),
+            (RoomInterconnect::Photonic, 30, 120, Stage::Mk20),
+        ] {
+            let arch = qisim_microarch::room_cmos::build(kind);
+            let (max, binding) = max_qubits(&arch, &Fridge::standard());
+            assert!(max >= lo && max <= hi, "{kind:?}: max {max}");
+            assert_eq!(binding, Some(stage), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn rsfq_baseline_binds_at_mk20_near_160() {
+        let arch = SfqConfig::baseline_rsfq().build();
+        let (max, binding) = max_qubits(&arch, &Fridge::standard());
+        assert!(max > 100 && max < 230, "RSFQ baseline max {max}");
+        assert_eq!(binding, Some(Stage::Mk20));
+    }
+
+    #[test]
+    fn optimized_rsfq_reaches_1248_scale() {
+        let arch = SfqConfig::near_term_optimized().build();
+        let (max, _) = max_qubits(&arch, &Fridge::standard());
+        assert!(max > 1000 && max < 1600, "optimized RSFQ max {max}");
+    }
+
+    #[test]
+    fn ersfq_supports_the_long_term_scale() {
+        let arch = SfqConfig::long_term_ersfq().build();
+        let (max, _) = max_qubits(&arch, &Fridge::standard());
+        assert!(max > 62_208, "ERSFQ max {max}");
+    }
+
+    #[test]
+    fn bigger_budget_means_more_qubits() {
+        let arch = CryoCmosConfig::baseline().build();
+        let std = max_qubits(&arch, &Fridge::standard()).0;
+        let big = max_qubits(&arch, &Fridge::standard().with_budget(Stage::K4, 3.0)).0;
+        assert!(big as f64 > 1.8 * std as f64, "std {std} big {big}");
+    }
+
+    #[test]
+    fn utilization_is_monotone_in_qubits() {
+        let arch = CryoCmosConfig::baseline().build();
+        let f = Fridge::standard();
+        let u1 = evaluate(&arch, &f, 100).stage(Stage::K4).unwrap().utilization();
+        let u2 = evaluate(&arch, &f, 200).stage(Stage::K4).unwrap().utilization();
+        assert!(u2 > u1);
+    }
+}

@@ -1,0 +1,356 @@
+//! Double-precision complex arithmetic.
+//!
+//! The whole QIsim quantum substrate is built on [`C64`], a minimal but
+//! complete complex-number type. We implement it from scratch (rather than
+//! pulling `num-complex`) so the workspace stays within its small offline
+//! dependency set and so the hot loops (Hamiltonian integration, statevector
+//! updates) stay transparent to the optimizer.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_quantum::C64;
+///
+/// let i = C64::I;
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// let z = C64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+/// assert!((z - 2.0 * i).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular coordinates.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a complex number from polar coordinates `r * e^{i theta}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{i theta}`, a point on the unit circle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Modulus (absolute value).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus, cheaper than [`C64::abs`] when comparing magnitudes.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        C64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `z` is zero, matching IEEE-754
+    /// division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        C64::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        C64::new(self.re * k, self.im * k)
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Fused multiply-add: `self * b + c`, one rounding contour per component.
+    #[inline]
+    pub fn mul_add(self, b: C64, c: C64) -> Self {
+        C64::new(
+            self.re * b.re - self.im * b.im + c.re,
+            self.re * b.im + self.im * b.re + c.im,
+        )
+    }
+}
+
+impl From<f64> for C64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        C64::new(re, 0.0)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: f64) -> C64 {
+        C64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: f64) -> C64 {
+        C64::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Add<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        rhs + self
+    }
+}
+
+impl Sub<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self - rhs.re, -rhs.im)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f64> for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -4.0);
+        assert_eq!(a + b, C64::new(4.0, -2.0));
+        assert_eq!(a - b, C64::new(-2.0, 6.0));
+        assert_eq!(a * b, C64::new(11.0, 2.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::I * C64::I, C64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::from_polar(2.5, 0.7);
+        assert!((z.abs() - 2.5).abs() < 1e-12);
+        assert!((z.arg() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euler_identity() {
+        let z = (C64::I * PI).exp();
+        assert!((z + C64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let a = C64::new(1.5, -0.5);
+        assert_eq!(a.conj().conj(), a);
+        assert!((a * a.conj() - C64::from(a.norm_sqr())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recip_inverts() {
+        let a = C64::new(0.3, -1.7);
+        assert!((a * a.recip() - C64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_real_ops() {
+        let a = C64::new(1.0, 1.0);
+        assert_eq!(a * 2.0, C64::new(2.0, 2.0));
+        assert_eq!(2.0 * a, C64::new(2.0, 2.0));
+        assert_eq!(a + 1.0, C64::new(2.0, 1.0));
+        assert_eq!(1.0 - a, C64::new(0.0, -1.0));
+        assert_eq!(a / 2.0, C64::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn sum_of_unit_roots_is_zero() {
+        let n = 7;
+        let total: C64 = (0..n).map(|k| C64::cis(2.0 * PI * k as f64 / n as f64)).sum();
+        assert!(total.abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = C64::new(1.2, -0.3);
+        let b = C64::new(-2.0, 0.5);
+        let c = C64::new(0.1, 0.9);
+        assert!((a.mul_add(b, c) - (a * b + c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+}

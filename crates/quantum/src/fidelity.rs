@@ -1,0 +1,206 @@
+//! Gate- and state-fidelity metrics.
+//!
+//! The paper's gate error-rate model (Section 4.4) obtains a *noisy unitary*
+//! from Hamiltonian simulation and compares it against the ideal gate; the
+//! reported "gate error" is the average-gate-fidelity infidelity
+//! `1 − F_avg`. These helpers implement that comparison, including the
+//! projection of a multi-level (leaky) propagator onto the computational
+//! subspace.
+
+use crate::complex::C64;
+use crate::matrix::CMatrix;
+
+/// Average gate fidelity between two unitaries of dimension `d`:
+/// `F_avg = (|Tr(U†V)|² + d) / (d(d+1))`.
+///
+/// # Panics
+///
+/// Panics if the matrices are not square with identical dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_quantum::{CMatrix, fidelity::average_gate_fidelity};
+///
+/// let u = CMatrix::hadamard();
+/// assert!((average_gate_fidelity(&u, &u) - 1.0).abs() < 1e-12);
+/// ```
+pub fn average_gate_fidelity(ideal: &CMatrix, actual: &CMatrix) -> f64 {
+    let d = ideal.dim() as f64;
+    assert_eq!(ideal.dim(), actual.dim(), "dimension mismatch");
+    let tr = (&ideal.adjoint() * actual).trace();
+    (tr.norm_sqr() + d) / (d * (d + 1.0))
+}
+
+/// Average gate *infidelity* (the "gate error" QIsim reports):
+/// `1 − F_avg`, clamped into `[0, 1]`.
+pub fn gate_error(ideal: &CMatrix, actual: &CMatrix) -> f64 {
+    (1.0 - average_gate_fidelity(ideal, actual)).clamp(0.0, 1.0)
+}
+
+/// Projects a `levels x levels` propagator onto the computational
+/// two-level subspace (the top-left 2x2 block).
+///
+/// The block of a leaky propagator is in general sub-unitary; the missing
+/// weight is exactly the leakage, so comparing the raw block against the
+/// ideal 2x2 gate correctly charges leakage as error.
+///
+/// # Panics
+///
+/// Panics if the propagator is smaller than 2x2.
+pub fn computational_block(u: &CMatrix) -> CMatrix {
+    assert!(u.dim() >= 2, "propagator must be at least 2x2");
+    let mut out = CMatrix::zeros(2, 2);
+    for r in 0..2 {
+        for c in 0..2 {
+            out[(r, c)] = u[(r, c)];
+        }
+    }
+    out
+}
+
+/// Gate error of a multi-level propagator against an ideal 2x2 gate, with a
+/// global-phase alignment so only physically meaningful error remains.
+pub fn gate_error_leaky(ideal_2x2: &CMatrix, actual_multilevel: &CMatrix) -> f64 {
+    let block = computational_block(actual_multilevel);
+    let aligned = align_global_phase(ideal_2x2, &block);
+    // F_avg generalized to sub-unitary M (Pedersen et al. 2007):
+    // F = [Tr(M M†) + |Tr(U† M)|²] / (d(d+1)).
+    let d = 2.0;
+    let m = &ideal_2x2.adjoint() * &aligned;
+    let tr_mm = (&aligned * &aligned.adjoint()).trace().re;
+    let f = (tr_mm + m.trace().norm_sqr()) / (d * (d + 1.0));
+    (1.0 - f).clamp(0.0, 1.0)
+}
+
+/// Population that has leaked outside the computational subspace when the
+/// propagator acts on the computational basis states (averaged).
+pub fn leakage(actual_multilevel: &CMatrix) -> f64 {
+    let n = actual_multilevel.dim();
+    if n <= 2 {
+        return 0.0;
+    }
+    let mut leak = 0.0;
+    for col in 0..2 {
+        for row in 2..n {
+            leak += actual_multilevel[(row, col)].norm_sqr();
+        }
+    }
+    leak / 2.0
+}
+
+/// Rescales `actual` by a global phase so that `Tr(ideal† actual)` is real
+/// and non-negative, removing the physically meaningless global phase.
+pub fn align_global_phase(ideal: &CMatrix, actual: &CMatrix) -> CMatrix {
+    let tr = (&ideal.adjoint() * actual).trace();
+    if tr.abs() < 1e-300 {
+        return actual.clone();
+    }
+    actual.scaled(C64::cis(-tr.arg()))
+}
+
+/// Fidelity between two pure states `|<a|b>|²`.
+///
+/// # Panics
+///
+/// Panics if the state lengths differ.
+pub fn state_fidelity(a: &[C64], b: &[C64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "state dimension mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x.conj() * *y)
+        .sum::<C64>()
+        .norm_sqr()
+}
+
+/// Fidelity of a pure target state against a density matrix: `<ψ|ρ|ψ>`.
+///
+/// # Panics
+///
+/// Panics if dimensions mismatch.
+pub fn state_vs_density_fidelity(psi: &[C64], rho: &CMatrix) -> f64 {
+    assert_eq!(psi.len(), rho.dim(), "dimension mismatch");
+    let rho_psi = rho.mul_vec(psi);
+    psi.iter()
+        .zip(rho_psi.iter())
+        .map(|(x, y)| x.conj() * *y)
+        .sum::<C64>()
+        .re
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn identical_gates_have_unit_fidelity() {
+        for g in [CMatrix::pauli_x(), CMatrix::hadamard(), CMatrix::rz(0.7)] {
+            assert!((average_gate_fidelity(&g, &g) - 1.0).abs() < 1e-12);
+            assert!(gate_error(&g, &g) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn orthogonal_gates_have_known_fidelity() {
+        // F(I, X) = (|Tr X|² + 2)/6 = 2/6 = 1/3.
+        let f = average_gate_fidelity(&CMatrix::identity(2), &CMatrix::pauli_x());
+        assert!((f - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_overrotation_gives_quadratic_error() {
+        let eps = 1e-3;
+        let err = gate_error(&CMatrix::rx(PI), &CMatrix::rx(PI + eps));
+        // error ≈ eps²/6 for small eps
+        assert!((err - eps * eps / 6.0).abs() < 1e-9, "err {err}");
+    }
+
+    #[test]
+    fn global_phase_is_ignored_after_alignment() {
+        let u = CMatrix::hadamard();
+        let v = u.scaled(C64::cis(1.234));
+        let aligned = align_global_phase(&u, &v);
+        assert!(gate_error(&u, &aligned) < 1e-12);
+    }
+
+    #[test]
+    fn leaky_identity_has_zero_error() {
+        let u3 = CMatrix::identity(3);
+        assert!(gate_error_leaky(&CMatrix::identity(2), &u3) < 1e-12);
+        assert_eq!(leakage(&u3), 0.0);
+    }
+
+    #[test]
+    fn leakage_counts_third_level_weight() {
+        // A propagator moving 1% of |1> population to |2>.
+        let mut u = CMatrix::identity(3);
+        let theta: f64 = 0.1;
+        u[(1, 1)] = C64::from(theta.cos());
+        u[(2, 1)] = C64::from(theta.sin());
+        u[(1, 2)] = C64::from(-theta.sin());
+        u[(2, 2)] = C64::from(theta.cos());
+        let leak = leakage(&u);
+        assert!((leak - theta.sin().powi(2) / 2.0).abs() < 1e-12);
+        let err = gate_error_leaky(&CMatrix::identity(2), &u);
+        assert!(err > 0.0);
+    }
+
+    #[test]
+    fn state_fidelity_basics() {
+        let zero = [C64::ONE, C64::ZERO];
+        let one = [C64::ZERO, C64::ONE];
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let plus = [C64::from(s), C64::from(s)];
+        assert!((state_fidelity(&zero, &zero) - 1.0).abs() < 1e-12);
+        assert!(state_fidelity(&zero, &one) < 1e-12);
+        assert!((state_fidelity(&zero, &plus) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_fidelity_of_mixed_state() {
+        let zero = [C64::ONE, C64::ZERO];
+        let rho = CMatrix::diag(&[C64::from(0.8), C64::from(0.2)]);
+        assert!((state_vs_density_fidelity(&zero, &rho) - 0.8).abs() < 1e-12);
+    }
+}

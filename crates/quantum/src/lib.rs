@@ -1,0 +1,58 @@
+//! # qisim-quantum
+//!
+//! Quantum-dynamics substrate for the QIsim quantum–classical-interface
+//! (QCI) scalability framework (reproduction of Min et al., *QIsim:
+//! Architecting 10+K Qubit QC Interfaces Toward Quantum Supremacy*,
+//! ISCA 2023).
+//!
+//! The paper's gate and readout error-rate models (its Section 4.4) are all
+//! built on Hamiltonian simulation of small superconducting-circuit systems;
+//! this crate provides everything those models need, implemented from
+//! scratch:
+//!
+//! * [`C64`] — complex arithmetic;
+//! * [`CMatrix`] — dense complex matrices with the standard gate set and
+//!   bosonic ladder operators;
+//! * [`integrate`] — fixed-step RK4 integrators for Schrödinger dynamics,
+//!   full propagators, and the Lindblad master equation;
+//! * [`transmon`] — single and coupled flux-tunable transmon Hamiltonians
+//!   (drive and CZ physics);
+//! * [`resonator`] — dispersive readout (coherent-amplitude trajectories);
+//! * [`jpm`] — Josephson-photomultiplier tunneling for SFQ readout;
+//! * [`fidelity`] — average-gate-fidelity error metrics with leakage;
+//! * [`Statevector`] — an n-qubit state engine for workload-level
+//!   Pauli-channel Monte-Carlo.
+//!
+//! # Examples
+//!
+//! Simulate a resonant 25 ns pi-pulse on a three-level transmon and measure
+//! the gate error against the ideal X gate:
+//!
+//! ```
+//! use qisim_quantum::{CMatrix, integrate::propagator, fidelity, transmon::Transmon};
+//! use std::f64::consts::PI;
+//!
+//! let q = Transmon::standard();
+//! let duration_ns = 25.0;
+//! // Constant-envelope pi pulse (a real pulse would be shaped).
+//! let rabi = PI / duration_ns;
+//! let u = propagator(3, |_| q.driven_hamiltonian(0.0, rabi, 0.0), 0.0, duration_ns, 2500);
+//! let err = fidelity::gate_error_leaky(&CMatrix::pauli_x(), &u);
+//! assert!(err < 0.05); // square pulses are noticeably leaky
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod complex;
+pub mod fidelity;
+pub mod integrate;
+pub mod jpm;
+pub mod matrix;
+pub mod resonator;
+pub mod statevector;
+pub mod transmon;
+
+pub use complex::C64;
+pub use matrix::CMatrix;
+pub use statevector::Statevector;

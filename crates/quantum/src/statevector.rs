@@ -1,0 +1,333 @@
+//! An n-qubit statevector simulator.
+//!
+//! The workload-level error simulator (Section 4.5 of the paper) runs
+//! Pauli-channel Monte-Carlo trajectories over benchmark circuits of up to
+//! ~16 qubits; this module provides the underlying state engine: gate
+//! application, Pauli injection, measurement sampling, and expectation
+//! values. Qubit 0 is the least-significant bit of the basis index.
+
+use crate::complex::C64;
+use crate::matrix::CMatrix;
+use rand::Rng;
+
+/// A pure state of `n` qubits stored as `2^n` complex amplitudes.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_quantum::{CMatrix, Statevector};
+///
+/// let mut psi = Statevector::zero_state(2);
+/// psi.apply_1q(&CMatrix::hadamard(), 0);
+/// psi.apply_2q(&CMatrix::cnot(), 0, 1);
+/// // Bell state: P(00) = P(11) = 1/2.
+/// let p = psi.probabilities();
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// assert!((p[3] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statevector {
+    qubits: usize,
+    amplitudes: Vec<C64>,
+}
+
+impl Statevector {
+    /// Maximum supported register size (amplitude vector of 2^24 ≈ 16M).
+    pub const MAX_QUBITS: usize = 24;
+
+    /// Creates the all-zeros computational basis state `|0…0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubits == 0` or exceeds [`Statevector::MAX_QUBITS`].
+    pub fn zero_state(qubits: usize) -> Self {
+        assert!(qubits > 0, "need at least one qubit");
+        assert!(qubits <= Self::MAX_QUBITS, "register too large");
+        let mut amplitudes = vec![C64::ZERO; 1 << qubits];
+        amplitudes[0] = C64::ONE;
+        Statevector { qubits, amplitudes }
+    }
+
+    /// Creates a state from raw amplitudes (must have power-of-two length
+    /// and unit norm within 1e-6).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid length or non-normalized input.
+    pub fn from_amplitudes(amplitudes: Vec<C64>) -> Self {
+        let len = amplitudes.len();
+        assert!(len.is_power_of_two() && len >= 2, "length must be a power of two >= 2");
+        let qubits = len.trailing_zeros() as usize;
+        let norm: f64 = amplitudes.iter().map(|z| z.norm_sqr()).sum();
+        assert!((norm - 1.0).abs() < 1e-6, "state is not normalized (norm² = {norm})");
+        Statevector { qubits, amplitudes }
+    }
+
+    /// Number of qubits.
+    pub fn qubits(&self) -> usize {
+        self.qubits
+    }
+
+    /// Raw amplitudes, little-endian basis ordering.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amplitudes
+    }
+
+    /// Applies a 2x2 unitary to qubit `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not 2x2 or `target` is out of range.
+    pub fn apply_1q(&mut self, gate: &CMatrix, target: usize) {
+        assert_eq!(gate.dim(), 2, "1q gate must be 2x2");
+        assert!(target < self.qubits, "target out of range");
+        let bit = 1usize << target;
+        let g00 = gate[(0, 0)];
+        let g01 = gate[(0, 1)];
+        let g10 = gate[(1, 0)];
+        let g11 = gate[(1, 1)];
+        let n = self.amplitudes.len();
+        let mut i = 0;
+        while i < n {
+            if i & bit == 0 {
+                let j = i | bit;
+                let a0 = self.amplitudes[i];
+                let a1 = self.amplitudes[j];
+                self.amplitudes[i] = g00 * a0 + g01 * a1;
+                self.amplitudes[j] = g10 * a0 + g11 * a1;
+            }
+            i += 1;
+        }
+    }
+
+    /// Applies a 4x4 unitary to the qubit pair `(low, high)`, where `low`
+    /// indexes the least-significant bit of the gate's 2-bit basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is not 4x4 or the qubits coincide / out-of-range.
+    pub fn apply_2q(&mut self, gate: &CMatrix, low: usize, high: usize) {
+        assert_eq!(gate.dim(), 4, "2q gate must be 4x4");
+        assert!(low < self.qubits && high < self.qubits, "qubit out of range");
+        assert_ne!(low, high, "qubits must differ");
+        let bl = 1usize << low;
+        let bh = 1usize << high;
+        let n = self.amplitudes.len();
+        for base in 0..n {
+            if base & bl != 0 || base & bh != 0 {
+                continue;
+            }
+            let idx = [base, base | bl, base | bh, base | bl | bh];
+            let olds = [
+                self.amplitudes[idx[0]],
+                self.amplitudes[idx[1]],
+                self.amplitudes[idx[2]],
+                self.amplitudes[idx[3]],
+            ];
+            for (r, &out_i) in idx.iter().enumerate() {
+                let mut acc = C64::ZERO;
+                for (c, &old) in olds.iter().enumerate() {
+                    acc = gate[(r, c)].mul_add(old, acc);
+                }
+                self.amplitudes[out_i] = acc;
+            }
+        }
+    }
+
+    /// Applies a Pauli operator (`'I' | 'X' | 'Y' | 'Z'`) to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown Pauli label.
+    pub fn apply_pauli(&mut self, pauli: char, target: usize) {
+        match pauli {
+            'I' => {}
+            'X' => self.apply_1q(&CMatrix::pauli_x(), target),
+            'Y' => self.apply_1q(&CMatrix::pauli_y(), target),
+            'Z' => self.apply_1q(&CMatrix::pauli_z(), target),
+            other => panic!("unknown Pauli label {other:?}"),
+        }
+    }
+
+    /// Probability of each computational basis outcome.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|z| z.norm_sqr()).collect()
+    }
+
+    /// Probability that qubit `target` reads 1.
+    pub fn prob_one(&self, target: usize) -> f64 {
+        assert!(target < self.qubits, "target out of range");
+        let bit = 1usize << target;
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, z)| z.norm_sqr())
+            .sum()
+    }
+
+    /// Samples one full-register measurement outcome without collapsing.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, z) in self.amplitudes.iter().enumerate() {
+            acc += z.norm_sqr();
+            if x < acc {
+                return i;
+            }
+        }
+        self.amplitudes.len() - 1
+    }
+
+    /// Measures qubit `target`, collapsing the state; returns the outcome.
+    pub fn measure<R: Rng>(&mut self, target: usize, rng: &mut R) -> bool {
+        let p1 = self.prob_one(target);
+        let outcome = rng.gen::<f64>() < p1;
+        self.collapse(target, outcome);
+        outcome
+    }
+
+    /// Projects qubit `target` onto `outcome` and renormalizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projected state has zero norm (measuring an impossible
+    /// outcome).
+    pub fn collapse(&mut self, target: usize, outcome: bool) {
+        let bit = 1usize << target;
+        let mut norm2 = 0.0;
+        for (i, z) in self.amplitudes.iter_mut().enumerate() {
+            if ((i & bit) != 0) != outcome {
+                *z = C64::ZERO;
+            } else {
+                norm2 += z.norm_sqr();
+            }
+        }
+        assert!(norm2 > 0.0, "collapsing onto a zero-probability outcome");
+        let inv = 1.0 / norm2.sqrt();
+        for z in self.amplitudes.iter_mut() {
+            *z = *z * inv;
+        }
+    }
+
+    /// Overlap fidelity `|<self|other>|²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if register sizes differ.
+    pub fn fidelity(&self, other: &Statevector) -> f64 {
+        assert_eq!(self.qubits, other.qubits, "register size mismatch");
+        crate::fidelity::state_fidelity(&self.amplitudes, &other.amplitudes)
+    }
+
+    /// Expectation of Z on `target`.
+    pub fn expect_z(&self, target: usize) -> f64 {
+        1.0 - 2.0 * self.prob_one(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state_has_unit_probability_at_zero() {
+        let psi = Statevector::zero_state(3);
+        let p = psi.probabilities();
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        assert!(p[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn ghz_state_probabilities() {
+        let n = 4;
+        let mut psi = Statevector::zero_state(n);
+        psi.apply_1q(&CMatrix::hadamard(), 0);
+        for k in 1..n {
+            psi.apply_2q(&CMatrix::cnot(), k - 1, k);
+        }
+        let p = psi.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[(1 << n) - 1] - 0.5).abs() < 1e-12);
+        let middle: f64 = p[1..(1 << n) - 1].iter().sum();
+        assert!(middle < 1e-12);
+    }
+
+    #[test]
+    fn cnot_control_is_low_qubit() {
+        // apply_2q(cnot, low=0, high=1): control = gate qubit 0 = our `low`.
+        let mut psi = Statevector::zero_state(2);
+        psi.apply_1q(&CMatrix::pauli_x(), 0); // |01> in (q1 q0) order -> index 1
+        psi.apply_2q(&CMatrix::cnot(), 0, 1);
+        // control q0 = 1, so target flips: index 3.
+        assert!((psi.probabilities()[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_x_flips() {
+        let mut psi = Statevector::zero_state(1);
+        psi.apply_pauli('X', 0);
+        assert!((psi.prob_one(0) - 1.0).abs() < 1e-12);
+        psi.apply_pauli('Y', 0);
+        assert!(psi.prob_one(0) < 1e-12);
+        psi.apply_pauli('Z', 0); // phase only
+        assert!(psi.prob_one(0) < 1e-12);
+    }
+
+    #[test]
+    fn measurement_collapses_bell_pair() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let mut psi = Statevector::zero_state(2);
+            psi.apply_1q(&CMatrix::hadamard(), 0);
+            psi.apply_2q(&CMatrix::cnot(), 0, 1);
+            let m0 = psi.measure(0, &mut rng);
+            let m1 = psi.measure(1, &mut rng);
+            assert_eq!(m0, m1, "Bell pair must be correlated");
+        }
+    }
+
+    #[test]
+    fn sampling_distribution_roughly_uniform_for_plus_states() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 3;
+        let mut psi = Statevector::zero_state(n);
+        for k in 0..n {
+            psi.apply_1q(&CMatrix::hadamard(), k);
+        }
+        let shots = 8000;
+        let mut counts = vec![0usize; 1 << n];
+        for _ in 0..shots {
+            counts[psi.sample(&mut rng)] += 1;
+        }
+        let expected = shots as f64 / (1 << n) as f64;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < 5.0 * expected.sqrt());
+        }
+    }
+
+    #[test]
+    fn expect_z_signs() {
+        let mut psi = Statevector::zero_state(1);
+        assert!((psi.expect_z(0) - 1.0).abs() < 1e-12);
+        psi.apply_pauli('X', 0);
+        assert!((psi.expect_z(0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_rotated_states() {
+        let mut a = Statevector::zero_state(1);
+        let b = Statevector::zero_state(1);
+        a.apply_1q(&CMatrix::ry(0.2), 0);
+        let f = a.fidelity(&b);
+        assert!((f - (0.1f64).cos().powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalized")]
+    fn from_amplitudes_rejects_unnormalized() {
+        let _ = Statevector::from_amplitudes(vec![C64::ONE, C64::ONE]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests of the quantum substrate's invariants.
+
+use proptest::prelude::*;
+use qisim_quantum::fidelity::{average_gate_fidelity, gate_error, state_fidelity};
+use qisim_quantum::integrate::{normalize, propagator, schrodinger_evolve};
+use qisim_quantum::transmon::{CoupledTransmons, Transmon};
+use qisim_quantum::{C64, CMatrix, Statevector};
+
+fn small_angle() -> impl Strategy<Value = f64> {
+    -3.2f64..3.2
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every standard rotation gate is unitary.
+    #[test]
+    fn rotation_gates_are_unitary(theta in small_angle()) {
+        prop_assert!(CMatrix::rx(theta).is_unitary(1e-12));
+        prop_assert!(CMatrix::ry(theta).is_unitary(1e-12));
+        prop_assert!(CMatrix::rz(theta).is_unitary(1e-12));
+    }
+
+    /// `Rz(a)·Rz(b) = Rz(a+b)` up to numerical tolerance.
+    #[test]
+    fn rz_composes_additively(a in small_angle(), b in small_angle()) {
+        let lhs = &CMatrix::rz(a) * &CMatrix::rz(b);
+        let rhs = CMatrix::rz(a + b);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    /// The propagator of any driven-transmon Hamiltonian is unitary.
+    #[test]
+    fn propagators_stay_unitary(
+        i_amp in -0.3f64..0.3,
+        q_amp in -0.3f64..0.3,
+        detune in -0.2f64..0.2,
+        duration in 1.0f64..30.0,
+    ) {
+        let q = Transmon::standard();
+        let steps = (duration * 400.0) as usize;
+        let u = propagator(3, |_| q.driven_hamiltonian(detune, i_amp, q_amp), 0.0, duration, steps);
+        prop_assert!(u.is_unitary(1e-7), "norm drift too large");
+    }
+
+    /// Schrödinger evolution preserves the state norm.
+    #[test]
+    fn schrodinger_preserves_norm(rabi in 0.0f64..0.3, duration in 1.0f64..20.0) {
+        let q = Transmon::standard();
+        let mut psi = vec![C64::ONE, C64::ZERO, C64::ZERO];
+        normalize(&mut psi);
+        let out = schrodinger_evolve(&psi, |_| q.driven_hamiltonian(0.0, rabi, 0.0), 0.0, duration, 800);
+        let norm: f64 = out.iter().map(|a| a.norm_sqr()).sum();
+        prop_assert!((norm - 1.0).abs() < 1e-6, "norm {norm}");
+    }
+
+    /// Average gate fidelity lies in [0, 1] and equals 1 for identical
+    /// unitaries.
+    #[test]
+    fn fidelity_is_bounded(theta in small_angle(), phi in small_angle()) {
+        let a = CMatrix::rx(theta);
+        let b = CMatrix::ry(phi);
+        let f = average_gate_fidelity(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f), "fidelity {f}");
+        prop_assert!(gate_error(&a, &a) < 1e-12);
+    }
+
+    /// `gate_error` is symmetric for unitaries.
+    #[test]
+    fn gate_error_is_symmetric(theta in small_angle(), phi in small_angle()) {
+        let a = CMatrix::rx(theta);
+        let b = CMatrix::rz(phi);
+        let e_ab = gate_error(&a, &b);
+        let e_ba = gate_error(&b, &a);
+        prop_assert!((e_ab - e_ba).abs() < 1e-12);
+    }
+
+    /// Statevector gate application preserves normalization and
+    /// probabilities stay a distribution.
+    #[test]
+    fn statevector_stays_normalized(
+        qubits in 2usize..7,
+        gates in proptest::collection::vec((0usize..6, 0usize..6, -3.0f64..3.0), 1..24),
+    ) {
+        let mut s = Statevector::zero_state(qubits);
+        for (kind, q, theta) in gates {
+            let q = q % qubits;
+            match kind {
+                0 => s.apply_1q(&CMatrix::hadamard(), q),
+                1 => s.apply_1q(&CMatrix::rx(theta), q),
+                2 => s.apply_1q(&CMatrix::rz(theta), q),
+                3 => s.apply_pauli('X', q),
+                4 => s.apply_pauli('Y', q),
+                _ => {
+                    let other = (q + 1) % qubits;
+                    s.apply_2q(&CMatrix::cz(), q, other);
+                }
+            }
+        }
+        let total: f64 = s.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "probability mass {total}");
+    }
+
+    /// Measurement collapse leaves a valid, consistent state.
+    #[test]
+    fn collapse_is_consistent(qubits in 2usize..6, target in 0usize..6) {
+        let target = target % qubits;
+        let mut s = Statevector::zero_state(qubits);
+        for q in 0..qubits {
+            s.apply_1q(&CMatrix::hadamard(), q);
+        }
+        s.collapse(target, true);
+        prop_assert!((s.prob_one(target) - 1.0).abs() < 1e-9);
+        let total: f64 = s.probabilities().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// State fidelity is symmetric, bounded, and 1 on identical states.
+    #[test]
+    fn state_fidelity_properties(qubits in 1usize..5, seed in 0u64..1000) {
+        let mut s = Statevector::zero_state(qubits);
+        // Deterministic pseudo-random circuit from the seed.
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for _ in 0..6 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let q = (x >> 32) as usize % qubits;
+            let theta = ((x >> 16) & 0xFFFF) as f64 / 65536.0 * 6.28;
+            s.apply_1q(&CMatrix::ry(theta), q);
+        }
+        let f_self = state_fidelity(s.amplitudes(), s.amplitudes());
+        prop_assert!((f_self - 1.0).abs() < 1e-9);
+        let zero = Statevector::zero_state(qubits);
+        let f_ab = state_fidelity(s.amplitudes(), zero.amplitudes());
+        let f_ba = state_fidelity(zero.amplitudes(), s.amplitudes());
+        prop_assert!((f_ab - f_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&f_ab));
+    }
+
+    /// Kronecker products preserve unitarity and multiply dimensions.
+    #[test]
+    fn kron_preserves_unitarity(a in small_angle(), b in small_angle()) {
+        let u = CMatrix::rx(a).kron(&CMatrix::rz(b));
+        prop_assert_eq!(u.dim(), 4);
+        prop_assert!(u.is_unitary(1e-12));
+    }
+
+    /// The coupled-transmon Hamiltonian is Hermitian for any detuning.
+    #[test]
+    fn coupled_hamiltonian_hermitian(delta in -1.0f64..1.0) {
+        let pair = CoupledTransmons::standard();
+        prop_assert!(pair.hamiltonian(delta).is_hermitian(1e-12));
+    }
+}

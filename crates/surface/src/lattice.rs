@@ -1,0 +1,200 @@
+//! Rotated surface-code lattice geometry (Fig. 1a).
+//!
+//! Distance-`d` rotated code: `d²` data qubits on a square grid, `d²−1`
+//! stabilizers (weight-4 checkerboard in the interior, weight-2 on the
+//! boundaries: X-type on top/bottom, Z-type on left/right). The logical
+//! `X̄` runs along the top row (crossing the Z-boundaries), the logical
+//! `Z̄` down the left column.
+
+/// A stabilizer generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Check {
+    /// `true` for X-type (detects Z errors), `false` for Z-type.
+    pub is_x: bool,
+    /// Data-qubit support (2 or 4 qubits).
+    pub support: Vec<usize>,
+    /// Plaquette coordinates (row, col) in the cell grid, for decoder
+    /// distance computations; boundary half-plaquettes sit at `−1`/`d−1`.
+    pub pos: (i32, i32),
+}
+
+/// The rotated lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lattice {
+    /// Code distance.
+    pub d: usize,
+    /// X-type checks.
+    pub x_checks: Vec<Check>,
+    /// Z-type checks.
+    pub z_checks: Vec<Check>,
+}
+
+impl Lattice {
+    /// Builds the distance-`d` rotated lattice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d < 2`.
+    pub fn new(d: usize) -> Self {
+        assert!(d >= 2, "code distance must be at least 2");
+        let di = d as i32;
+        let data = |r: i32, c: i32| -> Option<usize> {
+            if (0..di).contains(&r) && (0..di).contains(&c) {
+                Some((r * di + c) as usize)
+            } else {
+                None
+            }
+        };
+        let mut x_checks = Vec::new();
+        let mut z_checks = Vec::new();
+        for r in -1..di {
+            for c in -1..di {
+                let is_x = (r + c).rem_euclid(2) == 0;
+                let corners = [data(r, c), data(r, c + 1), data(r + 1, c), data(r + 1, c + 1)];
+                let support: Vec<usize> = corners.iter().flatten().copied().collect();
+                let keep = match support.len() {
+                    4 => true,
+                    2 => {
+                        let tb = r == -1 || r == di - 1;
+                        let lr = c == -1 || c == di - 1;
+                        (tb && is_x && !lr) || (lr && !is_x && !tb)
+                    }
+                    _ => false,
+                };
+                if !keep {
+                    continue;
+                }
+                let check = Check { is_x, support, pos: (r, c) };
+                if is_x {
+                    x_checks.push(check);
+                } else {
+                    z_checks.push(check);
+                }
+            }
+        }
+        Lattice { d, x_checks, z_checks }
+    }
+
+    /// Number of data qubits (`d²`).
+    pub fn data_qubits(&self) -> usize {
+        self.d * self.d
+    }
+
+    /// Logical `Z̄` support: the top row. Z-strings terminate
+    /// undetectably on the left/right (Z-check) boundaries, so the
+    /// logical Z runs horizontally.
+    pub fn logical_z(&self) -> Vec<usize> {
+        (0..self.d).collect()
+    }
+
+    /// Logical `X̄` support: the left column (X-strings terminate on the
+    /// top/bottom X-check boundaries).
+    pub fn logical_x(&self) -> Vec<usize> {
+        (0..self.d).map(|r| r * self.d).collect()
+    }
+
+    /// Syndrome of an X-error pattern: which Z-checks flip.
+    pub fn z_syndrome(&self, x_errors: &[bool]) -> Vec<bool> {
+        assert_eq!(x_errors.len(), self.data_qubits(), "one flag per data qubit");
+        self.z_checks
+            .iter()
+            .map(|chk| chk.support.iter().filter(|&&q| x_errors[q]).count() % 2 == 1)
+            .collect()
+    }
+
+    /// Syndrome of a Z-error pattern: which X-checks flip.
+    pub fn x_syndrome(&self, z_errors: &[bool]) -> Vec<bool> {
+        assert_eq!(z_errors.len(), self.data_qubits(), "one flag per data qubit");
+        self.x_checks
+            .iter()
+            .map(|chk| chk.support.iter().filter(|&&q| z_errors[q]).count() % 2 == 1)
+            .collect()
+    }
+
+    /// Whether an X-error pattern (after correction) implements logical
+    /// `X̄`: odd overlap (anticommutation) with the logical-Z̄ row.
+    pub fn is_logical_x(&self, x_errors: &[bool]) -> bool {
+        self.logical_z().iter().filter(|&&q| x_errors[q]).count() % 2 == 1
+    }
+
+    /// Whether a Z-error pattern implements logical `Z̄`: odd overlap
+    /// with the logical-X̄ column.
+    pub fn is_logical_z(&self, z_errors: &[bool]) -> bool {
+        self.logical_x().iter().filter(|&&q| z_errors[q]).count() % 2 == 1
+    }
+
+    /// The paper's per-logical-qubit physical-qubit count `2(d+1)²`
+    /// (§2.1.3 — includes the interface ancilla rows lattice surgery
+    /// needs, which is what the scalability analysis provisions).
+    pub fn provisioned_qubits(&self) -> usize {
+        2 * (self.d + 1) * (self.d + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_counts() {
+        for d in [3usize, 5, 7, 9] {
+            let l = Lattice::new(d);
+            assert_eq!(l.x_checks.len() + l.z_checks.len(), d * d - 1, "d={d}");
+            assert_eq!(l.x_checks.len(), l.z_checks.len());
+        }
+    }
+
+    #[test]
+    fn stabilizers_commute_with_logicals() {
+        let l = Lattice::new(5);
+        let lz = l.logical_z();
+        for chk in &l.x_checks {
+            let overlap = chk.support.iter().filter(|q| lz.contains(q)).count();
+            assert_eq!(overlap % 2, 0, "X-check at {:?} anticommutes with Z̄", chk.pos);
+        }
+        let lx = l.logical_x();
+        for chk in &l.z_checks {
+            let overlap = chk.support.iter().filter(|q| lx.contains(q)).count();
+            assert_eq!(overlap % 2, 0, "Z-check at {:?} anticommutes with X̄", chk.pos);
+        }
+    }
+
+    #[test]
+    fn single_error_flips_its_checks() {
+        let l = Lattice::new(5);
+        let mut errs = vec![false; l.data_qubits()];
+        errs[12] = true; // interior qubit
+        let syn = l.z_syndrome(&errs);
+        let flips = syn.iter().filter(|b| **b).count();
+        assert_eq!(flips, 2, "interior X error touches two Z-checks");
+    }
+
+    #[test]
+    fn logical_chain_is_syndrome_free() {
+        let l = Lattice::new(5);
+        let mut errs = vec![false; l.data_qubits()];
+        for q in l.logical_x() {
+            errs[q] = true;
+        }
+        let syn = l.z_syndrome(&errs);
+        assert!(syn.iter().all(|b| !b), "logical X chain must be undetectable");
+        assert!(l.is_logical_x(&errs));
+    }
+
+    #[test]
+    fn provisioned_count_matches_paper() {
+        assert_eq!(Lattice::new(23).provisioned_qubits(), 1152);
+    }
+
+    #[test]
+    fn boundary_checks_have_weight_two() {
+        let l = Lattice::new(7);
+        let w2: usize = l
+            .x_checks
+            .iter()
+            .chain(&l.z_checks)
+            .filter(|c| c.support.len() == 2)
+            .count();
+        assert_eq!(w2, 2 * (7 - 1));
+    }
+}

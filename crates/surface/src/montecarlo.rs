@@ -1,0 +1,100 @@
+//! Monte-Carlo logical-error sampling (code-capacity noise).
+//!
+//! Samples i.i.d. X errors on the data qubits, decodes with the
+//! union-find decoder, and counts logical failures — the numerical
+//! ground truth the analytic model of [`crate::analytic`] is validated
+//! against at small distances.
+
+use crate::decoder::{decode, DecodingGraph};
+use crate::lattice::Lattice;
+use rand::Rng;
+
+/// Result of a logical-error-rate estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McEstimate {
+    /// Estimated logical error probability per round.
+    pub logical_error: f64,
+    /// Trials run.
+    pub trials: usize,
+    /// Failures observed.
+    pub failures: usize,
+}
+
+/// Estimates the logical-X error rate at physical error probability `p`
+/// over `trials` rounds.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `trials == 0`.
+pub fn logical_error_rate<R: Rng>(
+    lattice: &Lattice,
+    p: f64,
+    trials: usize,
+    rng: &mut R,
+) -> McEstimate {
+    assert!((0.0..=1.0).contains(&p), "physical error rate must be a probability");
+    assert!(trials > 0, "need at least one trial");
+    let graph = DecodingGraph::new(lattice, false);
+    let n = lattice.data_qubits();
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        let mut errs = vec![false; n];
+        for e in errs.iter_mut() {
+            *e = rng.gen::<f64>() < p;
+        }
+        let syn = lattice.z_syndrome(&errs);
+        for q in decode(&graph, &syn) {
+            errs[q] ^= true;
+        }
+        debug_assert!(lattice.z_syndrome(&errs).iter().all(|b| !b));
+        if lattice.is_logical_x(&errs) {
+            failures += 1;
+        }
+    }
+    McEstimate { logical_error: failures as f64 / trials as f64, trials, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_physical_error_never_fails() {
+        let l = Lattice::new(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = logical_error_rate(&l, 0.0, 50, &mut rng);
+        assert_eq!(est.failures, 0);
+    }
+
+    #[test]
+    fn below_threshold_larger_d_wins() {
+        // Code-capacity threshold of union-find is ≈ 9.9 %; at p = 2 %
+        // larger distance must suppress the logical error.
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = 0.02;
+        let e3 = logical_error_rate(&Lattice::new(3), p, 4000, &mut rng).logical_error;
+        let e7 = logical_error_rate(&Lattice::new(7), p, 4000, &mut rng).logical_error;
+        assert!(
+            e7 < e3 || (e3 == 0.0 && e7 == 0.0),
+            "d=7 ({e7}) should beat d=3 ({e3}) below threshold"
+        );
+    }
+
+    #[test]
+    fn above_threshold_code_fails_badly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = logical_error_rate(&Lattice::new(5), 0.25, 1000, &mut rng);
+        assert!(est.logical_error > 0.1, "p=0.25 logical error {}", est.logical_error);
+    }
+
+    #[test]
+    fn error_rate_is_monotone_in_p() {
+        let l = Lattice::new(5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let lo = logical_error_rate(&l, 0.01, 3000, &mut rng).logical_error;
+        let hi = logical_error_rate(&l, 0.08, 3000, &mut rng).logical_error;
+        assert!(hi >= lo, "p=0.08 ({hi}) vs p=0.01 ({lo})");
+    }
+}

@@ -1,0 +1,99 @@
+//! Quantum-supremacy targets (§6.1).
+//!
+//! Google's FTQC roadmap framing: near-term, grow the code distance to
+//! `d = 23` (one 1,152-physical-qubit logical patch); long-term, grow the
+//! number of `d = 23` patches to 54 (62,208 physical qubits) — enough to
+//! run Jellium N=54, a classically-intractable condensed-phase
+//! simulation, with a 99 % success rate. Target logical error rates
+//! follow the standard budget `p_target = (1 − P_success) / N_ops` with
+//! the Jellium T-counts of Kivlichan et al.
+
+use crate::lattice::Lattice;
+
+/// Code distance of both roadmap stages.
+pub const CODE_DISTANCE: u32 = 23;
+/// Required workload success probability.
+pub const SUCCESS_RATE: f64 = 0.99;
+
+/// A scalability target (one roadmap stage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Target {
+    /// Stage name.
+    pub name: &'static str,
+    /// Jellium problem size N.
+    pub jellium_n: u32,
+    /// Logical qubits provisioned.
+    pub logical_qubits: u32,
+    /// Total logical-operation count (T-count × code-cycle overhead) the
+    /// error budget divides over.
+    pub logical_ops: f64,
+}
+
+impl Target {
+    /// The near-term stage: one d=23 patch, Jellium N=2.
+    pub fn near_term() -> Self {
+        // 0.01 / 9.01e8 = 1.11e-11.
+        Target { name: "near-term (Jellium N=2)", jellium_n: 2, logical_qubits: 1, logical_ops: 9.01e8 }
+    }
+
+    /// The long-term stage: 54 patches, Jellium N=54 (quantum supremacy).
+    pub fn long_term() -> Self {
+        // 0.01 / 5.92e14 = 1.69e-17.
+        Target {
+            name: "long-term (Jellium N=54)",
+            jellium_n: 54,
+            logical_qubits: 54,
+            logical_ops: 5.92e14,
+        }
+    }
+
+    /// Target logical error rate per operation.
+    pub fn logical_error_target(&self) -> f64 {
+        (1.0 - SUCCESS_RATE) / self.logical_ops
+    }
+
+    /// Physical qubits this stage provisions (`2(d+1)²` per patch).
+    pub fn physical_qubits(&self) -> u32 {
+        self.logical_qubits * Lattice::new(CODE_DISTANCE as usize).provisioned_qubits() as u32
+    }
+
+    /// Whether a design's logical error meets this stage's target.
+    pub fn met_by(&self, logical_error: f64) -> bool {
+        logical_error <= self.logical_error_target()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_term_target_matches_paper() {
+        let t = Target::near_term();
+        let e = t.logical_error_target();
+        assert!((e - 1.11e-11).abs() / 1.11e-11 < 0.01, "near-term target {e}");
+        assert_eq!(t.physical_qubits(), 1152);
+    }
+
+    #[test]
+    fn long_term_target_matches_paper() {
+        let t = Target::long_term();
+        let e = t.logical_error_target();
+        assert!((e - 1.69e-17).abs() / 1.69e-17 < 0.01, "long-term target {e}");
+        assert_eq!(t.physical_qubits(), 62_208);
+    }
+
+    #[test]
+    fn long_term_is_much_stricter() {
+        let ratio =
+            Target::near_term().logical_error_target() / Target::long_term().logical_error_target();
+        assert!(ratio > 1e5, "target ratio {ratio}");
+    }
+
+    #[test]
+    fn met_by_is_a_threshold() {
+        let t = Target::near_term();
+        assert!(t.met_by(1e-12));
+        assert!(!t.met_by(1e-10));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the surface-code substrate.
+
+use proptest::prelude::*;
+use qisim_surface::analytic::{cmos_budget, sfq_budget, CALIBRATION};
+use qisim_surface::decoder::{decode, DecodingGraph};
+use qisim_surface::Lattice;
+
+fn errors_strategy(d: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(proptest::bool::weighted(0.08), d * d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The union-find decoder always returns the state to the codespace:
+    /// after applying its correction the syndrome is empty, for any error
+    /// pattern.
+    #[test]
+    fn decoder_always_clears_the_syndrome(d in 3usize..9, seed_errors in errors_strategy(8)) {
+        let lattice = Lattice::new(d);
+        let n = lattice.data_qubits();
+        let mut errs = vec![false; n];
+        for (i, e) in seed_errors.iter().enumerate() {
+            errs[i % n] ^= e;
+        }
+        let graph = DecodingGraph::new(&lattice, false);
+        let syndrome = lattice.z_syndrome(&errs);
+        for q in decode(&graph, &syndrome) {
+            errs[q] ^= true;
+        }
+        let residual = lattice.z_syndrome(&errs);
+        prop_assert!(residual.iter().all(|b| !b), "residual syndrome at d={d}");
+    }
+
+    /// Syndromes are linear: syndrome(a ⊕ b) = syndrome(a) ⊕ syndrome(b).
+    #[test]
+    fn syndromes_are_linear(a in errors_strategy(5), b in errors_strategy(5)) {
+        let lattice = Lattice::new(5);
+        let xor: Vec<bool> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
+        let sa = lattice.z_syndrome(&a);
+        let sb = lattice.z_syndrome(&b);
+        let sx = lattice.z_syndrome(&xor);
+        for i in 0..sa.len() {
+            prop_assert_eq!(sx[i], sa[i] ^ sb[i]);
+        }
+    }
+
+    /// Stabilizers commute with the logical operators at every distance.
+    #[test]
+    fn stabilizer_logical_commutation(d in 2usize..12) {
+        let l = Lattice::new(d);
+        let lz = l.logical_z();
+        for chk in &l.x_checks {
+            let overlap = chk.support.iter().filter(|q| lz.contains(q)).count();
+            prop_assert_eq!(overlap % 2, 0);
+        }
+        let lx = l.logical_x();
+        for chk in &l.z_checks {
+            let overlap = chk.support.iter().filter(|q| lx.contains(q)).count();
+            prop_assert_eq!(overlap % 2, 0);
+        }
+    }
+
+    /// Check counts follow `d² − 1` with balanced X/Z families.
+    #[test]
+    fn check_count_formula(d in 2usize..16) {
+        let l = Lattice::new(d);
+        prop_assert_eq!(l.x_checks.len() + l.z_checks.len(), d * d - 1);
+        let diff = l.x_checks.len() as i64 - l.z_checks.len() as i64;
+        prop_assert!(diff.abs() <= 1);
+    }
+
+    /// The analytic logical error is monotone in every physical error
+    /// contribution and in the cycle time.
+    #[test]
+    fn logical_error_is_monotone(
+        base_cycle in 500.0f64..3000.0,
+        extra in 1.0f64..3000.0,
+        d in 2u32..12,
+    ) {
+        let d = 2 * d + 1; // odd distances
+        let slow = cmos_budget(base_cycle + extra).logical_error(d, &CALIBRATION);
+        let fast = cmos_budget(base_cycle).logical_error(d, &CALIBRATION);
+        prop_assert!(slow >= fast, "slower cycle must not reduce p_L");
+        // SFQ (worse readout) never beats CMOS at the same cycle.
+        let sfq = sfq_budget(base_cycle).logical_error(d, &CALIBRATION);
+        prop_assert!(sfq >= fast);
+    }
+
+    /// Larger distances help (below threshold) and p_L is a probability.
+    #[test]
+    fn distance_scaling(cycle in 500.0f64..2000.0) {
+        let mut last = 1.0f64;
+        for d in [3u32, 7, 11, 15, 23] {
+            let p = cmos_budget(cycle).logical_error(d, &CALIBRATION);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p <= last + 1e-30, "d={d}: {p} vs previous {last}");
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Design-space exploration: build a custom QCI, apply optimizations one
+//! at a time, and watch the scalability verdict move — the workflow the
+//! paper's §6 walks through.
+//!
+//! Run with `cargo run --example design_your_qci`.
+
+use qisim::{analyze, apply, Opt, QciDesign};
+use qisim_surface::target::Target;
+
+fn report(step: &str, design: &QciDesign, target: &Target) {
+    let s = analyze(design, target);
+    println!(
+        "{step:<38} -> {:>8} qubits (binds {:?}), p_L {:.2e}, target met: {}",
+        s.power_limited_qubits,
+        s.binding_stage,
+        s.logical_error,
+        s.reaches(target)
+    );
+}
+
+fn main() {
+    let near = Target::near_term();
+    println!("== Near-term 4K CMOS chain (Fig. 13a) ==");
+    let mut d = QciDesign::cmos_baseline();
+    report("baseline (bin-counting, 14-bit)", &d, &near);
+    d = apply(&d, Opt::MemorylessDecision).expect("opt-1 applies to CMOS");
+    report("+ Opt-1 memoryless decision", &d, &near);
+    d = apply(&d, Opt::LowPrecisionDrive).expect("opt-2 applies to CMOS");
+    report("+ Opt-2 6-bit drive", &d, &near);
+
+    println!("\n== Near-term RSFQ chain (Fig. 13b) ==");
+    let mut s = QciDesign::rsfq_baseline();
+    report("baseline (unshared, 256-SR bitgen)", &s, &near);
+    s = apply(&s, Opt::SharedPipelinedReadout).expect("opt-3 applies to SFQ");
+    report("+ Opt-3 shared+pipelined readout", &s, &near);
+    s = apply(&s, Opt::LowPowerBitgen).expect("opt-4 applies to SFQ");
+    report("+ Opt-4 low-power bitgen", &s, &near);
+    s = apply(&s, Opt::SingleBroadcast).expect("opt-5 applies to SFQ");
+    report("+ Opt-5 #BS=1", &s, &near);
+
+    println!("\n== Long-term chains (Fig. 17) ==");
+    let long = Target::long_term();
+    report("advanced CMOS + Opt-6,7", &QciDesign::cmos_long_term(), &long);
+    report("ERSFQ + Opt-8", &QciDesign::ersfq_long_term(), &long);
+
+    println!("\nMis-applied optimizations are rejected:");
+    let err = apply(&QciDesign::cmos_baseline(), Opt::LowPowerBitgen).unwrap_err();
+    println!("  {err}");
+}

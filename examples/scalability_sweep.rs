@@ -1,0 +1,45 @@
+//! Regenerates the paper's scalability story end to end: every design of
+//! Figs. 12/13/17, its power-limited scale, binding stage, and
+//! logical-error verdict against both roadmap targets.
+//!
+//! Run with `cargo run --example scalability_sweep`.
+
+use qisim::{analyze, sweep, QciDesign};
+use qisim_surface::target::Target;
+
+fn main() {
+    let near = Target::near_term();
+    let long = Target::long_term();
+    println!("{:<48} {:>12} {:>9} {:>12} {:>6} {:>6}", "design", "max qubits", "binds", "p_L(d=23)", "near", "long");
+    for design in [
+        QciDesign::room_coax(),
+        QciDesign::room_microstrip(),
+        QciDesign::room_photonic(),
+        QciDesign::cmos_baseline(),
+        QciDesign::rsfq_baseline(),
+        QciDesign::rsfq_near_term(),
+        QciDesign::cmos_long_term(),
+        QciDesign::ersfq_long_term(),
+    ] {
+        let s = analyze(&design, &near);
+        println!(
+            "{:<48} {:>12} {:>9} {:>12.2e} {:>6} {:>6}",
+            truncate(&s.design, 48),
+            s.power_limited_qubits,
+            s.binding_stage.map(|b| b.label()).unwrap_or("-"),
+            s.logical_error,
+            s.reaches(&near),
+            analyze(&design, &long).reaches(&long),
+        );
+    }
+
+    println!("\nPer-stage utilization sweep of the 4K CMOS baseline (Fig. 13a):");
+    println!("{:>8} {:>10} {:>10}", "qubits", "4K util", "mK util");
+    for (n, k4, mk, _) in sweep(&QciDesign::cmos_baseline(), &[128, 256, 512, 666, 1024, 1399]) {
+        println!("{n:>8} {k4:>10.3} {mk:>10.3}");
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n { s.to_string() } else { format!("{}...", &s[..n - 3]) }
+}

@@ -1,0 +1,131 @@
+//! End-to-end scalability integration: the paper's Section 6 narrative,
+//! replayed as assertions.
+
+use qisim::{analyze, apply_all, Opt, QciDesign};
+use qisim::paperdata::scalability as anchors;
+use qisim::surface::target::Target;
+
+/// Fig. 12 + Fig. 13: every baseline misses the near-term scale, every
+/// optimized design reaches it, and the measured maxima track the
+/// paper's headline numbers within 2x.
+#[test]
+fn near_term_story() {
+    let t = Target::near_term();
+    let within2x = |measured: u64, paper: u64| {
+        let r = measured as f64 / paper as f64;
+        (0.5..=2.0).contains(&r)
+    };
+
+    for (design, paper) in [
+        (QciDesign::room_coax(), anchors::ROOM_COAX),
+        (QciDesign::room_microstrip(), anchors::ROOM_MICROSTRIP),
+        (QciDesign::room_photonic(), anchors::ROOM_PHOTONIC),
+        (QciDesign::cmos_baseline(), anchors::CMOS_BASELINE),
+        (QciDesign::rsfq_baseline(), anchors::RSFQ_BASELINE),
+    ] {
+        let s = analyze(&design, &t);
+        assert!(!s.reaches(&t), "{}: baseline must miss 1,152", s.design);
+        assert!(
+            within2x(s.power_limited_qubits, paper),
+            "{}: {} vs paper {paper}",
+            s.design,
+            s.power_limited_qubits
+        );
+    }
+
+    let cmos = apply_all(
+        &QciDesign::cmos_baseline(),
+        &[Opt::MemorylessDecision, Opt::LowPrecisionDrive],
+    )
+    .unwrap();
+    let s = analyze(&cmos, &t);
+    assert!(s.reaches(&t));
+    assert!(within2x(s.power_limited_qubits, anchors::CMOS_OPTIMIZED));
+
+    let rsfq = QciDesign::rsfq_near_term();
+    let s = analyze(&rsfq, &t);
+    assert!(s.reaches(&t));
+    assert!(within2x(s.power_limited_qubits, anchors::RSFQ_OPTIMIZED));
+}
+
+/// Fig. 17: both long-term designs support 62,208 qubits at the
+/// 1.69e-17 logical-error target.
+#[test]
+fn long_term_story() {
+    let t = Target::long_term();
+    for (design, paper) in [
+        (QciDesign::cmos_long_term(), anchors::CMOS_LONG_TERM),
+        (QciDesign::ersfq_long_term(), anchors::ERSFQ_LONG_TERM),
+    ] {
+        let s = analyze(&design, &t);
+        assert!(s.reaches(&t), "{}: {:?}", s.design, s);
+        let r = s.power_limited_qubits as f64 / paper as f64;
+        assert!((0.5..=2.0).contains(&r), "{}: {} vs paper {}", s.design, s.power_limited_qubits, paper);
+    }
+}
+
+/// The ordering of manageable scales across all eight designs matches
+/// the paper's narrative arc.
+#[test]
+fn scalability_ordering() {
+    let t = Target::near_term();
+    let m = |d: QciDesign| analyze(&d, &t).power_limited_qubits;
+    let photonic = m(QciDesign::room_photonic());
+    let rsfq = m(QciDesign::rsfq_baseline());
+    let coax = m(QciDesign::room_coax());
+    let ustrip = m(QciDesign::room_microstrip());
+    let cmos = m(QciDesign::cmos_baseline());
+    let cmos_lt = m(QciDesign::cmos_long_term());
+    let ersfq = m(QciDesign::ersfq_long_term());
+    assert!(photonic < rsfq, "photonic {photonic} vs rsfq {rsfq}");
+    assert!(rsfq < coax, "rsfq {rsfq} vs coax {coax}");
+    assert!(coax < ustrip, "coax {coax} vs microstrip {ustrip}");
+    assert!(ustrip < cmos * 2, "microstrip {ustrip} vs cmos {cmos}");
+    assert!(cmos < cmos_lt, "cmos {cmos} vs long-term {cmos_lt}");
+    assert!(cmos_lt < ersfq * 2, "cmos_lt {cmos_lt} vs ersfq {ersfq}");
+}
+
+/// Optimizations never hurt: applying each applicable optimization never
+/// reduces the power-limited scale nor raises the logical error.
+#[test]
+fn optimizations_are_never_harmful() {
+    let t = Target::near_term();
+    let cases: [(QciDesign, &[Opt]); 2] = [
+        (QciDesign::cmos_baseline(), &[Opt::MemorylessDecision, Opt::LowPrecisionDrive, Opt::MaskedIsa]),
+        (QciDesign::rsfq_baseline(), &[Opt::SharedPipelinedReadout, Opt::LowPowerBitgen, Opt::SingleBroadcast]),
+    ];
+    for (base, opts) in cases {
+        let mut current = base;
+        let mut last_power = analyze(&current, &t).power_limited_qubits;
+        for &o in opts {
+            current = qisim::apply(&current, o).unwrap();
+            let s = analyze(&current, &t);
+            // Opt-3 trades logical error for power; power must still
+            // improve or hold.
+            assert!(
+                s.power_limited_qubits + 1 >= last_power,
+                "{o}: power regressed {} -> {}",
+                last_power,
+                s.power_limited_qubits
+            );
+            last_power = s.power_limited_qubits;
+        }
+    }
+}
+
+/// §7.1 what-if: future refrigerators with bigger budgets scale every
+/// design further (the tool's forward-compatibility claim).
+#[test]
+fn future_fridge_what_if() {
+    use qisim::hal::fridge::{Fridge, Stage};
+    let t = Target::near_term();
+    let future = Fridge::standard()
+        .with_budget(Stage::K4, 10.0)
+        .with_budget(Stage::Mk100, 2e-3)
+        .with_budget(Stage::Mk20, 2e-4);
+    for d in [QciDesign::room_coax(), QciDesign::cmos_baseline(), QciDesign::rsfq_baseline()] {
+        let now = analyze(&d, &t).power_limited_qubits;
+        let then = qisim::analyze_on(&d, &t, &future).power_limited_qubits;
+        assert!(then as f64 >= 5.0 * now as f64, "{}: {now} -> {then}", d.name());
+    }
+}

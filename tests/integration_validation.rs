@@ -1,0 +1,69 @@
+//! Validation-suite integration: the §5 experiments, asserted at the
+//! tolerances the paper reports (or the documented substitution
+//! tolerances where our substrate differs).
+
+use qisim::experiments::{longterm, nearterm, setup, validation};
+
+/// Fig. 8: CMOS power model vs. the Horse Ridge anchors (paper ≤5.1 %;
+/// we allow 10 % against our digitized bars).
+#[test]
+fn fig08_cmos_power_validation() {
+    let e = validation::fig08();
+    assert!(e.max_relative_error() < 0.10, "{e}");
+}
+
+/// Fig. 10: RSFQ frequency/power model vs. post-layout anchors
+/// (paper ≤7.2 %).
+#[test]
+fn fig10_sfq_power_validation() {
+    let e = validation::fig10();
+    assert!(e.max_relative_error() < 0.10, "{e}");
+}
+
+/// Fig. 11: workload-fidelity estimator tracks the analytic reference
+/// within the paper's 5.1 % average difference (loosened to 8 % for
+/// Monte-Carlo scatter).
+#[test]
+fn fig11_workload_fidelity_validation() {
+    let e = validation::fig11();
+    let avg = e.rows.last().unwrap().measured;
+    assert!(avg < 0.08, "average fidelity difference {avg}\n{e}");
+}
+
+/// Table 1: every gate-error model lands within 3x of its experimental
+/// reference (the Hamiltonian-simulation substrate differs from the
+/// authors'; see DESIGN.md §1 for the substitutions).
+#[test]
+fn table1_gate_error_validation() {
+    let e = validation::table1();
+    for row in &e.rows {
+        let ratio = row.ratio();
+        assert!(
+            (1.0 / 3.0..=3.0).contains(&ratio),
+            "{}: measured {:.2e} vs reference {:.2e} (ratio {:.2})\n{e}",
+            row.label,
+            row.measured,
+            row.paper,
+            ratio
+        );
+    }
+}
+
+/// Table 2: the setup constants wired into the crates are exactly the
+/// paper's.
+#[test]
+fn table2_setup_self_check() {
+    let e = setup::table2();
+    assert!(e.max_relative_error() < 1e-9, "{e}");
+}
+
+/// Fig. 15/16/18 relative claims (power cuts, bandwidth cut) hold.
+#[test]
+fn optimization_percentages_hold() {
+    let f15 = nearterm::fig15();
+    assert!((f15.rows[1].ratio() - 1.0).abs() < 0.02, "pipelined latency\n{f15}");
+    let f16 = nearterm::fig16();
+    assert!((f16.rows[0].measured - 0.982).abs() < 0.03, "Opt-4 bitgen cut\n{f16}");
+    let f18 = longterm::fig18();
+    assert!(f18.rows[1].measured > 0.80, "Opt-6 bandwidth cut\n{f18}");
+}
