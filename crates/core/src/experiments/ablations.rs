@@ -5,7 +5,7 @@
 
 use super::{Experiment, Row};
 use crate::config::QciDesign;
-use crate::scalability::{analyze_on, analyze};
+use crate::scalability::{analyze, analyze_on};
 use qisim_hal::fridge::{Fridge, Stage};
 use qisim_hal::wire::WireKind;
 use qisim_microarch::cryo_cmos::CryoCmosConfig;
@@ -63,16 +63,11 @@ pub fn sharing_ablation() -> Experiment {
                 + RESET_NS
         };
         let cycle = 50.0 + 200.0 + latency;
-        let p_l = qisim_surface::analytic::sfq_budget(cycle)
-            .logical_error(CODE_DISTANCE, &CALIBRATION);
+        let p_l =
+            qisim_surface::analytic::sfq_budget(cycle).logical_error(CODE_DISTANCE, &CALIBRATION);
         // mK static power scales as 1/share (the Opt-3 win).
         let mk_rel = 1.0 / share as f64;
-        rows.push(Row::new(
-            format!("share={share}: readout latency"),
-            f64::NAN,
-            latency,
-            "ns",
-        ));
+        rows.push(Row::new(format!("share={share}: readout latency"), f64::NAN, latency, "ns"));
         rows.push(Row::new(format!("share={share}: logical error"), f64::NAN, p_l, ""));
         rows.push(Row::new(format!("share={share}: relative mK static"), f64::NAN, mk_rel, "x"));
     }
@@ -214,16 +209,29 @@ pub fn whatif() -> Experiment {
     let big = Fridge::standard().with_budget(Stage::K4, 10.0);
     let s_now = analyze(&QciDesign::cmos_baseline(), &near);
     let s_big = analyze_on(&QciDesign::cmos_baseline(), &near, &big);
-    rows.push(Row::new("4K CMOS baseline, 1.5 W fridge", f64::NAN, s_now.power_limited_qubits as f64, "qubits"));
-    rows.push(Row::new("4K CMOS baseline, 10 W fridge", f64::NAN, s_big.power_limited_qubits as f64, "qubits"));
+    rows.push(Row::new(
+        "4K CMOS baseline, 1.5 W fridge",
+        f64::NAN,
+        s_now.power_limited_qubits as f64,
+        "qubits",
+    ));
+    rows.push(Row::new(
+        "4K CMOS baseline, 10 W fridge",
+        f64::NAN,
+        s_big.power_limited_qubits as f64,
+        "qubits",
+    ));
 
     // Lighter wires: a hypothetical 10x-lighter 300K cable rescues the
     // room-temperature approach to ~4k qubits.
     let coax_now = analyze(&QciDesign::room_coax(), &near);
-    rows.push(Row::new("300K coax, today's cable", f64::NAN, coax_now.power_limited_qubits as f64, "qubits"));
-    let light = Fridge::standard()
-        .with_budget(Stage::Mk100, 2e-3)
-        .with_budget(Stage::Mk20, 2e-4);
+    rows.push(Row::new(
+        "300K coax, today's cable",
+        f64::NAN,
+        coax_now.power_limited_qubits as f64,
+        "qubits",
+    ));
+    let light = Fridge::standard().with_budget(Stage::Mk100, 2e-3).with_budget(Stage::Mk20, 2e-4);
     let coax_light = analyze_on(&QciDesign::room_coax(), &near, &light);
     rows.push(Row::new(
         "300K coax, 10x mK budgets (equiv. 10x lighter cable)",
@@ -237,7 +245,7 @@ pub fn whatif() -> Experiment {
         title: "future-technology scenarios via simulation parameters",
         rows,
         notes: vec![
-            "the tool's forward-compatibility claim: change the inputs, not the code".into(),
+            "the tool's forward-compatibility claim: change the inputs, not the code".into()
         ],
     }
 }

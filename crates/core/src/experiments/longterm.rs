@@ -52,14 +52,30 @@ pub fn fig17() -> Experiment {
         id: "Fig. 17",
         title: "long-term scalability: advanced 4K CMOS and ERSFQ",
         rows: vec![
-            Row::new("advanced CMOS + Opt-6,7: max qubits",
-                scalability::CMOS_LONG_TERM as f64, cmos_final.power_limited_qubits as f64, "qubits"),
-            Row::new("ERSFQ + Opt-8: max qubits",
-                scalability::ERSFQ_LONG_TERM as f64, sfq_final.power_limited_qubits as f64, "qubits"),
-            Row::new("pre-Opt-7 logical error / target (must be > 1)",
-                43.0, cmos_pre_opt7.logical_error / t.logical_error_target(), "x"),
-            Row::new("Opt-8 logical-error improvement",
-                logical::OPT8_IMPROVEMENT, sfq_shared.logical_error / sfq_final.logical_error, "x"),
+            Row::new(
+                "advanced CMOS + Opt-6,7: max qubits",
+                scalability::CMOS_LONG_TERM as f64,
+                cmos_final.power_limited_qubits as f64,
+                "qubits",
+            ),
+            Row::new(
+                "ERSFQ + Opt-8: max qubits",
+                scalability::ERSFQ_LONG_TERM as f64,
+                sfq_final.power_limited_qubits as f64,
+                "qubits",
+            ),
+            Row::new(
+                "pre-Opt-7 logical error / target (must be > 1)",
+                43.0,
+                cmos_pre_opt7.logical_error / t.logical_error_target(),
+                "x",
+            ),
+            Row::new(
+                "Opt-8 logical-error improvement",
+                logical::OPT8_IMPROVEMENT,
+                sfq_shared.logical_error / sfq_final.logical_error,
+                "x",
+            ),
         ],
         notes: vec![
             format!("14nm optimized (no advanced scaling) power limit: {} qubits", pl(near)),
@@ -88,7 +104,12 @@ pub fn fig18() -> Experiment {
         id: "Fig. 18",
         title: "Opt-6: FTQC-friendly instruction masking",
         rows: vec![
-            Row::new("wire share of advanced-CMOS 4K power", power_cuts::FIG18_WIRE_SHARE, wire_share, ""),
+            Row::new(
+                "wire share of advanced-CMOS 4K power",
+                power_cuts::FIG18_WIRE_SHARE,
+                wire_share,
+                "",
+            ),
             Row::new("instruction-bandwidth cut", power_cuts::OPT6_BANDWIDTH, bw_cut, ""),
         ],
         notes: vec![format!(
@@ -127,7 +148,12 @@ pub fn fig19() -> Experiment {
             Row::new("single-point error", 1.2e-3, single, ""),
             Row::new("memoryless (Opt-1) error", 1.0e-3, memless, ""),
             Row::new("multi-round error", 1.0e-3, mr_err, ""),
-            Row::new("multi-round speedup", readout::MULTIROUND_SPEEDUP, 1.0 - mr_lat / READOUT_NS, ""),
+            Row::new(
+                "multi-round speedup",
+                readout::MULTIROUND_SPEEDUP,
+                1.0 - mr_lat / READOUT_NS,
+                "",
+            ),
             Row::new(
                 "fraction decided within 267 ns",
                 readout::SHORT_ACCURACY,
@@ -162,8 +188,18 @@ pub fn fig20() -> Experiment {
         id: "Fig. 20",
         title: "Opt-8: fast resonator driving and unshared JPM readout",
         rows: vec![
-            Row::new("fast resonator-driving time", readout::FAST_DRIVING_NS, fast.driving_ns(), "ns"),
-            Row::new("driving share of shared readout", readout::DRIVING_SHARE, breakdown[0] / total, ""),
+            Row::new(
+                "fast resonator-driving time",
+                readout::FAST_DRIVING_NS,
+                fast.driving_ns(),
+                "ns",
+            ),
+            Row::new(
+                "driving share of shared readout",
+                readout::DRIVING_SHARE,
+                breakdown[0] / total,
+                "",
+            ),
             Row::new(
                 "pipeline-serialization share",
                 readout::PIPELINE_SHARE,
@@ -184,8 +220,13 @@ pub fn fig20() -> Experiment {
             ),
         ],
         notes: vec![
-            "our energy-limited driving model gives 289.1 ns (2x clock) vs. the paper's 230.9 ns".into(),
-            format!("same-error check: baseline {:?} vs fast {:?}", base.errors().total(), fast.errors().total()),
+            "our energy-limited driving model gives 289.1 ns (2x clock) vs. the paper's 230.9 ns"
+                .into(),
+            format!(
+                "same-error check: baseline {:?} vs fast {:?}",
+                base.errors().total(),
+                fast.errors().total()
+            ),
         ],
     }
 }

@@ -7,7 +7,9 @@ use crate::paperdata::{logical, power_cuts, readout, scalability};
 use crate::scalability::analyze;
 use qisim_hal::fridge::{Fridge, Stage};
 use qisim_microarch::cryo_cmos::CryoCmosConfig;
-use qisim_microarch::sfq::{drive::bitgen_cells, BitgenKind, JpmSharing, ReadoutSchedule, SfqConfig};
+use qisim_microarch::sfq::{
+    drive::bitgen_cells, BitgenKind, JpmSharing, ReadoutSchedule, SfqConfig,
+};
 use qisim_power::max_qubits;
 use qisim_surface::analytic::{sfq_budget, PhysicalBudget, CALIBRATION};
 use qisim_surface::target::{Target, CODE_DISTANCE};
@@ -53,8 +55,8 @@ pub fn fig12() -> Experiment {
 pub fn fig13() -> Experiment {
     let t = Target::near_term();
     let cmos_base = QciDesign::cmos_baseline();
-    let cmos_opt =
-        apply_all(&cmos_base, &[Opt::MemorylessDecision, Opt::LowPrecisionDrive]).expect("cmos opts");
+    let cmos_opt = apply_all(&cmos_base, &[Opt::MemorylessDecision, Opt::LowPrecisionDrive])
+        .expect("cmos opts");
     let rsfq_base = QciDesign::rsfq_baseline();
     let rsfq_opt = apply_all(
         &rsfq_base,
@@ -96,7 +98,12 @@ pub fn fig13() -> Experiment {
                 sopt.power_limited_qubits as f64,
                 "qubits",
             ),
-            Row::new("RSFQ baseline logical error (d=23)", logical::SFQ_BASELINE, sbase.logical_error, ""),
+            Row::new(
+                "RSFQ baseline logical error (d=23)",
+                logical::SFQ_BASELINE,
+                sbase.logical_error,
+                "",
+            ),
         ],
         notes: vec![
             format!("near-term target scale: {} qubits", scalability::NEAR_TERM_QUBITS),
@@ -156,7 +163,8 @@ pub fn fig14() -> Experiment {
         title: "Opt-1/2: bit-precision sweep and decision-unit power cuts",
         rows,
         notes: vec![
-            "gate error saturates ~9 bits; logical error saturates at 6 bits (paper's insight)".into(),
+            "gate error saturates ~9 bits; logical error saturates at 6 bits (paper's insight)"
+                .into(),
         ],
     }
 }
@@ -175,8 +183,18 @@ pub fn fig15() -> Experiment {
         id: "Fig. 15",
         title: "Opt-3: shared + pipelined JPM readout",
         rows: vec![
-            Row::new("naive 8x-shared readout latency", readout::NAIVE_NS, naive.group_latency_ns(), "ns"),
-            Row::new("pipelined readout latency", readout::PIPELINED_NS, piped.group_latency_ns(), "ns"),
+            Row::new(
+                "naive 8x-shared readout latency",
+                readout::NAIVE_NS,
+                naive.group_latency_ns(),
+                "ns",
+            ),
+            Row::new(
+                "pipelined readout latency",
+                readout::PIPELINED_NS,
+                piped.group_latency_ns(),
+                "ns",
+            ),
             Row::new("baseline logical error", logical::SFQ_BASELINE, p_l(base), ""),
             Row::new("naive-sharing logical error", logical::SFQ_NAIVE_SHARED, p_l(naive), ""),
             Row::new("pipelined logical error", logical::SFQ_PIPELINED, p_l(piped), ""),

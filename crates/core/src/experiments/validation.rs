@@ -60,10 +60,8 @@ pub fn fig10() -> Experiment {
         tech.static_power_w(cells) + tech.dynamic_power_w(cells, SFQ_CLOCK_HZ, activity) * 0.3
     };
     let bitgen = power(&bitgen_cells(BitgenKind::PerPhiShiftRegisters));
-    let controller = power(&[
-        (qisim_hal::sfq::SfqCell::Mux2, 255 * 8),
-        (qisim_hal::sfq::SfqCell::Jtl, 160),
-    ]);
+    let controller =
+        power(&[(qisim_hal::sfq::SfqCell::Mux2, 255 * 8), (qisim_hal::sfq::SfqCell::Jtl, 160)]);
     let per_qubit = power(&[
         (qisim_hal::sfq::SfqCell::Ndro, 8),
         (qisim_hal::sfq::SfqCell::Merger, 8),
@@ -94,7 +92,12 @@ pub fn fig10() -> Experiment {
 pub fn table1() -> Experiment {
     // CMOS 1Q with decoherence at ibm_peekskill-like coherence.
     let cmos = Cmos1qModel::baseline();
-    let coh = cmos.coherent_gate_error::<rand::rngs::ThreadRng>(Axis::X, std::f64::consts::PI, 14, None);
+    let coh = cmos.coherent_gate_error::<qisim_quantum::rng::Xorshift64Star>(
+        Axis::X,
+        std::f64::consts::PI,
+        14,
+        None,
+    );
     let cmos_1q = cmos.with_decoherence(coh, 280.0, 280.0);
     // SFQ 1Q.
     let sfq_1q = Sfq1qModel::baseline().basis_gate_error();
@@ -119,9 +122,14 @@ pub fn table1() -> Experiment {
             Row::new("SFQ readout (no state prep)", table1::SFQ_RO_REF, sfq_ro, ""),
         ],
         notes: vec![
-            format!("paper's own model values: {:.2e} / {:.2e} / {:.2e} / {:.2e} / {:.2e}",
-                table1::CMOS_1Q_MODEL, table1::SFQ_1Q_MODEL, table1::TWO_Q_MODEL,
-                table1::CMOS_RO_MODEL, table1::SFQ_RO_MODEL),
+            format!(
+                "paper's own model values: {:.2e} / {:.2e} / {:.2e} / {:.2e} / {:.2e}",
+                table1::CMOS_1Q_MODEL,
+                table1::SFQ_1Q_MODEL,
+                table1::TWO_Q_MODEL,
+                table1::CMOS_RO_MODEL,
+                table1::SFQ_RO_MODEL
+            ),
             "2Q reference is 9.0e-4 +/- 7e-4 (experimental range)".into(),
         ],
     }
@@ -132,13 +140,8 @@ pub fn table1() -> Experiment {
 /// for the IBMQ hardware runs; the paper reports 5.1 % average
 /// difference).
 pub fn fig11() -> Experiment {
-    let rates = ErrorRates {
-        one_q: 3.0e-4,
-        two_q: 8.0e-3,
-        readout: 1.5e-2,
-        t1_us: 120.0,
-        t2_us: 100.0,
-    };
+    let rates =
+        ErrorRates { one_q: 3.0e-4, two_q: 8.0e-3, readout: 1.5e-2, t1_us: 120.0, t2_us: 100.0 };
     let sim = WorkloadSim { rates, trajectories: 300 };
     let mut rows = Vec::new();
     let mut total_diff = 0.0;

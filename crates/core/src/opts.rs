@@ -101,18 +101,22 @@ impl std::error::Error for ApplyOptError {}
 pub fn apply(design: &QciDesign, opt: Opt) -> Result<QciDesign, ApplyOptError> {
     let reject = || ApplyOptError { opt, design: design.name() };
     match (design, opt) {
-        (QciDesign::CryoCmos(cfg), Opt::MemorylessDecision) => Ok(QciDesign::CryoCmos(
-            CryoCmosConfig { decision: DecisionKind::Memoryless, ..*cfg },
-        )),
+        (QciDesign::CryoCmos(cfg), Opt::MemorylessDecision) => {
+            Ok(QciDesign::CryoCmos(CryoCmosConfig { decision: DecisionKind::Memoryless, ..*cfg }))
+        }
         (QciDesign::CryoCmos(cfg), Opt::LowPrecisionDrive) => {
             Ok(QciDesign::CryoCmos(CryoCmosConfig { drive_bits: 6, ..*cfg }))
         }
         (QciDesign::CryoCmos(cfg), Opt::MaskedIsa) => {
             Ok(QciDesign::CryoCmos(CryoCmosConfig { masked_isa: true, ..*cfg }))
         }
-        (QciDesign::CryoCmos(cfg), Opt::FastMultiRoundReadout) => Ok(QciDesign::CryoCmos(
-            CryoCmosConfig { drive_fdm: 20, readout_ns: MULTI_ROUND_READOUT_NS, ..*cfg },
-        )),
+        (QciDesign::CryoCmos(cfg), Opt::FastMultiRoundReadout) => {
+            Ok(QciDesign::CryoCmos(CryoCmosConfig {
+                drive_fdm: 20,
+                readout_ns: MULTI_ROUND_READOUT_NS,
+                ..*cfg
+            }))
+        }
         (QciDesign::Sfq(cfg), Opt::SharedPipelinedReadout) => {
             Ok(QciDesign::Sfq(SfqConfig { sharing: JpmSharing::SharedPipelined, ..*cfg }))
         }

@@ -11,9 +11,11 @@
 
 use crate::config::QciDesign;
 use qisim_hal::fridge::{Fridge, Stage};
-use qisim_power::{evaluate, max_qubits};
+use qisim_obs::{counter, gauge, span};
+use qisim_power::{evaluate, max_qubits, StagePower};
 use qisim_surface::analytic::CALIBRATION;
 use qisim_surface::target::{Target, CODE_DISTANCE};
+use std::fmt::Write as _;
 
 /// The scalability verdict of one design against one roadmap target.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +26,9 @@ pub struct Scalability {
     pub power_limited_qubits: u64,
     /// The stage that binds at that scale.
     pub binding_stage: Option<Stage>,
+    /// Per-stage power accounting at the power-limited scale (warm →
+    /// cold) — where every watt goes when the design tops out.
+    pub stages: Vec<StagePower>,
     /// Logical error per round at `d = 23`.
     pub logical_error: f64,
     /// The target analyzed against.
@@ -50,6 +55,71 @@ impl Scalability {
     pub fn reaches(&self, target: &Target) -> bool {
         self.error_ok && self.power_limited_qubits >= target.physical_qubits() as u64
     }
+
+    /// A human-readable report of *why* the design tops out where it
+    /// does: error-limited designs name the failing error target,
+    /// power-limited designs name the binding refrigerator stage, and
+    /// every stage's utilization and watt attribution is itemized.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}:", self.design);
+        if !self.error_ok {
+            let _ = writeln!(
+                out,
+                "  error-limited: logical error {:.3e} misses the {:.3e} target \
+                 (manageable scale 0; power alone would allow {} qubits)",
+                self.logical_error, self.target_error, self.power_limited_qubits
+            );
+        } else {
+            match self.binding_stage {
+                Some(stage) => {
+                    let util = self
+                        .stages
+                        .iter()
+                        .find(|s| s.stage == stage)
+                        .map_or(f64::NAN, StagePower::utilization);
+                    let _ = writeln!(
+                        out,
+                        "  power-limited at {} qubits by the {} stage ({:.1}% of budget)",
+                        self.power_limited_qubits,
+                        stage,
+                        100.0 * util
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "  power-limited at {} qubits (no single binding stage)",
+                        self.power_limited_qubits
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  logical error {:.3e} meets the {:.3e} target (ESM round {:.1} ns)",
+                self.logical_error, self.target_error, self.esm_cycle_ns
+            );
+        }
+        if !self.stages.is_empty() {
+            let _ = writeln!(out, "  per-stage power at n = {}:", self.power_limited_qubits.max(1));
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "    {:>5}: {:>10.4e} W of {:>9.3e} W budget ({:>6.1}%) \
+                     [static {:.2e}, dynamic {:.2e}, wire {:.2e}, link {:.2e}]",
+                    s.stage.label(),
+                    s.total_w(),
+                    s.budget_w,
+                    100.0 * s.utilization(),
+                    s.device_static_w,
+                    s.device_dynamic_w,
+                    s.wire_w,
+                    s.instr_link_w,
+                );
+            }
+        }
+        out
+    }
 }
 
 /// Analyzes a design against a roadmap target on the standard fridge.
@@ -60,14 +130,20 @@ pub fn analyze(design: &QciDesign, target: &Target) -> Scalability {
 /// [`analyze`] with a custom refrigerator (future-capacity what-ifs,
 /// §7.1).
 pub fn analyze_on(design: &QciDesign, target: &Target, fridge: &Fridge) -> Scalability {
+    span!("scalability.analyze");
+    counter!("scalability.analyze.calls");
     let arch = design.arch();
     let (power_limited_qubits, binding_stage) = max_qubits(&arch, fridge);
+    let stages = evaluate(&arch, fridge, power_limited_qubits.max(1)).stages;
     let logical_error = design.physical_budget().logical_error(CODE_DISTANCE, &CALIBRATION);
     let target_error = target.logical_error_target();
+    gauge!("scalability.power_limited_qubits", power_limited_qubits as f64);
+    gauge!("scalability.logical_error", logical_error);
     Scalability {
         design: design.name(),
         power_limited_qubits,
         binding_stage,
+        stages,
         logical_error,
         target_error,
         error_ok: logical_error <= target_error,
@@ -77,20 +153,24 @@ pub fn analyze_on(design: &QciDesign, target: &Target, fridge: &Fridge) -> Scala
 
 /// Per-stage utilization curve for scalability plots (Fig. 12/13/17):
 /// returns `(n, 4K fraction, worst-mK fraction, logical error)` rows.
+///
+/// A stage absent from a report (a custom fridge or architecture that
+/// doesn't model it) contributes utilization 0 rather than panicking.
 pub fn sweep(design: &QciDesign, qubit_counts: &[u64]) -> Vec<(u64, f64, f64, f64)> {
+    span!("scalability.sweep");
+    counter!("scalability.sweep.points", qubit_counts.len() as u64);
     let arch = design.arch();
     let fridge = Fridge::standard();
     let p_l = design.physical_budget().logical_error(CODE_DISTANCE, &CALIBRATION);
+    let util = |r: &qisim_power::PowerReport, stage: Stage| {
+        r.stage(stage).map_or(0.0, StagePower::utilization)
+    };
     qubit_counts
         .iter()
         .map(|&n| {
             let r = evaluate(&arch, &fridge, n);
-            let k4 = r.stage(Stage::K4).expect("4K row").utilization();
-            let mk = r
-                .stage(Stage::Mk100)
-                .expect("100mK row")
-                .utilization()
-                .max(r.stage(Stage::Mk20).expect("20mK row").utilization());
+            let k4 = util(&r, Stage::K4);
+            let mk = util(&r, Stage::Mk100).max(util(&r, Stage::Mk20));
             (n, k4, mk, p_l)
         })
         .collect()
@@ -109,9 +189,11 @@ mod tests {
         assert!(base.error_ok);
         assert!(!base.reaches(&t), "baseline should miss 1,152: {base:?}");
         // Opt-1 + Opt-2 reach it.
-        let opt =
-            apply_all(&QciDesign::cmos_baseline(), &[Opt::MemorylessDecision, Opt::LowPrecisionDrive])
-                .unwrap();
+        let opt = apply_all(
+            &QciDesign::cmos_baseline(),
+            &[Opt::MemorylessDecision, Opt::LowPrecisionDrive],
+        )
+        .unwrap();
         assert!(analyze(&opt, &t).reaches(&t));
         // RSFQ baseline misses on power; the optimized design reaches.
         assert!(!analyze(&QciDesign::rsfq_baseline(), &t).reaches(&t));
@@ -152,7 +234,8 @@ mod tests {
     #[test]
     fn room_designs_are_wire_limited() {
         let t = Target::near_term();
-        for d in [QciDesign::room_coax(), QciDesign::room_microstrip(), QciDesign::room_photonic()] {
+        for d in [QciDesign::room_coax(), QciDesign::room_microstrip(), QciDesign::room_photonic()]
+        {
             let s = analyze(&d, &t);
             assert!(s.error_ok, "{}: 300K error should be fine", s.design);
             assert!(!s.reaches(&t), "{}: must miss 1,152 qubits", s.design);
@@ -163,6 +246,27 @@ mod tests {
                 s.binding_stage
             );
         }
+    }
+
+    #[test]
+    fn explain_names_the_binding_stage() {
+        let s = analyze(&QciDesign::cmos_baseline(), &Target::near_term());
+        let text = s.explain();
+        assert!(text.contains("power-limited"), "{text}");
+        assert!(text.contains("4K"), "{text}");
+        assert!(text.contains("per-stage power"), "{text}");
+        assert_eq!(s.stages.len(), Stage::ALL.len());
+    }
+
+    #[test]
+    fn explain_reports_error_limited_designs() {
+        let naive = QciDesign::Sfq(qisim_microarch::SfqConfig {
+            sharing: qisim_microarch::sfq::JpmSharing::SharedNaive,
+            ..qisim_microarch::SfqConfig::baseline_rsfq()
+        });
+        let text = analyze(&naive, &Target::near_term()).explain();
+        assert!(text.contains("error-limited"), "{text}");
+        assert!(text.contains("misses"), "{text}");
     }
 
     #[test]

@@ -55,18 +55,16 @@ impl OpKind {
     pub fn is_drive(&self) -> bool {
         matches!(
             self,
-            OpKind::H
-                | OpKind::X
-                | OpKind::Y
-                | OpKind::Rx(_)
-                | OpKind::Ry(_)
-                | OpKind::RyPi2Rz(_)
+            OpKind::H | OpKind::X | OpKind::Y | OpKind::Rx(_) | OpKind::Ry(_) | OpKind::RyPi2Rz(_)
         )
     }
 
     /// Whether this is a virtual (zero-duration) phase update.
     pub fn is_virtual_rz(&self) -> bool {
-        matches!(self, OpKind::Z | OpKind::S | OpKind::Sdg | OpKind::T | OpKind::Tdg | OpKind::Rz(_))
+        matches!(
+            self,
+            OpKind::Z | OpKind::S | OpKind::Sdg | OpKind::T | OpKind::Tdg | OpKind::Rz(_)
+        )
     }
 
     /// A coarse type label used for SFQ #BS structural hazards: gates with

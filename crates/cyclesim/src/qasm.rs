@@ -104,8 +104,7 @@ fn parse_angle(src: &str, line: usize) -> Result<f64, ParseQasmError> {
 fn parse_ref(src: &str, line: usize) -> Result<(String, u32), ParseQasmError> {
     let src = src.trim();
     let open = src.find('[').ok_or_else(|| err(line, format!("expected `reg[i]`, got `{src}`")))?;
-    let close =
-        src.find(']').ok_or_else(|| err(line, format!("missing `]` in `{src}`")))?;
+    let close = src.find(']').ok_or_else(|| err(line, format!("missing `]` in `{src}`")))?;
     if close < open {
         return Err(err(line, format!("malformed reference `{src}`")));
     }
@@ -200,10 +199,8 @@ pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
                 }
                 None => (head, None),
             };
-            let qs: Vec<(String, u32)> = operands
-                .split(',')
-                .map(|s| parse_ref(s, line))
-                .collect::<Result<_, _>>()?;
+            let qs: Vec<(String, u32)> =
+                operands.split(',').map(|s| parse_ref(s, line)).collect::<Result<_, _>>()?;
 
             let one = |kind: OpKind| -> Result<Op, ParseQasmError> {
                 if qs.len() != 1 {
@@ -217,7 +214,8 @@ pub fn parse(source: &str) -> Result<Circuit, ParseQasmError> {
                 }
                 Ok(Op::two_q(kind, qs[0].1, qs[1].1))
             };
-            let need_angle = || angle.ok_or_else(|| err(line, format!("`{gate_name}` needs an angle")));
+            let need_angle =
+                || angle.ok_or_else(|| err(line, format!("`{gate_name}` needs an angle")));
 
             let op = match gate_name {
                 "h" => one(OpKind::H)?,

@@ -226,6 +226,9 @@ struct SfqBatch {
 /// Panics if the circuit deadlocks (cannot happen for circuits built
 /// through [`Circuit::push`], which validates qubit indices).
 pub fn simulate(circuit: &Circuit, model: &TimingModel) -> Timeline {
+    qisim_obs::span!("cyclesim.simulate");
+    qisim_obs::counter!("cyclesim.circuits");
+    qisim_obs::counter!("cyclesim.ops", circuit.ops().len() as u64);
     let nq = circuit.qubits() as usize;
     let ops = circuit.ops();
 
@@ -248,7 +251,9 @@ pub fn simulate(circuit: &Circuit, model: &TimingModel) -> Timeline {
 
     // Structural state.
     let drive_group_size = match model.drive {
-        DriveModel::CmosFdm { group, .. } | DriveModel::SfqBroadcast { group, .. } => group as usize,
+        DriveModel::CmosFdm { group, .. } | DriveModel::SfqBroadcast { group, .. } => {
+            group as usize
+        }
         DriveModel::PerQubit => 1,
     };
     let n_drive_groups = nq.div_ceil(drive_group_size).max(1);
@@ -305,8 +310,7 @@ pub fn simulate(circuit: &Circuit, model: &TimingModel) -> Timeline {
             }
             // Only consider each op once even if it heads several queues.
         }
-        let (start, end, idx) =
-            best.expect("scheduler deadlock: no executable queue head");
+        let (start, end, idx) = best.expect("scheduler deadlock: no executable queue head");
         let op = &ops[idx];
 
         // Commit the reservation.
@@ -344,7 +348,13 @@ pub fn simulate(circuit: &Circuit, model: &TimingModel) -> Timeline {
         }
     }
 
-    Timeline { events, makespan_ns: makespan, qubits: circuit.qubits(), drive_groups: n_drive_groups as u32 }
+    qisim_obs::observe!("cyclesim.makespan_ns", makespan);
+    Timeline {
+        events,
+        makespan_ns: makespan,
+        qubits: circuit.qubits(),
+        drive_groups: n_drive_groups as u32,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -375,8 +385,9 @@ fn reserve_probe(
                     // a little late still drains through the shared
                     // circuit at its pipeline slot (or later, if its own
                     // chain is the bottleneck).
-                    Some(b) if b.index < qisim_microarch::sfq::readout::SHARING_DEGREE
-                        && dep < b.free_ns =>
+                    Some(b)
+                        if b.index < qisim_microarch::sfq::readout::SHARING_DEGREE
+                            && dep < b.free_ns =>
                     {
                         let start = b.start_ns.max(dep);
                         let end = (b.start_ns + schedule.qubit_latency_ns(b.index))
@@ -421,10 +432,7 @@ fn reserve_probe(
                             return (t, t + model.one_q_ns);
                         }
                         // Wait for the earliest broadcast to finish.
-                        t = active
-                            .iter()
-                            .map(|(end, _, _)| *end)
-                            .fold(f64::INFINITY, f64::min);
+                        t = active.iter().map(|(end, _, _)| *end).fold(f64::INFINITY, f64::min);
                     }
                 }
             }
@@ -533,10 +541,7 @@ mod tests {
         let t = simulate(&c, &TimingModel::cmos_baseline());
         assert_eq!(t.makespan_ns(), 50.0);
         // With per-qubit AWGs everything is parallel.
-        let model = TimingModel {
-            drive: DriveModel::PerQubit,
-            ..TimingModel::cmos_baseline()
-        };
+        let model = TimingModel { drive: DriveModel::PerQubit, ..TimingModel::cmos_baseline() };
         assert_eq!(simulate(&c, &model).makespan_ns(), 25.0);
     }
 
@@ -635,10 +640,13 @@ mod tests {
         assert!((base.makespan_ns() - 845.0).abs() < 60.0, "makespan {}", base.makespan_ns());
         let naive = simulate(
             &c,
-            &TimingModel::sfq(8, ReadoutSchedule {
-                sharing: qisim_microarch::sfq::JpmSharing::SharedNaive,
-                ..ReadoutSchedule::baseline()
-            }),
+            &TimingModel::sfq(
+                8,
+                ReadoutSchedule {
+                    sharing: qisim_microarch::sfq::JpmSharing::SharedNaive,
+                    ..ReadoutSchedule::baseline()
+                },
+            ),
         );
         assert!(naive.makespan_ns() > 4.0 * base.makespan_ns());
         let piped = simulate(&c, &TimingModel::sfq(8, ReadoutSchedule::opt3()));

@@ -74,8 +74,7 @@ impl Patch {
                 // NW, SW, NE, SE (the standard interleave that keeps each
                 // data qubit on one CZ per layer).
                 let [nw, ne, sw, se] = corners;
-                let layer_neighbors =
-                    if is_x { [nw, ne, sw, se] } else { [nw, sw, ne, se] };
+                let layer_neighbors = if is_x { [nw, ne, sw, se] } else { [nw, sw, ne, se] };
                 stabilizers.push(Stabilizer { ancilla: next_ancilla, is_x, layer_neighbors });
                 next_ancilla += 1;
             }

@@ -8,13 +8,13 @@
 //! reproduces the decoherence-included errors IBMQ machines report
 //! (Table 1 validation).
 
+use crate::noise;
 use qisim_microarch::cryo_cmos::drive::iq_samples;
 use qisim_quantum::fidelity::gate_error_leaky;
 use qisim_quantum::integrate::propagator;
+use qisim_quantum::rng::Rng;
 use qisim_quantum::transmon::Transmon;
 use qisim_quantum::CMatrix;
-use crate::noise;
-use rand::Rng;
 use std::f64::consts::PI;
 
 /// Gate error of a multi-level propagator against an ideal 2×2 gate with
@@ -77,8 +77,12 @@ pub enum Axis {
 /// use qisim_error::cmos_1q::{Axis, Cmos1qModel};
 ///
 /// let model = Cmos1qModel::baseline();
-/// let err =
-///     model.coherent_gate_error::<rand::rngs::ThreadRng>(Axis::X, std::f64::consts::PI, 14, None);
+/// let err = model.coherent_gate_error::<qisim_quantum::rng::Xorshift64Star>(
+///     Axis::X,
+///     std::f64::consts::PI,
+///     14,
+///     None,
+/// );
 /// assert!(err < 1e-4); // high-precision DRAG pulse
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -186,8 +190,7 @@ impl Cmos1qModel {
             |t| {
                 let k = ((t / dt) as usize).min(n - 1);
                 let (i, qq) = wave[k];
-                let detune_ghz =
-                    self.drag_detune * (i * i) / (2.0 * alpha_rad) / (2.0 * PI);
+                let detune_ghz = self.drag_detune * (i * i) / (2.0 * alpha_rad) / (2.0 * PI);
                 match axis {
                     Axis::X => q.driven_hamiltonian(detune_ghz, i, qq),
                     Axis::Y => q.driven_hamiltonian(detune_ghz, -qq, i),
@@ -277,13 +280,12 @@ impl Cmos1qModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qisim_quantum::rng::Xorshift64Star;
 
     #[test]
     fn high_precision_pi_pulse_is_sub_1em4() {
         let m = Cmos1qModel::baseline();
-        let e = m.coherent_gate_error::<StdRng>(Axis::X, PI, 14, None);
+        let e = m.coherent_gate_error::<Xorshift64Star>(Axis::X, PI, 14, None);
         assert!(e < 2e-5, "14-bit DRAG pi-pulse error {e}");
     }
 
@@ -291,8 +293,8 @@ mod tests {
     fn drag_suppresses_leakage() {
         let with = Cmos1qModel::baseline();
         let without = Cmos1qModel { drag: 0.0, drag_detune: 0.0, ..with };
-        let e_with = with.coherent_gate_error::<StdRng>(Axis::X, PI, 14, None);
-        let e_without = without.coherent_gate_error::<StdRng>(Axis::X, PI, 14, None);
+        let e_with = with.coherent_gate_error::<Xorshift64Star>(Axis::X, PI, 14, None);
+        let e_without = without.coherent_gate_error::<Xorshift64Star>(Axis::X, PI, 14, None);
         assert!(e_with < 0.5 * e_without, "DRAG {e_with} vs no-DRAG {e_without}");
     }
 
@@ -302,7 +304,7 @@ mod tests {
         let m = Cmos1qModel::baseline();
         let errs: Vec<f64> = [4u32, 6, 9, 14]
             .iter()
-            .map(|&b| m.coherent_gate_error::<StdRng>(Axis::X, PI, b, None))
+            .map(|&b| m.coherent_gate_error::<Xorshift64Star>(Axis::X, PI, b, None))
             .collect();
         assert!(errs[0] > errs[1], "4-bit {} should exceed 6-bit {}", errs[0], errs[1]);
         assert!(errs[1] > errs[2] * 0.9, "6-bit {} vs 9-bit {}", errs[1], errs[2]);
@@ -313,20 +315,19 @@ mod tests {
     #[test]
     fn snr_noise_raises_error() {
         let m = Cmos1qModel { snr_db: 25.0, ..Cmos1qModel::baseline() };
-        let mut rng = StdRng::seed_from_u64(7);
-        let noisy: f64 = (0..12)
-            .map(|_| m.coherent_gate_error(Axis::X, PI, 14, Some(&mut rng)))
-            .sum::<f64>()
-            / 12.0;
-        let clean = m.coherent_gate_error::<StdRng>(Axis::X, PI, 14, None);
+        let mut rng = Xorshift64Star::seed_from_u64(7);
+        let noisy: f64 =
+            (0..12).map(|_| m.coherent_gate_error(Axis::X, PI, 14, Some(&mut rng))).sum::<f64>()
+                / 12.0;
+        let clean = m.coherent_gate_error::<Xorshift64Star>(Axis::X, PI, 14, None);
         assert!(noisy > clean, "noisy {noisy} vs clean {clean}");
     }
 
     #[test]
     fn y_axis_matches_x_axis_error_scale() {
         let m = Cmos1qModel::baseline();
-        let ex = m.coherent_gate_error::<StdRng>(Axis::X, PI / 2.0, 14, None);
-        let ey = m.coherent_gate_error::<StdRng>(Axis::Y, PI / 2.0, 14, None);
+        let ex = m.coherent_gate_error::<Xorshift64Star>(Axis::X, PI / 2.0, 14, None);
+        let ey = m.coherent_gate_error::<Xorshift64Star>(Axis::Y, PI / 2.0, 14, None);
         assert!((ex - ey).abs() < 5.0 * ex.max(ey).max(1e-9), "x {ex} vs y {ey}");
     }
 
@@ -335,7 +336,7 @@ mod tests {
         // Table 1: ibm_peekskill Q21 reports 6.59e-5; the model with
         // T1 = T2 = 280 µs lands within the validation tolerance.
         let m = Cmos1qModel::baseline();
-        let coh = m.coherent_gate_error::<StdRng>(Axis::X, PI, 14, None);
+        let coh = m.coherent_gate_error::<Xorshift64Star>(Axis::X, PI, 14, None);
         let total = m.with_decoherence(coh, 280.0, 280.0);
         assert!(total > 4.0e-5 && total < 9.0e-5, "decoherence-included error {total}");
     }
@@ -352,6 +353,6 @@ mod tests {
     #[should_panic(expected = "finite and nonzero")]
     fn zero_angle_panics() {
         let m = Cmos1qModel::baseline();
-        let _ = m.coherent_gate_error::<StdRng>(Axis::X, 0.0, 14, None);
+        let _ = m.coherent_gate_error::<Xorshift64Star>(Axis::X, 0.0, 14, None);
     }
 }

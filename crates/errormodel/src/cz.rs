@@ -18,9 +18,9 @@ use crate::noise;
 use qisim_microarch::cryo_cmos::pulse::{ramped_pulse, unit_step_pulse, AmplitudeRun};
 use qisim_quantum::fidelity::gate_error;
 use qisim_quantum::integrate::propagator;
+use qisim_quantum::rng::Rng;
 use qisim_quantum::transmon::CoupledTransmons;
-use qisim_quantum::{C64, CMatrix};
-use rand::Rng;
+use qisim_quantum::{CMatrix, C64};
 use std::f64::consts::PI;
 
 /// CZ gate model over a coupled-transmon pair.
@@ -203,8 +203,7 @@ impl CzModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qisim_quantum::rng::Xorshift64Star;
 
     #[test]
     fn calibrated_pulse_reaches_low_error() {
@@ -219,11 +218,9 @@ mod tests {
         // Table 1: model CZ error 1.09e-3 (reference 9.0e-4 ± 7e-4).
         let m = CzModel::baseline();
         let cal = m.calibrate();
-        let mut rng = StdRng::seed_from_u64(11);
-        let noisy: f64 = (0..4)
-            .map(|_| m.noisy_cz_error(&cal, 10, 0.004, &mut rng))
-            .sum::<f64>()
-            / 4.0;
+        let mut rng = Xorshift64Star::seed_from_u64(11);
+        let noisy: f64 =
+            (0..4).map(|_| m.noisy_cz_error(&cal, 10, 0.004, &mut rng)).sum::<f64>() / 4.0;
         assert!(noisy > 0.8 * cal.ideal_error, "noise should not improve the gate: {noisy}");
         assert!(noisy > 2e-4 && noisy < 1e-2, "noisy CZ error {noisy}");
     }

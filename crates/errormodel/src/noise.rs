@@ -1,12 +1,12 @@
 //! Small noise-sampling helpers shared by the error models.
 
-use rand::Rng;
+use qisim_quantum::rng::Rng;
 
 /// Samples a standard-normal variate via the Box–Muller transform (keeps
-/// the workspace off `rand_distr`).
+/// the workspace free of external distribution crates).
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen::<f64>();
+    let u1 = rng.gen_open01(); // (0, 1]: safe to ln()
+    let u2 = rng.gen_f64();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
@@ -23,12 +23,11 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qisim_quantum::rng::Xorshift64Star;
 
     #[test]
     fn moments_are_right() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xorshift64Star::seed_from_u64(42);
         let n = 20_000;
         let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 1.5, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
@@ -40,7 +39,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "sigma must be non-negative")]
     fn negative_sigma_panics() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Xorshift64Star::seed_from_u64(0);
         let _ = normal(&mut rng, 0.0, -1.0);
     }
 }

@@ -13,7 +13,7 @@ use qisim_microarch::cryo_cmos::rx::{
     bin_counting, memoryless, single_point, DecisionKind, DiscriminatingLine,
 };
 use qisim_quantum::resonator::DispersiveResonator;
-use rand::Rng;
+use qisim_quantum::rng::Rng;
 
 /// CMOS readout operating point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,7 +75,7 @@ impl CmosReadoutModel {
         let sigma = self.noise_rel * sep;
         // T1 flip time (ns), measured from the start of integration.
         let flip_ns = if excited && self.t1_us.is_finite() {
-            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let u = rng.gen_open01();
             -u.ln() * self.t1_us * 1e3
         } else {
             f64::INFINITY
@@ -182,22 +182,25 @@ impl MultiRound {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qisim_quantum::rng::Xorshift64Star;
 
     #[test]
     fn baseline_error_is_1e3_scale() {
         // Table 2: CMOS readout error 1.0e-3 (T1-limited at 122 µs).
         let m = CmosReadoutModel::baseline();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xorshift64Star::seed_from_u64(3);
         let e = m.error_rate(DecisionKind::Memoryless, 4000, &mut rng);
         assert!(e > 1e-4 && e < 6e-3, "baseline readout error {e}");
     }
 
     #[test]
     fn no_decay_no_noise_is_error_free() {
-        let m = CmosReadoutModel { t1_us: f64::INFINITY, noise_rel: 0.02, ..CmosReadoutModel::baseline() };
-        let mut rng = StdRng::seed_from_u64(5);
+        let m = CmosReadoutModel {
+            t1_us: f64::INFINITY,
+            noise_rel: 0.02,
+            ..CmosReadoutModel::baseline()
+        };
+        let mut rng = Xorshift64Star::seed_from_u64(5);
         let e = m.error_rate(DecisionKind::SinglePoint, 400, &mut rng);
         assert_eq!(e, 0.0);
     }
@@ -205,7 +208,7 @@ mod tests {
     #[test]
     fn methods_agree_within_mc_noise() {
         let m = CmosReadoutModel::baseline();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Xorshift64Star::seed_from_u64(9);
         let bin = m.error_rate(DecisionKind::BinCounting, 1500, &mut rng);
         let mem = m.error_rate(DecisionKind::Memoryless, 1500, &mut rng);
         let sp = m.error_rate(DecisionKind::SinglePoint, 1500, &mut rng);
@@ -219,7 +222,7 @@ mod tests {
         // Fig. 19b: 40.9 % faster readout at equal error.
         let m = CmosReadoutModel::baseline();
         let mr = MultiRound::standard();
-        let mut rng = StdRng::seed_from_u64(17);
+        let mut rng = Xorshift64Star::seed_from_u64(17);
         let (err, lat) = mr.error_and_latency(&m, 3000, &mut rng);
         let base_err = m.error_rate(DecisionKind::Memoryless, 3000, &mut rng);
         assert!(lat < 0.75 * m.total_ns, "mean latency {lat}");
@@ -232,7 +235,7 @@ mod tests {
         // §6.4.1: "98.6 % accuracy within 267 ns".
         let m = CmosReadoutModel::baseline();
         let mr = MultiRound::standard();
-        let mut rng = StdRng::seed_from_u64(23);
+        let mut rng = Xorshift64Star::seed_from_u64(23);
         let mut within = 0;
         let shots = 1500;
         for s in 0..shots {
@@ -249,7 +252,7 @@ mod tests {
     fn shorter_t1_raises_error() {
         let long = CmosReadoutModel::baseline();
         let short = CmosReadoutModel { t1_us: 10.0, ..long };
-        let mut rng = StdRng::seed_from_u64(31);
+        let mut rng = Xorshift64Star::seed_from_u64(31);
         let e_long = long.error_rate(DecisionKind::Memoryless, 2000, &mut rng);
         let e_short = short.error_rate(DecisionKind::Memoryless, 2000, &mut rng);
         assert!(e_short > e_long, "T1 10us {e_short} vs 122us {e_long}");

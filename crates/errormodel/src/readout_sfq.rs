@@ -154,10 +154,7 @@ impl SfqReadoutModel {
         let sched = ReadoutSchedule { driving_ns: self.driving_ns(), ..*schedule };
         let total = sched.group_latency_ns();
         let driving = self.driving_ns();
-        let read_serial = total
-            - driving
-            - TUNNELING_NS
-            - RESET_NS;
+        let read_serial = total - driving - TUNNELING_NS - RESET_NS;
         [driving, TUNNELING_NS, read_serial.max(sched.jpm_read_ns()), RESET_NS]
     }
 }

@@ -155,7 +155,8 @@ impl Sfq1qModel {
     /// baseline operating point this lands at ≈1.7e-5 — matching the
     /// paper's 1.51e-5 Table 1 value.
     pub fn optimized_ry_pi2(&self) -> OptimizedTrain {
-        let mut best = OptimizedTrain { pulses: self.seed_train(5), delta_theta: 0.0, error: f64::INFINITY };
+        let mut best =
+            OptimizedTrain { pulses: self.seed_train(5), delta_theta: 0.0, error: f64::INFINITY };
         let (d0, e0) = self.calibrate_tip(&best.pulses);
         best.delta_theta = d0;
         best.error = e0;
@@ -165,8 +166,7 @@ impl Sfq1qModel {
             if mask.count_ones() != 5 {
                 continue;
             }
-            let pulses: Vec<usize> =
-                (0..window as usize).filter(|b| mask >> b & 1 == 1).collect();
+            let pulses: Vec<usize> = (0..window as usize).filter(|b| mask >> b & 1 == 1).collect();
             // Coarse screen: 40-point tip grid.
             let mut screen = f64::INFINITY;
             for g in 1..=40 {
@@ -206,8 +206,7 @@ impl Sfq1qModel {
     /// `φ = nπ/4` lattice-surgery angles) — the Table 2 "SFQ 1Q" number.
     pub fn basis_gate_error(&self) -> f64 {
         let opt = self.optimized_ry_pi2();
-        let rz_worst =
-            (0..8).map(|n| self.rz_error(n as f64 * PI / 4.0)).fold(0.0f64, f64::max);
+        let rz_worst = (0..8).map(|n| self.rz_error(n as f64 * PI / 4.0)).fold(0.0f64, f64::max);
         opt.error + rz_worst
     }
 }

@@ -7,10 +7,9 @@
 //! converges to the same fidelities as Qiskit's density-matrix
 //! simulation while scaling to 20+ qubits.
 
-use crate::noise;
 use qisim_cyclesim::{Circuit, OpKind, Timeline};
+use qisim_quantum::rng::Rng;
 use qisim_quantum::{CMatrix, Statevector};
-use rand::Rng;
 use std::f64::consts::PI;
 
 /// Physical error rates driving the Pauli channels.
@@ -95,7 +94,7 @@ fn apply_ideal(state: &mut Statevector, kind: OpKind, qubit: u32, other: Option<
 }
 
 fn random_pauli<R: Rng>(state: &mut Statevector, qubit: u32, rng: &mut R) {
-    let p = ['X', 'Y', 'Z'][rng.gen_range(0..3)];
+    let p = ['X', 'Y', 'Z'][rng.gen_below(3) as usize];
     state.apply_pauli(p, qubit as usize);
 }
 
@@ -158,7 +157,7 @@ impl WorkloadSim {
                     let gap = e.start_ns - last_t[q as usize];
                     if gap > 0.0 {
                         let (px, py, pz) = self.rates.idle_paulis(gap);
-                        let u: f64 = rng.gen();
+                        let u = rng.gen_f64();
                         if u < px {
                             state.apply_pauli('X', q as usize);
                         } else if u < px + py {
@@ -174,15 +173,15 @@ impl WorkloadSim {
                 match e.kind {
                     OpKind::Measure | OpKind::Barrier => {}
                     k if k.is_two_qubit() => {
-                        if rng.gen::<f64>() < self.rates.two_q {
+                        if rng.gen_f64() < self.rates.two_q {
                             random_pauli(&mut state, e.qubit, rng);
-                            if rng.gen::<bool>() {
+                            if rng.gen_bool() {
                                 random_pauli(&mut state, e.other.expect("2q partner"), rng);
                             }
                         }
                     }
                     _ => {
-                        if rng.gen::<f64>() < self.rates.one_q {
+                        if rng.gen_f64() < self.rates.one_q {
                             random_pauli(&mut state, e.qubit, rng);
                         }
                     }
@@ -226,9 +225,7 @@ impl WorkloadSim {
 
 /// Convenience: a deterministic seeded RNG for reproducible experiments.
 pub fn seeded_rng(seed: u64) -> impl Rng {
-    use rand::SeedableRng;
-    let _ = noise::standard_normal::<rand::rngs::StdRng>; // keep helper linked
-    rand::rngs::StdRng::seed_from_u64(seed)
+    qisim_quantum::rng::Xorshift64Star::seed_from_u64(seed)
 }
 
 #[cfg(test)]
@@ -283,13 +280,7 @@ mod tests {
         // qubit idle (decohering) far longer — the mechanism behind the
         // Opt-7 logical-error gains.
         use qisim_cyclesim::{Op, OpKind};
-        let rates = ErrorRates {
-            one_q: 0.0,
-            two_q: 0.0,
-            readout: 0.0,
-            t1_us: 10.0,
-            t2_us: 10.0,
-        };
+        let rates = ErrorRates { one_q: 0.0, two_q: 0.0, readout: 0.0, t1_us: 10.0, t2_us: 10.0 };
         let mut c = Circuit::new(2, 2);
         c.push(Op::one_q(OpKind::H, 0));
         c.push(Op::two_q(OpKind::Cz, 0, 1));

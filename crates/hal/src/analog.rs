@@ -99,12 +99,8 @@ pub const AWG_300K_CHANNEL: AnalogBlock = AnalogBlock {
 };
 
 /// Electro-optic modulator driver for photonic links (300 K side).
-pub const EOM_DRIVER: AnalogBlock = AnalogBlock {
-    name: "EOM driver",
-    stage: Stage::K50,
-    active_power_w: 0.5,
-    idle_power_w: 0.1,
-};
+pub const EOM_DRIVER: AnalogBlock =
+    AnalogBlock { name: "EOM driver", stage: Stage::K50, active_power_w: 0.5, idle_power_w: 0.1 };
 
 #[cfg(test)]
 mod tests {

@@ -183,7 +183,10 @@ impl CmosTech {
 
     /// Dynamic energy per gate-equivalent switching event, in joules.
     pub fn logic_dynamic_energy_j(&self) -> f64 {
-        BASE_GE_DYN_J * self.node.dynamic_scale() * self.temp_dynamic_factor() * self.voltage_factor()
+        BASE_GE_DYN_J
+            * self.node.dynamic_scale()
+            * self.temp_dynamic_factor()
+            * self.voltage_factor()
     }
 
     /// Static power per gate equivalent, in watts.

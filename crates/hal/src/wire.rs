@@ -47,7 +47,9 @@ impl WireKind {
             (WireKind::PhotonicLink, Stage::Mk100) => 0.1 * NANO_W,
             (WireKind::PhotonicLink, Stage::Mk20) => 0.003 * NANO_W,
 
-            (WireKind::SuperconductingCoax, s) => WireKind::Coax.passive_load_w(s) * SC_COAX_PASSIVE_RATIO,
+            (WireKind::SuperconductingCoax, s) => {
+                WireKind::Coax.passive_load_w(s) * SC_COAX_PASSIVE_RATIO
+            }
 
             (WireKind::SuperconductingMicrostrip, Stage::K4) => 315.0 * MICRO_W,
             (WireKind::SuperconductingMicrostrip, Stage::Mk100) => 0.1 * NANO_W,
@@ -67,12 +69,14 @@ impl WireKind {
             (WireKind::Coax | WireKind::Microstrip | WireKind::SuperconductingCoax, Stage::K4) => {
                 7.9 * MICRO_W
             }
-            (WireKind::Coax | WireKind::Microstrip | WireKind::SuperconductingCoax, Stage::Mk100) => {
-                7.9 * NANO_W
-            }
-            (WireKind::Coax | WireKind::Microstrip | WireKind::SuperconductingCoax, Stage::Mk20) => {
-                0.79 * NANO_W
-            }
+            (
+                WireKind::Coax | WireKind::Microstrip | WireKind::SuperconductingCoax,
+                Stage::Mk100,
+            ) => 7.9 * NANO_W,
+            (
+                WireKind::Coax | WireKind::Microstrip | WireKind::SuperconductingCoax,
+                Stage::Mk20,
+            ) => 0.79 * NANO_W,
 
             // The optical signal dissipates nothing along the fiber; the
             // photodetector restoring the microwave at 20 mK is the cost.
@@ -159,7 +163,8 @@ mod tests {
     #[test]
     fn superconducting_coax_is_7p4x_lighter() {
         for s in [Stage::K4, Stage::Mk100, Stage::Mk20] {
-            let ratio = WireKind::Coax.passive_load_w(s) / WireKind::SuperconductingCoax.passive_load_w(s);
+            let ratio =
+                WireKind::Coax.passive_load_w(s) / WireKind::SuperconductingCoax.passive_load_w(s);
             assert!((ratio - 7.4).abs() < 1e-9);
         }
     }

@@ -161,12 +161,7 @@ impl ZCorrectionTable {
 ///
 /// Panics if `bits` is outside `2..=16` (a 1-bit mid-tread DAC has no
 /// nonzero level).
-pub fn iq_samples(
-    envelope: &[(f64, f64)],
-    phase_q: f64,
-    omega: f64,
-    bits: u32,
-) -> Vec<(f64, f64)> {
+pub fn iq_samples(envelope: &[(f64, f64)], phase_q: f64, omega: f64, bits: u32) -> Vec<(f64, f64)> {
     assert!((2..=16).contains(&bits), "DAC precision must be 2..=16 bits");
     let levels = (1u32 << bits) as f64 / 2.0 - 1.0; // signed mid-tread
     let q = |x: f64| (x * levels).round() / levels;
@@ -254,7 +249,11 @@ pub fn components(
         Component {
             name: "drive bank logic (shared)".into(),
             stage: Stage::K4,
-            resource: Resource::CmosLogic { tech, ge: 6000.0 + 430.0 * bits as f64, activity: 0.25 },
+            resource: Resource::CmosLogic {
+                tech,
+                ge: 6000.0 + 430.0 * bits as f64,
+                activity: 0.25,
+            },
             qubits_per_instance: fdm as f64,
             duty: gate_duty,
         },

@@ -54,11 +54,7 @@ impl EsmProfile {
         assert!(fdm > 0, "FDM degree must be positive");
         let ancillas_per_line = (fdm as f64 / 2.0).ceil();
         let serial_slots = (ancillas_per_line / 2.0).ceil().max(1.0);
-        EsmProfile {
-            h_layer_ns: serial_slots * ONE_Q_NS,
-            cz_phase_ns: 4.0 * TWO_Q_NS,
-            readout_ns,
-        }
+        EsmProfile { h_layer_ns: serial_slots * ONE_Q_NS, cz_phase_ns: 4.0 * TWO_Q_NS, readout_ns }
     }
 
     /// Total ESM round time in ns (two H layers + CZ phase + readout).
@@ -158,6 +154,8 @@ impl CryoCmosConfig {
 
     /// Assembles the full component/wire inventory.
     pub fn build(&self) -> QciArch {
+        qisim_obs::span!("microarch.build");
+        qisim_obs::counter!("microarch.builds");
         assert!(self.analog_scale > 0.0, "analog scale must be positive");
         let esm = self.esm_profile();
         let mut components = Vec::new();
@@ -219,8 +217,11 @@ impl CryoCmosConfig {
         } else {
             EsmTraffic::standard_esm()
         };
-        let drive_isa =
-            if self.masked_isa { IsaFormat::masked_drive() } else { IsaFormat::horse_ridge_drive() };
+        let drive_isa = if self.masked_isa {
+            IsaFormat::masked_drive()
+        } else {
+            IsaFormat::horse_ridge_drive()
+        };
         let bw = traffic.bandwidth_bps_per_qubit(
             &drive_isa,
             &IsaFormat::pulse_masked(),
@@ -296,10 +297,7 @@ mod tests {
         let n = 1024;
         let device = arch.device_static_w(Stage::K4, n) + arch.device_dynamic_w(Stage::K4, n);
         let per_qubit = device / n as f64;
-        assert!(
-            per_qubit > 1.8e-3 && per_qubit < 2.6e-3,
-            "4K device power per qubit {per_qubit}"
-        );
+        assert!(per_qubit > 1.8e-3 && per_qubit < 2.6e-3, "4K device power per qubit {per_qubit}");
     }
 
     #[test]
@@ -307,8 +305,8 @@ mod tests {
         // §6.3.1: RX digital 54.7 %, drive digital 13.3 % of 4 K power.
         let arch = CryoCmosConfig::baseline().build();
         let n = 1024;
-        let total = (arch.device_static_w(Stage::K4, n) + arch.device_dynamic_w(Stage::K4, n))
-            / n as f64;
+        let total =
+            (arch.device_static_w(Stage::K4, n) + arch.device_dynamic_w(Stage::K4, n)) / n as f64;
         let rx_digital = arch.group_power_per_qubit_w("RX NCO", n)
             + arch.group_power_per_qubit_w("RX decision", n);
         let drive_digital = arch.group_power_per_qubit_w("drive NCO", n)
@@ -324,8 +322,9 @@ mod tests {
     #[test]
     fn opt1_cuts_total_4k_power_by_about_half() {
         let base = CryoCmosConfig::baseline().build();
-        let opt = CryoCmosConfig { decision: DecisionKind::Memoryless, ..CryoCmosConfig::baseline() }
-            .build();
+        let opt =
+            CryoCmosConfig { decision: DecisionKind::Memoryless, ..CryoCmosConfig::baseline() }
+                .build();
         let n = 1024;
         let p = |a: &QciArch| a.device_static_w(Stage::K4, n) + a.device_dynamic_w(Stage::K4, n);
         let cut = 1.0 - p(&opt) / p(&base);
@@ -334,7 +333,8 @@ mod tests {
 
     #[test]
     fn opt2_cuts_total_by_about_4pct() {
-        let base = CryoCmosConfig { decision: DecisionKind::Memoryless, ..CryoCmosConfig::baseline() };
+        let base =
+            CryoCmosConfig { decision: DecisionKind::Memoryless, ..CryoCmosConfig::baseline() };
         let opt = CryoCmosConfig { drive_bits: 6, ..base };
         let n = 1024;
         let p = |c: &CryoCmosConfig| {
@@ -359,7 +359,8 @@ mod tests {
         // the 4 K CMOS QCI at the 1,152-qubit near-term scale.
         let arch = CryoCmosConfig::baseline().build();
         let n = 1152;
-        let mk100 = arch.wire_load_w(Stage::Mk100, n) + arch.device_static_w(Stage::Mk100, n)
+        let mk100 = arch.wire_load_w(Stage::Mk100, n)
+            + arch.device_static_w(Stage::Mk100, n)
             + arch.device_dynamic_w(Stage::Mk100, n);
         let mk20 = arch.wire_load_w(Stage::Mk20, n);
         assert!(mk100 < Stage::Mk100.cooling_capacity_w(), "100mK {mk100}");

@@ -40,7 +40,8 @@ pub enum CzTarget {
 
 impl CzTarget {
     /// All four directions.
-    pub const ALL: [CzTarget; 4] = [CzTarget::East, CzTarget::West, CzTarget::North, CzTarget::South];
+    pub const ALL: [CzTarget; 4] =
+        [CzTarget::East, CzTarget::West, CzTarget::North, CzTarget::South];
 
     /// 2-bit ISA encoding.
     pub fn encode(self) -> u8 {

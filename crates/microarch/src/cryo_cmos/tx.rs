@@ -23,11 +23,7 @@ pub fn multi_tone(tones: &[(f64, f64, bool)], samples: usize) -> Vec<f64> {
     let norm = tones.len() as f64;
     (0..samples)
         .map(|n| {
-            tones
-                .iter()
-                .filter(|t| t.2)
-                .map(|&(w, p, _)| (w * n as f64 + p).cos())
-                .sum::<f64>()
+            tones.iter().filter(|t| t.2).map(|&(w, p, _)| (w * n as f64 + p).cos()).sum::<f64>()
                 / norm
         })
         .collect()
@@ -40,11 +36,7 @@ pub fn components(tech: CmosTech, readout_duty: f64) -> Vec<Component> {
         Component {
             name: "TX digital banks".into(),
             stage: Stage::K4,
-            resource: Resource::CmosLogic {
-                tech,
-                ge: 1500.0 * READOUT_FDM as f64,
-                activity: 0.25,
-            },
+            resource: Resource::CmosLogic { tech, ge: 1500.0 * READOUT_FDM as f64, activity: 0.25 },
             qubits_per_instance: READOUT_FDM as f64,
             duty: readout_duty,
         },

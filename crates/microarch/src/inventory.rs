@@ -219,10 +219,13 @@ impl QciArch {
 
     /// Total device dynamic power at one stage, in watts.
     pub fn device_dynamic_w(&self, stage: Stage, n_qubits: u64) -> f64 {
-        self.sum_over(
-            n_qubits,
-            |c| if c.stage == stage { c.dynamic_power_w(self.clock_hz) } else { 0.0 },
-        )
+        self.sum_over(n_qubits, |c| {
+            if c.stage == stage {
+                c.dynamic_power_w(self.clock_hz)
+            } else {
+                0.0
+            }
+        })
     }
 
     /// Total wire heat load at one stage, in watts (analog cables only).
@@ -369,7 +372,10 @@ mod tests {
         let mut arch = QciArch {
             name: "test".into(),
             clock_hz: 2.5e9,
-            components: vec![logic("RX bank", 1000.0, 1.0, 0.5), logic("drive NCO", 500.0, 1.0, 0.2)],
+            components: vec![
+                logic("RX bank", 1000.0, 1.0, 0.5),
+                logic("drive NCO", 500.0, 1.0, 0.2),
+            ],
             wires: vec![WirePlan {
                 name: "drive",
                 kind: WireKind::Coax,

@@ -44,17 +44,19 @@ impl RoomInterconnect {
 /// the photonic variant has a *per-qubit* AWG, so nothing serializes.
 pub fn esm_profile(kind: RoomInterconnect) -> EsmProfile {
     match kind {
-        RoomInterconnect::Coax | RoomInterconnect::Microstrip => EsmProfile::for_cmos(32, READOUT_NS),
-        RoomInterconnect::Photonic => EsmProfile {
-            h_layer_ns: ONE_Q_NS,
-            cz_phase_ns: 4.0 * TWO_Q_NS,
-            readout_ns: READOUT_NS,
-        },
+        RoomInterconnect::Coax | RoomInterconnect::Microstrip => {
+            EsmProfile::for_cmos(32, READOUT_NS)
+        }
+        RoomInterconnect::Photonic => {
+            EsmProfile { h_layer_ns: ONE_Q_NS, cz_phase_ns: 4.0 * TWO_Q_NS, readout_ns: READOUT_NS }
+        }
     }
 }
 
 /// Builds the 300 K QCI architecture for the chosen interconnect.
 pub fn build(kind: RoomInterconnect) -> QciArch {
+    qisim_obs::span!("microarch.build");
+    qisim_obs::counter!("microarch.builds");
     let esm = esm_profile(kind);
     // The 300 K rack electronics (AWGs, readout analyzers, EOM drivers)
     // dissipate outside the refrigerator and are not budget-constrained,
@@ -73,11 +75,8 @@ pub fn build(kind: RoomInterconnect) -> QciArch {
 
     let wires = match kind {
         RoomInterconnect::Coax | RoomInterconnect::Microstrip => {
-            let w = if kind == RoomInterconnect::Coax {
-                WireKind::Coax
-            } else {
-                WireKind::Microstrip
-            };
+            let w =
+                if kind == RoomInterconnect::Coax { WireKind::Coax } else { WireKind::Microstrip };
             vec![
                 WirePlan {
                     name: "drive lines",
@@ -203,7 +202,8 @@ mod tests {
 
     #[test]
     fn no_instruction_link_heat() {
-        for k in [RoomInterconnect::Coax, RoomInterconnect::Microstrip, RoomInterconnect::Photonic] {
+        for k in [RoomInterconnect::Coax, RoomInterconnect::Microstrip, RoomInterconnect::Photonic]
+        {
             assert_eq!(build(k).instr_bandwidth_bps_per_qubit, 0.0);
         }
     }

@@ -73,7 +73,11 @@ impl SfqConfig {
     /// The readout schedule implied by this configuration.
     pub fn readout_schedule(&self) -> ReadoutSchedule {
         ReadoutSchedule {
-            driving_ns: if self.fast_driving { readout::FAST_DRIVING_NS } else { readout::DRIVING_NS },
+            driving_ns: if self.fast_driving {
+                readout::FAST_DRIVING_NS
+            } else {
+                readout::DRIVING_NS
+            },
             sharing: self.sharing,
         }
     }
@@ -93,6 +97,8 @@ impl SfqConfig {
 
     /// Assembles the full component/wire inventory.
     pub fn build(&self) -> QciArch {
+        qisim_obs::span!("microarch.build");
+        qisim_obs::counter!("microarch.builds");
         let tech_4k = SfqTech::new(self.family, SfqStage::Cryo4K);
         let tech_mk = SfqTech::new(self.family, SfqStage::MilliKelvin);
         let esm = self.esm_profile();

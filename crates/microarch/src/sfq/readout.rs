@@ -121,10 +121,7 @@ impl ReadoutSchedule {
                 (i + 1.0) * (self.driving_ns + TUNNELING_NS + r + RESET_NS) - RESET_NS
             }
             JpmSharing::SharedPipelined => {
-                self.driving_ns
-                    + TUNNELING_NS
-                    + (i + 1.0) * r
-                    + i * RESET_NS.max(TUNNELING_NS)
+                self.driving_ns + TUNNELING_NS + (i + 1.0) * r + i * RESET_NS.max(TUNNELING_NS)
             }
         }
     }
@@ -153,12 +150,8 @@ pub fn mk_components(tech: SfqTech, sharing: JpmSharing) -> Vec<Component> {
     };
     // The biased part: DFF comparator, merger, DC/SFQ interfaces, and the
     // SFQDC cells that flux-pulse the JPM.
-    let comparator_cells = vec![
-        (SfqCell::Dff, 1u64),
-        (SfqCell::Merger, 1),
-        (SfqCell::DcSfq, 2),
-        (SfqCell::SfqDc, 2),
-    ];
+    let comparator_cells =
+        vec![(SfqCell::Dff, 1u64), (SfqCell::Merger, 1), (SfqCell::DcSfq, 2), (SfqCell::SfqDc, 2)];
     let share = match sharing {
         JpmSharing::Unshared => 1.0,
         JpmSharing::SharedNaive | JpmSharing::SharedPipelined => SHARING_DEGREE as f64,

@@ -1,0 +1,442 @@
+//! Exporters: render a [`Snapshot`] as an aligned text table (for humans)
+//! or as JSON (for `BENCH_obs.json`-style perf-trajectory artifacts).
+
+use crate::json::ObjectWriter;
+use crate::metrics::Snapshot;
+
+fn fmt_sig(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if v == 0.0 {
+        "0".into()
+    } else if a >= 1e6 || a < 1e-3 {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        return format!("{ns}");
+    }
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn push_table(out: &mut String, header: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let render = |cells: &[String], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                out.push_str(&format!("{cell:<w$}", w = widths[i]));
+            } else {
+                out.push_str(&format!("{cell:>w$}", w = widths[i]));
+            }
+        }
+        out.push('\n');
+    };
+    render(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), out);
+    render(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(), out);
+    for row in rows {
+        render(row, out);
+    }
+}
+
+/// Renders the snapshot as an aligned, sectioned text table.
+pub fn text_table(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if snap.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+        return out;
+    }
+    if !snap.spans.is_empty() {
+        out.push_str("== spans ==\n");
+        let rows: Vec<Vec<String>> = snap
+            .spans
+            .iter()
+            .map(|(name, s)| {
+                vec![
+                    name.clone(),
+                    s.count.to_string(),
+                    fmt_ns(s.total_ns as f64),
+                    fmt_ns(s.self_ns as f64),
+                    fmt_ns(s.durations.quantile(0.5)),
+                    fmt_ns(s.durations.quantile(0.9)),
+                    fmt_ns(s.durations.quantile(0.99)),
+                ]
+            })
+            .collect();
+        push_table(&mut out, &["span", "count", "total", "self", "p50", "p90", "p99"], &rows);
+        out.push('\n');
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("== counters ==\n");
+        let rows: Vec<Vec<String>> =
+            snap.counters.iter().map(|(n, v)| vec![n.clone(), v.to_string()]).collect();
+        push_table(&mut out, &["counter", "value"], &rows);
+        out.push('\n');
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("== gauges ==\n");
+        let rows: Vec<Vec<String>> =
+            snap.gauges.iter().map(|(n, v)| vec![n.clone(), fmt_sig(*v)]).collect();
+        push_table(&mut out, &["gauge", "value"], &rows);
+        out.push('\n');
+    }
+    if !snap.hists.is_empty() {
+        out.push_str("== histograms ==\n");
+        let rows: Vec<Vec<String>> = snap
+            .hists
+            .iter()
+            .map(|(n, h)| {
+                vec![
+                    n.clone(),
+                    h.count().to_string(),
+                    fmt_sig(h.mean()),
+                    fmt_sig(h.quantile(0.5)),
+                    fmt_sig(h.quantile(0.9)),
+                    fmt_sig(h.quantile(0.99)),
+                    fmt_sig(h.min()),
+                    fmt_sig(h.max()),
+                ]
+            })
+            .collect();
+        push_table(
+            &mut out,
+            &["histogram", "count", "mean", "p50", "p90", "p99", "min", "max"],
+            &rows,
+        );
+    }
+    out
+}
+
+/// Renders the snapshot as a single JSON object:
+///
+/// ```json
+/// {
+///   "counters": {"power.evaluate.calls": 182},
+///   "gauges": {"power.stage.4K.utilization": 0.99},
+///   "histograms": {"cyclesim.makespan_ns": {"count": 3, "mean": ..., "p50": ...}},
+///   "spans": {"power.max_qubits": {"count": 2, "total_ns": ..., "p50_ns": ...}}
+/// }
+/// ```
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    let mut root = ObjectWriter::new(&mut out);
+
+    let mut counters = String::new();
+    {
+        let mut w = ObjectWriter::new(&mut counters);
+        for (n, v) in &snap.counters {
+            w.field_u64(n, *v);
+        }
+        w.finish();
+    }
+    root.field_raw("counters", &counters);
+
+    let mut gauges = String::new();
+    {
+        let mut w = ObjectWriter::new(&mut gauges);
+        for (n, v) in &snap.gauges {
+            w.field_f64(n, *v);
+        }
+        w.finish();
+    }
+    root.field_raw("gauges", &gauges);
+
+    let mut hists = String::new();
+    {
+        let mut w = ObjectWriter::new(&mut hists);
+        for (n, h) in &snap.hists {
+            let mut one = String::new();
+            let mut hw = ObjectWriter::new(&mut one);
+            hw.field_u64("count", h.count());
+            hw.field_f64("mean", h.mean());
+            hw.field_f64("min", h.min());
+            hw.field_f64("max", h.max());
+            hw.field_f64("p50", h.quantile(0.5));
+            hw.field_f64("p90", h.quantile(0.9));
+            hw.field_f64("p99", h.quantile(0.99));
+            hw.finish();
+            w.field_raw(n, &one);
+        }
+        w.finish();
+    }
+    root.field_raw("histograms", &hists);
+
+    let mut spans = String::new();
+    {
+        let mut w = ObjectWriter::new(&mut spans);
+        for (n, s) in &snap.spans {
+            let mut one = String::new();
+            let mut sw = ObjectWriter::new(&mut one);
+            sw.field_u64("count", s.count);
+            sw.field_u64("total_ns", s.total_ns);
+            sw.field_u64("self_ns", s.self_ns);
+            sw.field_f64("p50_ns", s.durations.quantile(0.5));
+            sw.field_f64("p90_ns", s.durations.quantile(0.9));
+            sw.field_f64("p99_ns", s.durations.quantile(0.99));
+            sw.finish();
+            w.field_raw(n, &one);
+        }
+        w.finish();
+    }
+    root.field_raw("spans", &spans);
+    root.finish();
+    out
+}
+
+/// A very small JSON well-formedness checker used by the tests and the
+/// CI smoke run: validates balanced structure, string escapes, and
+/// number syntax. Not a full parser — just enough to catch exporter bugs.
+pub fn json_is_well_formed(s: &str) -> bool {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && (b[*i] as char).is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+    fn value(b: &[u8], i: &mut usize) -> bool {
+        skip_ws(b, i);
+        if *i >= b.len() {
+            return false;
+        }
+        match b[*i] {
+            b'{' => {
+                *i += 1;
+                skip_ws(b, i);
+                if *i < b.len() && b[*i] == b'}' {
+                    *i += 1;
+                    return true;
+                }
+                loop {
+                    skip_ws(b, i);
+                    if !string(b, i) {
+                        return false;
+                    }
+                    skip_ws(b, i);
+                    if *i >= b.len() || b[*i] != b':' {
+                        return false;
+                    }
+                    *i += 1;
+                    if !value(b, i) {
+                        return false;
+                    }
+                    skip_ws(b, i);
+                    if *i < b.len() && b[*i] == b',' {
+                        *i += 1;
+                        continue;
+                    }
+                    if *i < b.len() && b[*i] == b'}' {
+                        *i += 1;
+                        return true;
+                    }
+                    return false;
+                }
+            }
+            b'[' => {
+                *i += 1;
+                skip_ws(b, i);
+                if *i < b.len() && b[*i] == b']' {
+                    *i += 1;
+                    return true;
+                }
+                loop {
+                    if !value(b, i) {
+                        return false;
+                    }
+                    skip_ws(b, i);
+                    if *i < b.len() && b[*i] == b',' {
+                        *i += 1;
+                        continue;
+                    }
+                    if *i < b.len() && b[*i] == b']' {
+                        *i += 1;
+                        return true;
+                    }
+                    return false;
+                }
+            }
+            b'"' => string(b, i),
+            b't' => literal(b, i, b"true"),
+            b'f' => literal(b, i, b"false"),
+            b'n' => literal(b, i, b"null"),
+            _ => number(b, i),
+        }
+    }
+    fn literal(b: &[u8], i: &mut usize, lit: &[u8]) -> bool {
+        if b[*i..].starts_with(lit) {
+            *i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+    fn string(b: &[u8], i: &mut usize) -> bool {
+        if *i >= b.len() || b[*i] != b'"' {
+            return false;
+        }
+        *i += 1;
+        while *i < b.len() {
+            match b[*i] {
+                b'"' => {
+                    *i += 1;
+                    return true;
+                }
+                b'\\' => {
+                    *i += 1;
+                    if *i >= b.len() {
+                        return false;
+                    }
+                    match b[*i] {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => *i += 1,
+                        b'u' => {
+                            if *i + 4 >= b.len()
+                                || !b[*i + 1..*i + 5].iter().all(u8::is_ascii_hexdigit)
+                            {
+                                return false;
+                            }
+                            *i += 5;
+                        }
+                        _ => return false,
+                    }
+                }
+                c if c < 0x20 => return false,
+                _ => *i += 1,
+            }
+        }
+        false
+    }
+    fn number(b: &[u8], i: &mut usize) -> bool {
+        let start = *i;
+        if *i < b.len() && b[*i] == b'-' {
+            *i += 1;
+        }
+        let digits = |b: &[u8], i: &mut usize| {
+            let s = *i;
+            while *i < b.len() && b[*i].is_ascii_digit() {
+                *i += 1;
+            }
+            *i > s
+        };
+        if !digits(b, i) {
+            return false;
+        }
+        if *i < b.len() && b[*i] == b'.' {
+            *i += 1;
+            if !digits(b, i) {
+                return false;
+            }
+        }
+        if *i < b.len() && (b[*i] == b'e' || b[*i] == b'E') {
+            *i += 1;
+            if *i < b.len() && (b[*i] == b'+' || b[*i] == b'-') {
+                *i += 1;
+            }
+            if !digits(b, i) {
+                return false;
+            }
+        }
+        *i > start
+    }
+    if !value(b, &mut i) {
+        return false;
+    }
+    skip_ws(b, &mut i);
+    i == b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter_add("power.evaluate.calls", 182);
+        r.counter_add("cyclesim.ops", 9);
+        r.gauge_set("power.stage.4K.utilization", 0.997);
+        r.gauge_set("weird \"name\"\\path", f64::NAN);
+        r.observe("cyclesim.makespan_ns", 1117.0);
+        r.observe("cyclesim.makespan_ns", 915.0);
+        r.record_span("power.max_qubits", 2_000_000, 1_500_000);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_export_is_well_formed_and_complete() {
+        let j = to_json(&sample());
+        assert!(json_is_well_formed(&j), "malformed: {j}");
+        assert!(j.contains("\"power.evaluate.calls\":182"));
+        assert!(j.contains("\"power.max_qubits\""));
+        assert!(j.contains("\"total_ns\":2000000"));
+        // NaN gauge must degrade to null, not poison the document.
+        assert!(j.contains("null"), "{j}");
+        // The escaped gauge name survives round-trip escaping.
+        assert!(j.contains(r#"weird \"name\"\\path"#), "{j}");
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let snap = Snapshot::default();
+        let j = to_json(&snap);
+        assert!(json_is_well_formed(&j), "malformed: {j}");
+        assert!(text_table(&snap).contains("no metrics recorded"));
+    }
+
+    #[test]
+    fn text_table_aligns_and_sections() {
+        let t = text_table(&sample());
+        assert!(t.contains("== spans =="));
+        assert!(t.contains("== counters =="));
+        assert!(t.contains("== gauges =="));
+        assert!(t.contains("== histograms =="));
+        assert!(t.contains("power.max_qubits"));
+        assert!(t.contains("p99"));
+        // Alignment: counter values right-aligned in one column.
+        let lines: Vec<&str> =
+            t.lines().filter(|l| l.contains(".calls") || l.contains("cyclesim.ops")).collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), lines[1].len(), "{t}");
+    }
+
+    #[test]
+    fn well_formedness_checker_rejects_garbage() {
+        for bad in [
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "\"unterminated",
+            "{\"a\":nan}",
+            "01a",
+            "{\"a\":1}trailing",
+        ] {
+            assert!(!json_is_well_formed(bad), "accepted: {bad}");
+        }
+        for good in ["{}", "[]", "{\"a\":[1,2,{\"b\":null}],\"c\":-1.5e-7}", "true"] {
+            assert!(json_is_well_formed(good), "rejected: {good}");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! A hand-rolled JSON writer (the build environment has no network, so
+//! `serde` is off the table).
+//!
+//! Only what the exporters need: object/array framing helpers, correct
+//! string escaping, and float formatting that never emits invalid JSON
+//! (non-finite floats become `null`).
+
+/// Appends `s` to `out` as a JSON string literal (with the quotes).
+pub fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Escapes a string into a fresh JSON literal.
+pub fn string_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_str_literal(&mut out, s);
+    out
+}
+
+/// Appends a float as a JSON number; NaN and ±infinity become `null`
+/// (JSON has no representation for them).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is Rust's shortest round-trip float formatting and is
+        // always a valid JSON number for finite values.
+        out.push_str(&format!("{v:?}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends an unsigned integer.
+pub fn push_u64(out: &mut String, v: u64) {
+    out.push_str(&v.to_string());
+}
+
+/// A minimal streaming object writer handling the comma bookkeeping.
+#[derive(Debug)]
+pub struct ObjectWriter<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> ObjectWriter<'a> {
+    /// Opens `{`.
+    pub fn new(out: &'a mut String) -> Self {
+        out.push('{');
+        ObjectWriter { out, first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_str_literal(self.out, key);
+        self.out.push(':');
+    }
+
+    /// Writes `"key": <float-or-null>`.
+    pub fn field_f64(&mut self, key: &str, v: f64) {
+        self.key(key);
+        push_f64(self.out, v);
+    }
+
+    /// Writes `"key": <uint>`.
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.key(key);
+        push_u64(self.out, v);
+    }
+
+    /// Writes `"key": "string"`.
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.key(key);
+        push_str_literal(self.out, v);
+    }
+
+    /// Writes `"key": <raw>` where `raw` is pre-serialized JSON.
+    pub fn field_raw(&mut self, key: &str, raw: &str) {
+        self.key(key);
+        self.out.push_str(raw);
+    }
+
+    /// Closes `}`.
+    pub fn finish(self) {
+        self.out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_and_backslashes() {
+        assert_eq!(string_literal(r#"a"b\c"#), r#""a\"b\\c""#);
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        assert_eq!(string_literal("a\nb\tc\r"), r#""a\nb\tc\r""#);
+        assert_eq!(string_literal("\u{01}"), "\"\\u0001\"");
+        assert_eq!(string_literal("\u{1f}"), "\"\\u001f\"");
+        assert_eq!(string_literal("\u{08}\u{0c}"), r#""\b\f""#);
+    }
+
+    #[test]
+    fn unicode_passes_through_unescaped() {
+        assert_eq!(string_literal("µW @ 20 mK — ok"), "\"µW @ 20 mK — ok\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut s = String::new();
+        push_f64(&mut s, f64::NAN);
+        s.push(',');
+        push_f64(&mut s, f64::INFINITY);
+        s.push(',');
+        push_f64(&mut s, f64::NEG_INFINITY);
+        assert_eq!(s, "null,null,null");
+    }
+
+    #[test]
+    fn finite_floats_round_trip() {
+        for v in [0.0, -1.5, 1e-300, 6.02e23, 1117.0] {
+            let mut s = String::new();
+            push_f64(&mut s, v);
+            assert_eq!(s.parse::<f64>().unwrap(), v, "formatting {v}");
+        }
+    }
+
+    #[test]
+    fn object_writer_handles_commas() {
+        let mut s = String::new();
+        let mut w = ObjectWriter::new(&mut s);
+        w.field_u64("a", 1);
+        w.field_str("b", "x\"y");
+        w.field_f64("c", f64::NAN);
+        w.field_raw("d", "[1,2]");
+        w.finish();
+        assert_eq!(s, r#"{"a":1,"b":"x\"y","c":null,"d":[1,2]}"#);
+    }
+}

@@ -1,0 +1,277 @@
+//! # qisim-obs
+//!
+//! Zero-dependency observability for the QIsim scalability framework:
+//! scoped span timers, a global metrics registry (counters, gauges,
+//! log-bucketed histograms), and text/JSON exporters — the introspection
+//! substrate behind `Scalability::explain()` and the `BENCH_obs.json`
+//! perf artifacts.
+//!
+//! Everything is built on `std` only (the build environment is offline,
+//! so `tracing`/`metrics`/`serde` are unavailable by design, not just by
+//! choice).
+//!
+//! # Instrumenting
+//!
+//! ```
+//! use qisim_obs::{counter, gauge, observe, span};
+//!
+//! fn bisect() -> u64 {
+//!     span!("power.max_qubits");         // RAII: timed until scope end
+//!     for _ in 0..7 {
+//!         counter!("power.bisection.iters");
+//!     }
+//!     gauge!("power.stage.4K.utilization", 0.97);
+//!     observe!("cyclesim.makespan_ns", 1117.0);
+//!     691
+//! }
+//! bisect();
+//! let snap = qisim_obs::snapshot();
+//! if qisim_obs::enabled() {
+//!     assert_eq!(snap.counter("power.bisection.iters"), Some(7));
+//! } else {
+//!     assert!(snap.is_empty()); // compile-time kill switch active
+//! }
+//! println!("{}", qisim_obs::report_text());
+//! # qisim_obs::reset();
+//! ```
+//!
+//! # Kill switch
+//!
+//! The `obs` cargo feature (on by default) is a compile-time kill switch:
+//! built with `--no-default-features`, every macro and recording function
+//! compiles to a no-op, [`snapshot`] returns an empty [`Snapshot`], and no
+//! global state is ever allocated. A runtime toggle ([`set_enabled`])
+//! exists as well, so a single binary can compare instrumented and
+//! uninstrumented runs (the integration tests use it to prove results are
+//! bit-identical either way).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use export::{json_is_well_formed, text_table, to_json};
+pub use hist::Histogram;
+pub use metrics::{Registry, Snapshot, SpanStats};
+pub use span::SpanGuard;
+
+#[cfg(feature = "obs")]
+mod global {
+    use crate::metrics::Registry;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::OnceLock;
+
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    static ENABLED: AtomicBool = AtomicBool::new(true);
+
+    pub(crate) fn registry() -> &'static Registry {
+        REGISTRY.get_or_init(Registry::new)
+    }
+
+    pub(crate) fn enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_enabled(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+}
+
+#[cfg(feature = "obs")]
+pub(crate) use global::registry;
+
+/// Whether recording is currently active (always `false` when the `obs`
+/// feature is compiled out).
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(feature = "obs")]
+    {
+        global::enabled()
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        false
+    }
+}
+
+/// Runtime toggle: temporarily stop (or resume) all recording. A no-op
+/// when the `obs` feature is compiled out.
+#[inline]
+pub fn set_enabled(on: bool) {
+    #[cfg(feature = "obs")]
+    global::set_enabled(on);
+    #[cfg(not(feature = "obs"))]
+    let _ = on;
+}
+
+/// Adds `delta` to the named global counter.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    #[cfg(feature = "obs")]
+    if global::enabled() {
+        global::registry().counter_add(name, delta);
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = (name, delta);
+}
+
+/// Sets the named global gauge.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    #[cfg(feature = "obs")]
+    if global::enabled() {
+        global::registry().gauge_set(name, value);
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = (name, value);
+}
+
+/// Records a sample into the named global histogram.
+#[inline]
+pub fn observe_f64(name: &str, value: f64) {
+    #[cfg(feature = "obs")]
+    if global::enabled() {
+        global::registry().observe(name, value);
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = (name, value);
+}
+
+/// Copies the global registry contents out for export. Empty when the
+/// `obs` feature is compiled out.
+pub fn snapshot() -> Snapshot {
+    #[cfg(feature = "obs")]
+    {
+        global::registry().snapshot()
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        Snapshot::default()
+    }
+}
+
+/// Clears every global metric (spans, counters, gauges, histograms).
+pub fn reset() {
+    #[cfg(feature = "obs")]
+    global::registry().reset();
+}
+
+/// Renders the global registry as an aligned text table.
+pub fn report_text() -> String {
+    text_table(&snapshot())
+}
+
+/// Renders the global registry as a JSON document (the `BENCH_obs.json`
+/// artifact format).
+pub fn report_json() -> String {
+    to_json(&snapshot())
+}
+
+/// Opens a scoped span timer recording wall-clock, call count, and
+/// self-time (excluding nested spans) under the given `&'static str`
+/// name. The guard lives until the end of the enclosing scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _qisim_obs_span_guard = $crate::SpanGuard::enter($name);
+    };
+}
+
+/// Increments a named counter (`counter!("name")` adds 1,
+/// `counter!("name", n)` adds `n`).
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter_add(&$name, 1)
+    };
+    ($name:expr, $delta:expr) => {
+        $crate::counter_add(&$name, $delta)
+    };
+}
+
+/// Sets a named gauge to a value (last write wins).
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        $crate::gauge_set(&$name, $value)
+    };
+}
+
+/// Records a sample into a named histogram.
+#[macro_export]
+macro_rules! observe {
+    ($name:expr, $value:expr) => {
+        $crate::observe_f64(&$name, $value)
+    };
+}
+
+#[cfg(all(test, feature = "obs"))]
+pub(crate) fn global_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    #[test]
+    fn macros_drive_the_global_registry() {
+        let _l = crate::global_test_lock();
+        crate::reset();
+        crate::set_enabled(true);
+        {
+            span!("lib.outer");
+            counter!("lib.count");
+            counter!("lib.count", 4);
+            gauge!("lib.gauge", 2.5);
+            observe!(format!("lib.{}", "hist"), 10.0);
+        }
+        let snap = crate::snapshot();
+        assert_eq!(snap.counter("lib.count"), Some(5));
+        assert_eq!(snap.gauge("lib.gauge"), Some(2.5));
+        assert_eq!(snap.span("lib.outer").map(|s| s.count), Some(1));
+        let json = crate::report_json();
+        assert!(crate::json_is_well_formed(&json), "{json}");
+        assert!(crate::report_text().contains("lib.count"));
+        crate::reset();
+        assert!(crate::snapshot().is_empty());
+    }
+
+    #[test]
+    fn runtime_disable_suppresses_recording() {
+        let _l = crate::global_test_lock();
+        crate::reset();
+        crate::set_enabled(false);
+        counter!("lib.suppressed");
+        {
+            span!("lib.suppressed.span");
+        }
+        crate::set_enabled(true);
+        let snap = crate::snapshot();
+        assert_eq!(snap.counter("lib.suppressed"), None);
+        assert!(snap.span("lib.suppressed.span").is_none());
+        crate::reset();
+    }
+}
+
+#[cfg(all(test, not(feature = "obs")))]
+mod killswitch_tests {
+    #[test]
+    fn everything_is_inert_without_the_feature() {
+        assert!(!crate::enabled());
+        counter!("dead");
+        gauge!("dead", 1.0);
+        observe!("dead", 1.0);
+        {
+            span!("dead");
+        }
+        assert!(crate::snapshot().is_empty());
+        assert_eq!(
+            crate::report_json(),
+            r#"{"counters":{},"gauges":{},"histograms":{},"spans":{}}"#
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! The metrics registry: named counters, gauges, histograms, and span
+//! statistics behind one mutex.
+//!
+//! Names are dotted paths mirroring the Fig. 6 pipeline
+//! (`power.max_qubits`, `cyclesim.simulate`, `scalability.analyze`, …).
+//! `BTreeMap` keys keep every export deterministically ordered.
+
+use crate::hist::Histogram;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+/// Aggregated timing statistics of one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total wall-clock nanoseconds (inclusive of children).
+    pub total_ns: u64,
+    /// Nanoseconds excluding time spent in nested child spans.
+    pub self_ns: u64,
+    /// Per-call duration distribution (ns).
+    pub durations: Histogram,
+}
+
+impl SpanStats {
+    fn new() -> Self {
+        SpanStats { count: 0, total_ns: 0, self_ns: 0, durations: Histogram::new() }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+/// A thread-safe registry of counters, gauges, histograms, and spans.
+///
+/// Most code uses the process-global registry through the crate-level
+/// functions and macros; an owned `Registry` exists so tests can run in
+/// isolation.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+/// A point-in-time copy of the registry contents, used by the exporters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram contents.
+    pub hists: Vec<(String, Histogram)>,
+    /// Span statistics.
+    pub spans: Vec<(String, SpanStats)>,
+}
+
+impl Snapshot {
+    /// Whether the snapshot holds no data at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up span statistics by name.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // A panic mid-record can only leave a half-updated metric, never a
+        // broken invariant worth refusing service over.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut g = self.lock();
+        if let Some(v) = g.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            g.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut g = self.lock();
+        match g.gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                g.gauges.insert(name.to_owned(), value);
+            }
+        }
+    }
+
+    /// Records `value` into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut g = self.lock();
+        if let Some(h) = g.hists.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::new();
+            h.observe(value);
+            g.hists.insert(name.to_owned(), h);
+        }
+    }
+
+    /// Records one completed span occurrence.
+    pub fn record_span(&self, name: &str, total_ns: u64, self_ns: u64) {
+        let mut g = self.lock();
+        let s = g.spans.entry(name.to_owned()).or_insert_with(SpanStats::new);
+        s.count += 1;
+        s.total_ns += total_ns;
+        s.self_ns += self_ns;
+        s.durations.observe(total_ns as f64);
+    }
+
+    /// Copies the current contents out for export.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.lock();
+        Snapshot {
+            counters: g.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: g.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            hists: g.hists.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            spans: g.spans.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        }
+    }
+
+    /// Clears every metric.
+    pub fn reset(&self) {
+        *self.lock() = Inner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let r = Registry::new();
+        r.counter_add("a.calls", 2);
+        r.counter_add("a.calls", 3);
+        r.counter_add("b.calls", 1);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a.calls"), Some(5));
+        assert_eq!(s.counter("b.calls"), Some(1));
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let r = Registry::new();
+        r.gauge_set("u", 0.25);
+        r.gauge_set("u", 0.75);
+        assert_eq!(r.snapshot().gauge("u"), Some(0.75));
+    }
+
+    #[test]
+    fn spans_aggregate_count_total_and_self() {
+        let r = Registry::new();
+        r.record_span("outer", 1000, 400);
+        r.record_span("outer", 3000, 1000);
+        let s = r.snapshot();
+        let st = s.span("outer").unwrap();
+        assert_eq!(st.count, 2);
+        assert_eq!(st.total_ns, 4000);
+        assert_eq!(st.self_ns, 1400);
+        assert_eq!(st.durations.count(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let r = Registry::new();
+        r.counter_add("x", 1);
+        r.observe("h", 2.0);
+        r.record_span("s", 10, 10);
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let r = Registry::new();
+        for name in ["zeta", "alpha", "mid"] {
+            r.counter_add(name, 1);
+        }
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let r = std::sync::Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter_add("t", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.snapshot().counter("t"), Some(4000));
+    }
+}

@@ -1,0 +1,155 @@
+//! Scoped span timers: RAII guards that time a region, nest correctly,
+//! and attribute self- vs. child-time through a thread-local span stack.
+//!
+//! With the `obs` feature compiled out the guard is a zero-sized inert
+//! type and [`SpanGuard::enter`] is a no-op.
+
+#[cfg(feature = "obs")]
+use std::cell::RefCell;
+#[cfg(feature = "obs")]
+use std::time::Instant;
+
+#[cfg(feature = "obs")]
+thread_local! {
+    /// Child-time accumulators for the spans currently open on this
+    /// thread, innermost last. Each entry is the total ns spent in spans
+    /// nested directly or transitively inside that frame.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII guard timing a region; created by [`crate::span!`] or
+/// [`SpanGuard::enter`]. On drop it records `(total, self)` time into the
+/// global registry, where self-time excludes nested spans.
+#[derive(Debug)]
+pub struct SpanGuard {
+    #[cfg(feature = "obs")]
+    active: Option<ActiveSpan>,
+}
+
+#[cfg(feature = "obs")]
+#[derive(Debug)]
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Opens a span. Returns an inert guard when observability is
+    /// compiled out or disabled at runtime.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        #[cfg(feature = "obs")]
+        {
+            if !crate::enabled() {
+                return SpanGuard { active: None };
+            }
+            SPAN_STACK.with(|s| s.borrow_mut().push(0));
+            SpanGuard { active: Some(ActiveSpan { name, start: Instant::now() }) }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = name;
+            SpanGuard {}
+        }
+    }
+}
+
+#[cfg(feature = "obs")]
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else { return };
+        let total_ns = span.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let child_ns = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let child = stack.pop().unwrap_or(0);
+            // Credit our full duration to the enclosing span's child time.
+            if let Some(parent) = stack.last_mut() {
+                *parent += total_ns;
+            }
+            child
+        });
+        crate::registry().record_span(span.name, total_ns, total_ns.saturating_sub(child_ns));
+    }
+}
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn spin(d: Duration) {
+        let t = Instant::now();
+        while t.elapsed() < d {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn nested_spans_split_self_and_child_time() {
+        let _l = crate::global_test_lock();
+        crate::reset();
+        crate::set_enabled(true);
+        {
+            let _outer = SpanGuard::enter("test.outer");
+            spin(Duration::from_millis(4));
+            {
+                let _inner = SpanGuard::enter("test.inner");
+                spin(Duration::from_millis(6));
+            }
+            spin(Duration::from_millis(1));
+        }
+        let snap = crate::snapshot();
+        let outer = snap.span("test.outer").expect("outer recorded").clone();
+        let inner = snap.span("test.inner").expect("inner recorded").clone();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // Outer wraps inner entirely.
+        assert!(outer.total_ns >= inner.total_ns, "outer {outer:?} inner {inner:?}");
+        // Outer self-time excludes the inner 6 ms (1 ms slack for timer
+        // granularity).
+        assert!(
+            outer.self_ns <= outer.total_ns - inner.total_ns + 1_000_000,
+            "self {} total {} inner {}",
+            outer.self_ns,
+            outer.total_ns,
+            inner.total_ns
+        );
+        // Inner has no children: self == total.
+        assert_eq!(inner.self_ns, inner.total_ns);
+        crate::reset();
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _l = crate::global_test_lock();
+        crate::reset();
+        crate::set_enabled(false);
+        {
+            let _g = SpanGuard::enter("test.disabled");
+        }
+        crate::set_enabled(true);
+        assert!(crate::snapshot().span("test.disabled").is_none());
+        crate::reset();
+    }
+
+    #[test]
+    fn sibling_spans_both_credit_the_parent() {
+        let _l = crate::global_test_lock();
+        crate::reset();
+        crate::set_enabled(true);
+        {
+            let _p = SpanGuard::enter("test.parent");
+            for _ in 0..2 {
+                let _c = SpanGuard::enter("test.child");
+                spin(Duration::from_millis(2));
+            }
+        }
+        let snap = crate::snapshot();
+        let p = snap.span("test.parent").unwrap().clone();
+        let c = snap.span("test.child").unwrap().clone();
+        assert_eq!(c.count, 2);
+        assert!(p.total_ns >= c.total_ns);
+        assert!(p.self_ns <= p.total_ns.saturating_sub(c.total_ns) + 1_000_000);
+        crate::reset();
+    }
+}

@@ -28,6 +28,7 @@
 use qisim_hal::fridge::{Fridge, Stage};
 use qisim_hal::wire::InstructionLink;
 use qisim_microarch::QciArch;
+use qisim_obs::{counter, gauge, span};
 
 /// Power accounting of one refrigerator stage.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,6 +107,8 @@ pub fn evaluate_with_link(
     link: &InstructionLink,
 ) -> PowerReport {
     assert!(n_qubits > 0, "need at least one qubit");
+    span!("power.evaluate");
+    counter!("power.evaluate.calls");
     let stages = Stage::ALL
         .iter()
         .map(|&stage| StagePower {
@@ -138,12 +141,14 @@ pub fn max_qubits_with_link(
     fridge: &Fridge,
     link: &InstructionLink,
 ) -> (u64, Option<Stage>) {
+    span!("power.max_qubits");
     if !evaluate_with_link(arch, fridge, 1, link).fits() {
         return (0, evaluate_with_link(arch, fridge, 1, link).binding_stage());
     }
     let mut lo = 1u64; // fits
     let mut hi = 2u64;
     while evaluate_with_link(arch, fridge, hi, link).fits() {
+        counter!("power.bisection.iters");
         lo = hi;
         hi *= 2;
         if hi > 1 << 40 {
@@ -151,6 +156,7 @@ pub fn max_qubits_with_link(
         }
     }
     while hi - lo > 1 {
+        counter!("power.bisection.iters");
         let mid = lo + (hi - lo) / 2;
         if evaluate_with_link(arch, fridge, mid, link).fits() {
             lo = mid;
@@ -159,7 +165,27 @@ pub fn max_qubits_with_link(
         }
     }
     let binding = evaluate_with_link(arch, fridge, hi, link).binding_stage();
+    record_stage_gauges(&evaluate_with_link(arch, fridge, lo.max(1), link));
     (lo, binding)
+}
+
+/// Publishes per-stage watt attribution and utilization gauges for a
+/// report (called at the bisection's landing point, so the gauges show
+/// where every watt goes at the design's maximum scale).
+fn record_stage_gauges(report: &PowerReport) {
+    if !qisim_obs::enabled() {
+        return;
+    }
+    for s in &report.stages {
+        let label = s.stage.label();
+        gauge!(format!("power.stage.{label}.device_static_w"), s.device_static_w);
+        gauge!(format!("power.stage.{label}.device_dynamic_w"), s.device_dynamic_w);
+        gauge!(format!("power.stage.{label}.wire_w"), s.wire_w);
+        gauge!(format!("power.stage.{label}.instr_link_w"), s.instr_link_w);
+        gauge!(format!("power.stage.{label}.total_w"), s.total_w());
+        gauge!(format!("power.stage.{label}.budget_w"), s.budget_w);
+        gauge!(format!("power.stage.{label}.utilization"), s.utilization());
+    }
 }
 
 #[cfg(test)]

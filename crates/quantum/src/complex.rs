@@ -111,10 +111,7 @@ impl C64 {
     /// Fused multiply-add: `self * b + c`, one rounding contour per component.
     #[inline]
     pub fn mul_add(self, b: C64, c: C64) -> Self {
-        C64::new(
-            self.re * b.re - self.im * b.im + c.re,
-            self.re * b.im + self.im * b.re + c.im,
-        )
+        C64::new(self.re * b.re - self.im * b.im + c.re, self.re * b.im + self.im * b.re + c.im)
     }
 }
 
@@ -155,10 +152,7 @@ impl Mul for C64 {
     type Output = C64;
     #[inline]
     fn mul(self, rhs: C64) -> C64 {
-        C64::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        C64::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 

@@ -106,11 +106,7 @@ pub fn align_global_phase(ideal: &CMatrix, actual: &CMatrix) -> CMatrix {
 /// Panics if the state lengths differ.
 pub fn state_fidelity(a: &[C64], b: &[C64]) -> f64 {
     assert_eq!(a.len(), b.len(), "state dimension mismatch");
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| x.conj() * *y)
-        .sum::<C64>()
-        .norm_sqr()
+    a.iter().zip(b.iter()).map(|(x, y)| x.conj() * *y).sum::<C64>().norm_sqr()
 }
 
 /// Fidelity of a pure target state against a density matrix: `<ψ|ρ|ψ>`.
@@ -121,11 +117,7 @@ pub fn state_fidelity(a: &[C64], b: &[C64]) -> f64 {
 pub fn state_vs_density_fidelity(psi: &[C64], rho: &CMatrix) -> f64 {
     assert_eq!(psi.len(), rho.dim(), "dimension mismatch");
     let rho_psi = rho.mul_vec(psi);
-    psi.iter()
-        .zip(rho_psi.iter())
-        .map(|(x, y)| x.conj() * *y)
-        .sum::<C64>()
-        .re
+    psi.iter().zip(rho_psi.iter()).map(|(x, y)| x.conj() * *y).sum::<C64>().re
 }
 
 #[cfg(test)]

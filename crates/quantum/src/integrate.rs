@@ -89,7 +89,13 @@ where
 /// # Panics
 ///
 /// Panics if `steps == 0`.
-pub fn propagator<H>(dim: usize, mut hamiltonian: H, t0: f64, duration: f64, steps: usize) -> CMatrix
+pub fn propagator<H>(
+    dim: usize,
+    mut hamiltonian: H,
+    t0: f64,
+    duration: f64,
+    steps: usize,
+) -> CMatrix
 where
     H: FnMut(f64) -> CMatrix,
 {

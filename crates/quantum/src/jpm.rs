@@ -130,7 +130,15 @@ impl Jpm {
         let mut acc = 0.0;
         for k in 0..fock_levels {
             let log_p = -n_bar + k as f64 * n_bar.max(1e-300).ln() - ln_factorial(k);
-            let p = if n_bar == 0.0 { if k == 0 { 1.0 } else { 0.0 } } else { log_p.exp() };
+            let p = if n_bar == 0.0 {
+                if k == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                log_p.exp()
+            };
             pn.push(p);
             acc += p;
         }
@@ -220,10 +228,7 @@ mod tests {
         // The Lindblad model averages over the Poisson distribution, which
         // only approximately matches the mean-rate formula; they should agree
         // to a few percent at these parameters.
-        assert!(
-            (p_rate - p_lindblad).abs() < 0.08,
-            "rate {p_rate} vs lindblad {p_lindblad}"
-        );
+        assert!((p_rate - p_lindblad).abs() < 0.08, "rate {p_rate} vs lindblad {p_lindblad}");
     }
 
     #[test]

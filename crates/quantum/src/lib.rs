@@ -50,6 +50,7 @@ pub mod integrate;
 pub mod jpm;
 pub mod matrix;
 pub mod resonator;
+pub mod rng;
 pub mod statevector;
 pub mod transmon;
 

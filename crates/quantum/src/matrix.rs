@@ -192,11 +192,7 @@ impl CMatrix {
     /// Panics if shapes differ.
     pub fn max_abs_diff(&self, other: &CMatrix) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (*a - *b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max)
     }
 
     /// True when every element is within `tol` of `other`.

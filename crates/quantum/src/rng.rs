@@ -1,0 +1,205 @@
+//! A small deterministic PRNG, replacing the `rand` crate (the build
+//! environment is offline, and the Monte-Carlo estimators only need a
+//! fast, seedable, statistically decent generator — not cryptography).
+//!
+//! The generator is Vigna's **xorshift64\*** (a 64-bit xorshift scrambled
+//! by a multiplicative constant; period 2⁶⁴−1, passes BigCrush except
+//! MatrixRank). Seeding runs the seed through one SplitMix64 step so that
+//! small consecutive seeds (0, 1, 2, …) still start in well-mixed states.
+
+/// Minimal random-number interface used across the QIsim crates.
+///
+/// The API is deliberately explicit (`gen_f64`, `gen_bool`, …) rather
+/// than generic over output types; every call site knows exactly what it
+/// is sampling.
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in `[0, 1)` with 53-bit resolution.
+    #[inline]
+    fn gen_f64(&mut self) -> f64 {
+        // Top 53 bits -> [0, 1). 2^-53 spacing, never returns 1.0.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `(0, 1]` — safe to pass to `ln()`.
+    #[inline]
+    fn gen_open01(&mut self) -> f64 {
+        1.0 - self.gen_f64()
+    }
+
+    /// A uniform bool.
+    #[inline]
+    fn gen_bool(&mut self) -> bool {
+        // Use a high bit; the low bits of some generators are weaker.
+        self.next_u64() >> 63 != 0
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[inline]
+    fn gen_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_below needs a positive bound");
+        // Debiased multiply-shift (Lemire): rejection only in the tiny
+        // biased zone, so the common path is one multiply.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The xorshift64\* generator.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_quantum::rng::{Rng, Xorshift64Star};
+///
+/// let mut a = Xorshift64Star::seed_from_u64(7);
+/// let mut b = Xorshift64Star::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// let u = a.gen_f64();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xorshift64Star {
+    state: u64,
+}
+
+impl Xorshift64Star {
+    /// Creates a generator from a seed; any seed (including 0) is valid.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // One SplitMix64 step decorrelates consecutive seeds and maps the
+        // forbidden all-zeros state away.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Xorshift64Star { state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z } }
+    }
+}
+
+impl Rng for Xorshift64Star {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds_distinct_for_different() {
+        let a: Vec<u64> = {
+            let mut r = Xorshift64Star::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Xorshift64Star::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Xorshift64Star::seed_from_u64(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Xorshift64Star::seed_from_u64(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_with_sane_mean() {
+        let mut r = Xorshift64Star::seed_from_u64(1);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = r.gen_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn open01_never_returns_zero() {
+        let mut r = Xorshift64Star::seed_from_u64(2);
+        for _ in 0..100_000 {
+            let u = r.gen_open01();
+            assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_below_is_unbiased_enough() {
+        let mut r = Xorshift64Star::seed_from_u64(3);
+        let mut counts = [0u32; 3];
+        let n = 90_000;
+        for _ in 0..n {
+            counts[r.gen_below(3) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 3.0;
+            assert!((c as f64 - expected).abs() < 5.0 * expected.sqrt(), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut r = Xorshift64Star::seed_from_u64(4);
+        let trues = (0..10_000).filter(|_| r.gen_bool()).count();
+        assert!((4600..5400).contains(&trues), "trues {trues}");
+    }
+
+    #[test]
+    fn trait_object_and_reborrow_work() {
+        fn take_dyn(r: &mut dyn Rng) -> u64 {
+            r.next_u64()
+        }
+        fn take_generic<R: Rng>(mut r: R) -> f64 {
+            r.gen_f64()
+        }
+        let mut r = Xorshift64Star::seed_from_u64(5);
+        let _ = take_dyn(&mut r);
+        let _ = take_generic(&mut r); // &mut impl passes by reborrow
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn gen_below_zero_panics() {
+        let mut r = Xorshift64Star::seed_from_u64(6);
+        let _ = r.gen_below(0);
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::complex::C64;
 use crate::matrix::CMatrix;
-use rand::Rng;
+use crate::rng::Rng;
 
 /// A pure state of `n` qubits stored as `2^n` complex amplitudes.
 ///
@@ -168,7 +168,7 @@ impl Statevector {
 
     /// Samples one full-register measurement outcome without collapsing.
     pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let x: f64 = rng.gen();
+        let x = rng.gen_f64();
         let mut acc = 0.0;
         for (i, z) in self.amplitudes.iter().enumerate() {
             acc += z.norm_sqr();
@@ -182,7 +182,7 @@ impl Statevector {
     /// Measures qubit `target`, collapsing the state; returns the outcome.
     pub fn measure<R: Rng>(&mut self, target: usize, rng: &mut R) -> bool {
         let p1 = self.prob_one(target);
-        let outcome = rng.gen::<f64>() < p1;
+        let outcome = rng.gen_f64() < p1;
         self.collapse(target, outcome);
         outcome
     }
@@ -229,8 +229,7 @@ impl Statevector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::Xorshift64Star;
 
     #[test]
     fn zero_state_has_unit_probability_at_zero() {
@@ -278,7 +277,7 @@ mod tests {
 
     #[test]
     fn measurement_collapses_bell_pair() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xorshift64Star::seed_from_u64(7);
         for _ in 0..20 {
             let mut psi = Statevector::zero_state(2);
             psi.apply_1q(&CMatrix::hadamard(), 0);
@@ -291,7 +290,7 @@ mod tests {
 
     #[test]
     fn sampling_distribution_roughly_uniform_for_plus_states() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Xorshift64Star::seed_from_u64(42);
         let n = 3;
         let mut psi = Statevector::zero_state(n);
         for k in 0..n {

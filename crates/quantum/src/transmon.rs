@@ -143,11 +143,7 @@ impl CoupledTransmons {
     /// A standard CZ pair: 5.8 GHz tunable and 5.0 GHz fixed transmons with
     /// −330 MHz anharmonicities and 20 MHz coupling, three levels each.
     pub fn standard() -> Self {
-        CoupledTransmons::new(
-            Transmon::new(5.8, -0.33, 3),
-            Transmon::new(5.0, -0.33, 3),
-            0.020,
-        )
+        CoupledTransmons::new(Transmon::new(5.8, -0.33, 3), Transmon::new(5.0, -0.33, 3), 0.020)
     }
 
     /// Product-space dimension.

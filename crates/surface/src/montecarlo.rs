@@ -7,7 +7,7 @@
 
 use crate::decoder::{decode, DecodingGraph};
 use crate::lattice::Lattice;
-use rand::Rng;
+use qisim_quantum::rng::Rng;
 
 /// Result of a logical-error-rate estimation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,13 +34,15 @@ pub fn logical_error_rate<R: Rng>(
 ) -> McEstimate {
     assert!((0.0..=1.0).contains(&p), "physical error rate must be a probability");
     assert!(trials > 0, "need at least one trial");
+    qisim_obs::span!("surface.montecarlo");
+    qisim_obs::counter!("surface.montecarlo.trials", trials as u64);
     let graph = DecodingGraph::new(lattice, false);
     let n = lattice.data_qubits();
     let mut failures = 0usize;
     for _ in 0..trials {
         let mut errs = vec![false; n];
         for e in errs.iter_mut() {
-            *e = rng.gen::<f64>() < p;
+            *e = rng.gen_f64() < p;
         }
         let syn = lattice.z_syndrome(&errs);
         for q in decode(&graph, &syn) {
@@ -51,19 +53,19 @@ pub fn logical_error_rate<R: Rng>(
             failures += 1;
         }
     }
+    qisim_obs::counter!("surface.montecarlo.failures", failures as u64);
     McEstimate { logical_error: failures as f64 / trials as f64, trials, failures }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use qisim_quantum::rng::Xorshift64Star;
 
     #[test]
     fn zero_physical_error_never_fails() {
         let l = Lattice::new(5);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xorshift64Star::seed_from_u64(1);
         let est = logical_error_rate(&l, 0.0, 50, &mut rng);
         assert_eq!(est.failures, 0);
     }
@@ -72,7 +74,7 @@ mod tests {
     fn below_threshold_larger_d_wins() {
         // Code-capacity threshold of union-find is ≈ 9.9 %; at p = 2 %
         // larger distance must suppress the logical error.
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xorshift64Star::seed_from_u64(2);
         let p = 0.02;
         let e3 = logical_error_rate(&Lattice::new(3), p, 4000, &mut rng).logical_error;
         let e7 = logical_error_rate(&Lattice::new(7), p, 4000, &mut rng).logical_error;
@@ -84,7 +86,7 @@ mod tests {
 
     #[test]
     fn above_threshold_code_fails_badly() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xorshift64Star::seed_from_u64(3);
         let est = logical_error_rate(&Lattice::new(5), 0.25, 1000, &mut rng);
         assert!(est.logical_error > 0.1, "p=0.25 logical error {}", est.logical_error);
     }
@@ -92,7 +94,7 @@ mod tests {
     #[test]
     fn error_rate_is_monotone_in_p() {
         let l = Lattice::new(5);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xorshift64Star::seed_from_u64(4);
         let lo = logical_error_rate(&l, 0.01, 3000, &mut rng).logical_error;
         let hi = logical_error_rate(&l, 0.08, 3000, &mut rng).logical_error;
         assert!(hi >= lo, "p=0.08 ({hi}) vs p=0.01 ({lo})");

@@ -33,7 +33,12 @@ impl Target {
     /// The near-term stage: one d=23 patch, Jellium N=2.
     pub fn near_term() -> Self {
         // 0.01 / 9.01e8 = 1.11e-11.
-        Target { name: "near-term (Jellium N=2)", jellium_n: 2, logical_qubits: 1, logical_ops: 9.01e8 }
+        Target {
+            name: "near-term (Jellium N=2)",
+            jellium_n: 2,
+            logical_qubits: 1,
+            logical_ops: 9.01e8,
+        }
     }
 
     /// The long-term stage: 54 patches, Jellium N=54 (quantum supremacy).

@@ -12,33 +12,45 @@ use qisim::error::sfq_1q::Sfq1qModel;
 use qisim::error::workload::seeded_rng;
 use qisim::error::CzModel;
 use qisim::microarch::DecisionKind;
+use qisim::quantum::rng::Xorshift64Star;
 use std::f64::consts::PI;
 
 fn main() {
     println!("== CMOS single-qubit gate (25 ns DRAG Hann pulse) ==");
     let cmos = Cmos1qModel::baseline();
     for bits in [4u32, 6, 9, 14] {
-        let e = cmos.coherent_gate_error::<rand::rngs::ThreadRng>(Axis::X, PI, bits, None);
+        let e = cmos.coherent_gate_error::<Xorshift64Star>(Axis::X, PI, bits, None);
         println!("  {bits:>2}-bit DAC: coherent error {e:.3e}");
     }
-    let coh = cmos.coherent_gate_error::<rand::rngs::ThreadRng>(Axis::X, PI, 14, None);
-    println!("  + decoherence (T1=T2=280us): {:.3e} (Table 1: 6.59e-5)", cmos.with_decoherence(coh, 280.0, 280.0));
+    let coh = cmos.coherent_gate_error::<Xorshift64Star>(Axis::X, PI, 14, None);
+    println!(
+        "  + decoherence (T1=T2=280us): {:.3e} (Table 1: 6.59e-5)",
+        cmos.with_decoherence(coh, 280.0, 280.0)
+    );
 
     println!("\n== SFQ single-qubit gate (21-bit bitstream) ==");
     let sfq = Sfq1qModel::baseline();
     let naive = sfq.naive_ry_pi2();
     let opt = sfq.optimized_ry_pi2();
     println!("  naive 5-pulse train : {:.3e}", naive.error);
-    println!("  optimized bitstream : {:.3e} at slots {:?}, tip {:.4} rad (Table 1: 1.37e-5)",
-        opt.error, opt.pulses, opt.delta_theta);
-    println!("  worst table-Rz error: {:.3e}", (0..8).map(|n| sfq.rz_error(n as f64 * PI / 4.0)).fold(0.0f64, f64::max));
+    println!(
+        "  optimized bitstream : {:.3e} at slots {:?}, tip {:.4} rad (Table 1: 1.37e-5)",
+        opt.error, opt.pulses, opt.delta_theta
+    );
+    println!(
+        "  worst table-Rz error: {:.3e}",
+        (0..8).map(|n| sfq.rz_error(n as f64 * PI / 4.0)).fold(0.0f64, f64::max)
+    );
 
     println!("\n== CZ gate (flux pulse, coupled 3-level transmons) ==");
     let cz = CzModel::baseline();
     let cal = cz.calibrate();
     println!("  calibrated ramp: peak {:.4}, ideal error {:.3e}", cal.peak, cal.ideal_error);
     let mut rng = seeded_rng(11);
-    println!("  10-bit + thermal noise: {:.3e} (Table 1: 9.0e-4 +/- 7e-4)", cz.noisy_cz_error(&cal, 10, 0.004, &mut rng));
+    println!(
+        "  10-bit + thermal noise: {:.3e} (Table 1: 9.0e-4 +/- 7e-4)",
+        cz.noisy_cz_error(&cal, 10, 0.004, &mut rng)
+    );
     println!("  unit-step pulse (old Horse Ridge II design): {:.3e}", cz.unit_step_error());
 
     println!("\n== CMOS dispersive readout ==");
@@ -51,7 +63,13 @@ fn main() {
     println!("\n== SFQ JPM readout ==");
     let sro = SfqReadoutModel::baseline();
     let errs = sro.errors();
-    println!("  driving+tunneling {:.3e}, LJJ comparator {:.3e}, reset {:.3e}",
-        errs.driving_tunneling, errs.jpm_readout, errs.reset);
-    println!("  assignment error {:.3e} (Table 1: 6.0e-3); total {:.3e}", errs.assignment(), errs.total());
+    println!(
+        "  driving+tunneling {:.3e}, LJJ comparator {:.3e}, reset {:.3e}",
+        errs.driving_tunneling, errs.jpm_readout, errs.reset
+    );
+    println!(
+        "  assignment error {:.3e} (Table 1: 6.0e-3); total {:.3e}",
+        errs.assignment(),
+        errs.total()
+    );
 }

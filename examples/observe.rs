@@ -1,0 +1,37 @@
+//! Observability demo: analyze the 4 K CMOS baseline and the optimized
+//! near-term RSFQ design with full instrumentation, print each design's
+//! `explain()` report and the global metrics table, and write the
+//! machine-readable `BENCH_obs.json` artifact (per-stage watt
+//! attribution plus p50/p99 span timings for `power.max_qubits` and
+//! `scalability.analyze`).
+//!
+//! Run with `cargo run --release --example observe`.
+
+use qisim::obs;
+use qisim::surface::target::Target;
+use qisim::{analyze, sweep, QciDesign};
+
+fn main() {
+    obs::reset();
+    let target = Target::near_term();
+
+    for design in [QciDesign::cmos_baseline(), QciDesign::rsfq_near_term()] {
+        let verdict = analyze(&design, &target);
+        print!("{}", verdict.explain());
+        println!(
+            "  manageable scale: {} qubits (target provisions {})\n",
+            verdict.manageable_qubits(),
+            target.physical_qubits()
+        );
+    }
+
+    // A utilization sweep adds histogram samples on top of the spans the
+    // analyses recorded.
+    let _ = sweep(&QciDesign::cmos_baseline(), &[64, 128, 256, 512, 1024]);
+
+    println!("{}", obs::report_text());
+
+    let json = obs::report_json();
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    println!("wrote BENCH_obs.json ({} bytes)", json.len());
+}

@@ -7,8 +7,11 @@ use qisim_surface::target::Target;
 
 fn main() {
     let target = Target::near_term();
-    println!("QIsim-rs quickstart: near-term target = {} qubits at logical error {:.2e}\n",
-        target.physical_qubits(), target.logical_error_target());
+    println!(
+        "QIsim-rs quickstart: near-term target = {} qubits at logical error {:.2e}\n",
+        target.physical_qubits(),
+        target.logical_error_target()
+    );
 
     for design in [
         QciDesign::room_coax(),
@@ -20,12 +23,17 @@ fn main() {
     ] {
         let s = analyze(&design, &target);
         println!("{}", s.design);
-        println!("  power-limited scale : {} qubits (binds at {:?})",
-            s.power_limited_qubits, s.binding_stage);
+        println!(
+            "  power-limited scale : {} qubits (binds at {:?})",
+            s.power_limited_qubits, s.binding_stage
+        );
         println!("  ESM round           : {:.1} ns", s.esm_cycle_ns);
-        println!("  logical error (d=23): {:.2e} (target {:.2e}) -> {}",
-            s.logical_error, s.target_error,
-            if s.error_ok { "ok" } else { "ERROR-LIMITED" });
+        println!(
+            "  logical error (d=23): {:.2e} (target {:.2e}) -> {}",
+            s.logical_error,
+            s.target_error,
+            if s.error_ok { "ok" } else { "ERROR-LIMITED" }
+        );
         println!("  reaches 1,152 qubits: {}\n", s.reaches(&target));
     }
 }

@@ -10,7 +10,10 @@ use qisim_surface::target::Target;
 fn main() {
     let near = Target::near_term();
     let long = Target::long_term();
-    println!("{:<48} {:>12} {:>9} {:>12} {:>6} {:>6}", "design", "max qubits", "binds", "p_L(d=23)", "near", "long");
+    println!(
+        "{:<48} {:>12} {:>9} {:>12} {:>6} {:>6}",
+        "design", "max qubits", "binds", "p_L(d=23)", "near", "long"
+    );
     for design in [
         QciDesign::room_coax(),
         QciDesign::room_microstrip(),
@@ -41,5 +44,9 @@ fn main() {
 }
 
 fn truncate(s: &str, n: usize) -> String {
-    if s.len() <= n { s.to_string() } else { format!("{}...", &s[..n - 3]) }
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}...", &s[..n - 3])
+    }
 }

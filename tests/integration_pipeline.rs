@@ -34,7 +34,12 @@ fn esm_timing_feeds_the_power_model_consistently() {
     let timeline = simulate(&patch.esm_circuit(1), &TimingModel::cmos_baseline());
     // The simulated round is shorter (boundary ancillas thin out the FDM
     // groups) but within 2x of the profile's nominal peak.
-    assert!(timeline.makespan_ns() <= profile_cycle * 1.05, "sim {} vs profile {}", timeline.makespan_ns(), profile_cycle);
+    assert!(
+        timeline.makespan_ns() <= profile_cycle * 1.05,
+        "sim {} vs profile {}",
+        timeline.makespan_ns(),
+        profile_cycle
+    );
     assert!(timeline.makespan_ns() >= profile_cycle * 0.5);
 
     // Activity factors land in the same regime the inventory assumes.

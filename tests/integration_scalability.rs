@@ -1,9 +1,9 @@
 //! End-to-end scalability integration: the paper's Section 6 narrative,
 //! replayed as assertions.
 
-use qisim::{analyze, apply_all, Opt, QciDesign};
 use qisim::paperdata::scalability as anchors;
 use qisim::surface::target::Target;
+use qisim::{analyze, apply_all, Opt, QciDesign};
 
 /// Fig. 12 + Fig. 13: every baseline misses the near-term scale, every
 /// optimized design reaches it, and the measured maxima track the
@@ -33,11 +33,9 @@ fn near_term_story() {
         );
     }
 
-    let cmos = apply_all(
-        &QciDesign::cmos_baseline(),
-        &[Opt::MemorylessDecision, Opt::LowPrecisionDrive],
-    )
-    .unwrap();
+    let cmos =
+        apply_all(&QciDesign::cmos_baseline(), &[Opt::MemorylessDecision, Opt::LowPrecisionDrive])
+            .unwrap();
     let s = analyze(&cmos, &t);
     assert!(s.reaches(&t));
     assert!(within2x(s.power_limited_qubits, anchors::CMOS_OPTIMIZED));
@@ -60,7 +58,13 @@ fn long_term_story() {
         let s = analyze(&design, &t);
         assert!(s.reaches(&t), "{}: {:?}", s.design, s);
         let r = s.power_limited_qubits as f64 / paper as f64;
-        assert!((0.5..=2.0).contains(&r), "{}: {} vs paper {}", s.design, s.power_limited_qubits, paper);
+        assert!(
+            (0.5..=2.0).contains(&r),
+            "{}: {} vs paper {}",
+            s.design,
+            s.power_limited_qubits,
+            paper
+        );
     }
 }
 
@@ -91,8 +95,14 @@ fn scalability_ordering() {
 fn optimizations_are_never_harmful() {
     let t = Target::near_term();
     let cases: [(QciDesign, &[Opt]); 2] = [
-        (QciDesign::cmos_baseline(), &[Opt::MemorylessDecision, Opt::LowPrecisionDrive, Opt::MaskedIsa]),
-        (QciDesign::rsfq_baseline(), &[Opt::SharedPipelinedReadout, Opt::LowPowerBitgen, Opt::SingleBroadcast]),
+        (
+            QciDesign::cmos_baseline(),
+            &[Opt::MemorylessDecision, Opt::LowPrecisionDrive, Opt::MaskedIsa],
+        ),
+        (
+            QciDesign::rsfq_baseline(),
+            &[Opt::SharedPipelinedReadout, Opt::LowPowerBitgen, Opt::SingleBroadcast],
+        ),
     ];
     for (base, opts) in cases {
         let mut current = base;

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 gate for qisim-rs. Fully offline: every dependency is in-tree,
+# so this script must pass on a machine with no registry access.
+#
+#   tools/ci.sh          # the whole gate
+#
+# Steps:
+#   1. release build + full test suite (the tier-1 contract)
+#   2. rustfmt check (config in rustfmt.toml)
+#   3. kill-switch build: --no-default-features strips qisim-obs
+#      instrumentation from the entire workspace and must still pass
+#   4. observability smoke run: the observe example must emit a valid
+#      BENCH_obs.json with span timings and per-stage watt attribution
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== [1/4] release build + tests =="
+cargo build --release
+cargo test -q --release
+
+echo "== [2/4] rustfmt =="
+cargo fmt --check
+
+echo "== [3/4] obs kill switch (--no-default-features) =="
+cargo build --release --no-default-features
+cargo test -q --release --no-default-features
+
+echo "== [4/4] observe smoke run =="
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+(cd "$out" && cargo run --release --quiet \
+    --manifest-path "$OLDPWD/Cargo.toml" --example observe > observe.txt)
+grep -q "power-limited" "$out/observe.txt"
+grep -q "power.max_qubits" "$out/BENCH_obs.json"
+grep -q "scalability.analyze" "$out/BENCH_obs.json"
+grep -q "p99_ns" "$out/BENCH_obs.json"
+grep -q "power.stage.4K.device_dynamic_w" "$out/BENCH_obs.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/BENCH_obs.json" \
+    2>/dev/null || echo "note: python3 unavailable, skipped strict JSON parse"
+
+echo "CI gate passed."
