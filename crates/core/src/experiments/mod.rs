@@ -1,6 +1,11 @@
 //! One driver per paper table/figure: each returns an [`Experiment`]
 //! with *paper vs. measured* rows, which the bench harnesses print and
 //! `EXPERIMENTS.md` records.
+//!
+//! [`SUITE`] enumerates every driver in figure/table order and
+//! [`suite`] runs them all **concurrently** on the [`qisim_par`] pool
+//! (each driver is a pure function, so the results are identical to
+//! running them one by one — in the same order, at any thread count).
 
 pub mod ablations;
 pub mod longterm;
@@ -74,6 +79,47 @@ impl Experiment {
     }
 }
 
+/// Every experiment driver, in paper order: `(id, constructor)` pairs.
+/// The id matches the [`Experiment::id`] the constructor returns.
+pub const SUITE: &[(&str, fn() -> Experiment)] = &[
+    ("Fig. 8", validation::fig08),
+    ("Fig. 10", validation::fig10),
+    ("Table 1", validation::table1),
+    ("Fig. 11", validation::fig11),
+    ("Fig. 12", nearterm::fig12),
+    ("Fig. 13", nearterm::fig13),
+    ("Fig. 14", nearterm::fig14),
+    ("Fig. 15", nearterm::fig15),
+    ("Fig. 16", nearterm::fig16),
+    ("Fig. 17", longterm::fig17),
+    ("Fig. 18", longterm::fig18),
+    ("Fig. 19", longterm::fig19),
+    ("Fig. 20", longterm::fig20),
+    ("Table 2", setup::table2),
+    ("Ablation A", ablations::wire_ablation),
+    ("Ablation B", ablations::sharing_ablation),
+    ("Ablation C", ablations::fdm_ablation),
+    ("Ablation D", ablations::calibration_sensitivity),
+    ("What-ifs", ablations::whatif),
+];
+
+/// Regenerates the whole paper evaluation: every [`SUITE`] entry, run
+/// concurrently, returned in paper order.
+pub fn suite() -> Vec<Experiment> {
+    run_matching(|_| true)
+}
+
+/// Runs the [`SUITE`] experiments whose id satisfies `pred`,
+/// concurrently on the [`qisim_par`] pool, preserving paper order.
+/// Matching is by the exact id string (`"Fig. 13"`, `"Table 1"`, …).
+pub fn run_matching(pred: impl Fn(&str) -> bool + Sync) -> Vec<Experiment> {
+    qisim_obs::span!("experiments.suite");
+    let picked: Vec<&(&str, fn() -> Experiment)> =
+        SUITE.iter().filter(|(id, _)| pred(id)).collect();
+    qisim_obs::counter!("experiments.suite.runs", picked.len() as u64);
+    qisim_par::par_map(&picked, |(_, build)| build())
+}
+
 fn format_value(v: f64) -> String {
     if !v.is_finite() {
         return "-".into();
@@ -137,6 +183,20 @@ mod tests {
         assert!(e.all_within_factor(2.0));
         assert!(!e.all_within_factor(1.2));
         assert!((e.max_relative_error() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn suite_ids_are_unique_and_match_their_experiments() {
+        let mut seen = std::collections::HashSet::new();
+        for (id, _) in super::SUITE {
+            assert!(seen.insert(id), "duplicate suite id {id}");
+        }
+        // Cheap drivers really produce the id they are registered under
+        // (the heavyweight ones are covered by the integration suites).
+        let picked = super::run_matching(|id| id == "Fig. 12" || id == "Table 2");
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].id, "Fig. 12");
+        assert_eq!(picked[1].id, "Table 2");
     }
 
     #[test]

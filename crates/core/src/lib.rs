@@ -64,6 +64,7 @@ pub use qisim_error as error;
 pub use qisim_hal as hal;
 pub use qisim_microarch as microarch;
 pub use qisim_obs as obs;
+pub use qisim_par as par;
 pub use qisim_power as power;
 pub use qisim_quantum as quantum;
 pub use qisim_surface as surface;

@@ -11,8 +11,9 @@
 
 use crate::config::QciDesign;
 use qisim_hal::fridge::{Fridge, Stage};
+use qisim_hal::wire::InstructionLink;
 use qisim_obs::{counter, gauge, span};
-use qisim_power::{evaluate, max_qubits, StagePower};
+use qisim_power::{max_qubits, MemoKey, StagePower};
 use qisim_surface::analytic::CALIBRATION;
 use qisim_surface::target::{Target, CODE_DISTANCE};
 use std::fmt::Write as _;
@@ -134,7 +135,11 @@ pub fn analyze_on(design: &QciDesign, target: &Target, fridge: &Fridge) -> Scala
     counter!("scalability.analyze.calls");
     let arch = design.arch();
     let (power_limited_qubits, binding_stage) = max_qubits(&arch, fridge);
-    let stages = evaluate(&arch, fridge, power_limited_qubits.max(1)).stages;
+    // The bisection's landing probe is in the memo cache; replay it.
+    let link = InstructionLink::standard();
+    let key = MemoKey::new(&arch, fridge, &link);
+    let stages =
+        qisim_power::evaluate_memo(key, &arch, fridge, power_limited_qubits.max(1), &link).stages;
     let logical_error = design.physical_budget().logical_error(CODE_DISTANCE, &CALIBRATION);
     let target_error = target.logical_error_target();
     gauge!("scalability.power_limited_qubits", power_limited_qubits as f64);
@@ -151,29 +156,77 @@ pub fn analyze_on(design: &QciDesign, target: &Target, fridge: &Fridge) -> Scala
     }
 }
 
-/// Per-stage utilization curve for scalability plots (Fig. 12/13/17):
-/// returns `(n, 4K fraction, worst-mK fraction, logical error)` rows.
+/// One row of a scalability utilization curve (the Fig. 12/13/17 plot
+/// data): a design evaluated at one qubit count.
+///
+/// Replaces the old `(u64, f64, f64, f64)` tuple return of [`sweep`],
+/// whose field order callers had to guess.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Evaluated qubit count.
+    pub qubits: u64,
+    /// Total dissipation summed over every refrigerator stage, in watts.
+    pub power_w: f64,
+    /// 4 K stage utilization (fraction of the stage budget).
+    pub util_4k: f64,
+    /// Worst mK-stage utilization (100 mK vs. 20 mK).
+    pub util_mk: f64,
+    /// Logical error per round at `d = 23` (scale-independent for a
+    /// fixed design, so constant along a sweep).
+    pub logical_error: f64,
+}
+
+impl SweepPoint {
+    /// The binding utilization: the worst of the tracked stages.
+    pub fn utilization(&self) -> f64 {
+        self.util_4k.max(self.util_mk)
+    }
+
+    /// Whether every tracked stage is within its cooling budget here.
+    pub fn fits(&self) -> bool {
+        self.utilization() <= 1.0
+    }
+}
+
+/// Per-stage utilization curve for scalability plots (Fig. 12/13/17),
+/// one [`SweepPoint`] per requested qubit count.
+///
+/// Points are evaluated **in parallel** on the [`qisim_par`] pool (one
+/// design point per task) through the power memo cache; the returned
+/// rows are always in `qubit_counts` order, independent of thread count.
 ///
 /// A stage absent from a report (a custom fridge or architecture that
 /// doesn't model it) contributes utilization 0 rather than panicking.
-pub fn sweep(design: &QciDesign, qubit_counts: &[u64]) -> Vec<(u64, f64, f64, f64)> {
+pub fn sweep(design: &QciDesign, qubit_counts: &[u64]) -> Vec<SweepPoint> {
     span!("scalability.sweep");
     counter!("scalability.sweep.points", qubit_counts.len() as u64);
     let arch = design.arch();
     let fridge = Fridge::standard();
+    let link = InstructionLink::standard();
+    let key = MemoKey::new(&arch, &fridge, &link);
     let p_l = design.physical_budget().logical_error(CODE_DISTANCE, &CALIBRATION);
     let util = |r: &qisim_power::PowerReport, stage: Stage| {
         r.stage(stage).map_or(0.0, StagePower::utilization)
     };
-    qubit_counts
-        .iter()
-        .map(|&n| {
-            let r = evaluate(&arch, &fridge, n);
-            let k4 = util(&r, Stage::K4);
-            let mk = util(&r, Stage::Mk100).max(util(&r, Stage::Mk20));
-            (n, k4, mk, p_l)
-        })
-        .collect()
+    qisim_par::par_map(qubit_counts, |&n| {
+        let r = qisim_power::evaluate_memo(key, &arch, &fridge, n, &link);
+        SweepPoint {
+            qubits: n,
+            power_w: r.stages.iter().map(StagePower::total_w).sum(),
+            util_4k: util(&r, Stage::K4),
+            util_mk: util(&r, Stage::Mk100).max(util(&r, Stage::Mk20)),
+            logical_error: p_l,
+        }
+    })
+}
+
+/// Analyzes many designs against one target concurrently: one task per
+/// design point, each including its own power bisection. Results are in
+/// `designs` order and bit-identical to mapping [`analyze`] serially.
+pub fn analyze_many(designs: &[QciDesign], target: &Target) -> Vec<Scalability> {
+    span!("scalability.analyze_many");
+    counter!("scalability.analyze_many.designs", designs.len() as u64);
+    qisim_par::par_map(designs, |design| analyze(design, target))
 }
 
 #[cfg(test)]
@@ -273,9 +326,29 @@ mod tests {
     fn sweep_produces_monotone_utilizations() {
         let rows = sweep(&QciDesign::cmos_baseline(), &[64, 128, 256, 512]);
         assert_eq!(rows.len(), 4);
-        for w in rows.windows(2) {
-            assert!(w[1].1 > w[0].1, "4K utilization must grow");
+        for (row, &n) in rows.iter().zip(&[64u64, 128, 256, 512]) {
+            assert_eq!(row.qubits, n, "rows must stay in input order");
         }
+        for w in rows.windows(2) {
+            assert!(w[1].util_4k > w[0].util_4k, "4K utilization must grow");
+            assert!(w[1].power_w > w[0].power_w, "total power must grow");
+        }
+        let last = rows.last().unwrap();
+        assert_eq!(last.utilization(), last.util_4k.max(last.util_mk));
+        assert!(rows[0].fits(), "64 qubits must fit the baseline budgets");
+    }
+
+    #[test]
+    fn analyze_many_matches_serial_analysis_at_any_thread_count() {
+        let t = Target::near_term();
+        let designs =
+            [QciDesign::cmos_baseline(), QciDesign::rsfq_baseline(), QciDesign::room_coax()];
+        let serial: Vec<Scalability> = designs.iter().map(|d| analyze(d, &t)).collect();
+        for threads in [1usize, 3] {
+            qisim_par::set_threads(Some(threads));
+            assert_eq!(analyze_many(&designs, &t), serial, "{threads} threads");
+        }
+        qisim_par::set_threads(None);
     }
 
     #[test]

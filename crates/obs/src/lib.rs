@@ -10,7 +10,7 @@
 //! so `tracing`/`metrics`/`serde` are unavailable by design, not just by
 //! choice).
 //!
-//! # Instrumenting
+//! # Examples
 //!
 //! ```
 //! use qisim_obs::{counter, gauge, observe, span};

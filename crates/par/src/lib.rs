@@ -1,0 +1,291 @@
+//! # qisim-par
+//!
+//! Zero-dependency parallel execution layer for the QIsim scalability
+//! framework: a scoped-thread work queue with **deterministic result
+//! ordering**, built on `std` only (the build environment is offline, so
+//! `rayon` is unavailable by design).
+//!
+//! The paper's headline results are dense sweeps of `scalability::analyze`
+//! over qubit counts and design points, and the surface-code Monte-Carlo
+//! behind them is embarrassingly parallel. Both map onto [`par_map`] /
+//! [`par_map_indices`]: tasks are pulled from a shared atomic index by a
+//! small pool of scoped threads, every result lands in the slot of its
+//! input, and the output `Vec` is **always in input order** regardless of
+//! how many threads ran or which thread computed which item.
+//!
+//! # Thread-count resolution
+//!
+//! [`threads`] resolves, in priority order:
+//!
+//! 1. the runtime override installed with [`set_threads`] (used by
+//!    benches and determinism tests);
+//! 2. the `QISIM_THREADS` environment variable (a positive integer);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! # Serial fallback
+//!
+//! The `par` cargo feature (on by default) is a compile-time kill switch:
+//! built with `--no-default-features`, [`par_map`] compiles to the plain
+//! serial loop, spawns no threads, and produces bit-identical results —
+//! callers are expected to make their *work* thread-count independent
+//! (e.g. fixed chunking with per-chunk RNG streams), at which point the
+//! serial and parallel builds agree exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use qisim_par::{par_map, par_map_indices, threads};
+//!
+//! // Results are in input order no matter how many threads ran.
+//! let squares = par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//!
+//! // The index variant fits chunked Monte-Carlo: chunk `i` derives its
+//! // own RNG stream from `i`, so the sum is thread-count independent.
+//! let chunk_failures = par_map_indices(8, |i| i % 3);
+//! assert_eq!(chunk_failures.iter().sum::<usize>(), 7);
+//! assert!(threads() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use qisim_obs::{counter, gauge};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Runtime thread-count override; 0 means "no override installed".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (`Some(n)`) or removes (`None`) a runtime thread-count
+/// override. The override takes precedence over `QISIM_THREADS` and the
+/// machine's parallelism; benches use it to time serial-vs-parallel runs
+/// inside one process, and the determinism tests use it to prove results
+/// are identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `n == Some(0)`; use `Some(1)` to force the serial path.
+pub fn set_threads(n: Option<usize>) {
+    if let Some(0) = n {
+        panic!("thread override must be positive; use Some(1) for serial");
+    }
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Parses a `QISIM_THREADS` value; `None` for anything but a positive
+/// integer. Only reachable from [`threads`] in the parallel build (the
+/// serial build pins the count to 1), hence the allow.
+#[cfg_attr(not(feature = "par"), allow(dead_code))]
+fn parse_threads(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// The number of worker threads [`par_map`] will use: the [`set_threads`]
+/// override if installed, else `QISIM_THREADS`, else the machine's
+/// available parallelism. Always at least 1; always exactly 1 when the
+/// `par` feature is compiled out.
+pub fn threads() -> usize {
+    #[cfg(not(feature = "par"))]
+    {
+        1
+    }
+    #[cfg(feature = "par")]
+    {
+        match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+            0 => std::env::var("QISIM_THREADS")
+                .ok()
+                .as_deref()
+                .and_then(parse_threads)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+                }),
+            n => n,
+        }
+    }
+}
+
+/// Whether the parallel path is compiled in (`par` feature).
+pub const fn is_parallel_build() -> bool {
+    cfg!(feature = "par")
+}
+
+/// Applies `f` to every element of `items`, in parallel, returning the
+/// results **in input order**.
+///
+/// Work distribution is dynamic (an atomic next-index queue), so uneven
+/// task costs — e.g. one power bisection per sweep point — load-balance
+/// across the pool; determinism of the *output* is unaffected because
+/// every result is placed by its input index.
+///
+/// # Panics
+///
+/// Propagates the first worker panic (after all workers have stopped).
+pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F) -> Vec<U> {
+    par_map_indices(items.len(), |i| f(&items[i]))
+}
+
+/// [`par_map`] over the index range `0..n`: the chunked-Monte-Carlo /
+/// design-grid building block (the caller derives per-task state, such as
+/// an RNG stream, from the index alone).
+pub fn par_map_indices<U: Send, F: Fn(usize) -> U + Sync>(n: usize, f: F) -> Vec<U> {
+    let workers = threads().min(n);
+    counter!("par.map.calls");
+    counter!("par.tasks", n as u64);
+    gauge!("par.workers", workers.max(1) as f64);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    parallel_map_indices(n, workers, &f)
+}
+
+/// The scoped-thread pool behind [`par_map_indices`]. Only compiled (and
+/// only reached) when the `par` feature is on and `workers > 1`.
+fn parallel_map_indices<U: Send, F: Fn(usize) -> U + Sync>(
+    n: usize,
+    workers: usize,
+    f: &F,
+) -> Vec<U> {
+    qisim_obs::span!("par.map");
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let started = std::time::Instant::now();
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    (local, started.elapsed())
+                })
+            })
+            .collect();
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok((local, busy)) => {
+                    qisim_obs::observe_f64("par.worker_busy_ns", busy.as_nanos() as f64);
+                    for (i, value) in local {
+                        slots[i] = Some(value);
+                    }
+                }
+                Err(payload) => panic = Some(payload),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every index visited exactly once")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// `set_threads` and `QISIM_THREADS` are process-global; tests that
+    /// touch them must not interleave.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn results_are_in_input_order_at_every_thread_count() {
+        let _l = lock();
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for n in [1usize, 2, 3, 8] {
+            set_threads(Some(n));
+            assert_eq!(par_map(&items, |&x| x * x + 1), expect, "threads = {n}");
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let _l = lock();
+        set_threads(Some(4));
+        assert_eq!(par_map(&[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(par_map(&[9u8], |&x| x + 1), vec![10]);
+        assert_eq!(par_map_indices(0, |i| i), Vec::<usize>::new());
+        set_threads(None);
+    }
+
+    #[test]
+    fn uneven_tasks_still_land_in_order() {
+        let _l = lock();
+        set_threads(Some(4));
+        // Task cost grows with index, so late tasks finish last on some
+        // thread; ordering must be unaffected.
+        let out = par_map_indices(64, |i| {
+            let mut acc = 0u64;
+            for k in 0..(i as u64 * 1000) {
+                acc = acc.wrapping_add(k ^ i as u64);
+            }
+            (i, acc)
+        });
+        for (i, row) in out.iter().enumerate() {
+            assert_eq!(row.0, i);
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn thread_resolution_prefers_override_then_env() {
+        let _l = lock();
+        set_threads(Some(3));
+        assert_eq!(threads(), if is_parallel_build() { 3 } else { 1 });
+        set_threads(None);
+        std::env::set_var("QISIM_THREADS", "5");
+        assert_eq!(threads(), if is_parallel_build() { 5 } else { 1 });
+        std::env::set_var("QISIM_THREADS", "zero");
+        assert!(threads() >= 1, "garbage env falls back to the machine");
+        std::env::remove_var("QISIM_THREADS");
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn env_parser_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 16 "), Some(16));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("many"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_override_is_rejected() {
+        set_threads(Some(0));
+    }
+
+    #[cfg(feature = "par")]
+    #[test]
+    fn worker_panics_propagate() {
+        let _l = lock();
+        set_threads(Some(2));
+        let result = std::panic::catch_unwind(|| {
+            par_map_indices(16, |i| {
+                if i == 7 {
+                    panic!("boom at 7");
+                }
+                i
+            })
+        });
+        set_threads(None);
+        assert!(result.is_err(), "panic must cross the pool");
+    }
+}

@@ -25,6 +25,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod memo;
+
+pub use memo::{cache_len, clear_cache, MemoKey};
+
 use qisim_hal::fridge::{Fridge, Stage};
 use qisim_hal::wire::InstructionLink;
 use qisim_microarch::QciArch;
@@ -127,10 +131,36 @@ pub fn evaluate_with_link(
     PowerReport { n_qubits, stages }
 }
 
+/// [`evaluate_with_link`] through the process-global memo cache
+/// ([`memo`]): a repeated probe of the same `(design, qubit count)` —
+/// bisections re-run by the experiment suite, sweep grids shared across
+/// tests — returns the cached report instead of re-summing the inventory.
+///
+/// `key` must be `MemoKey::new(arch, fridge, link)` for the same triple;
+/// compute it once per design and reuse it across probes (fingerprinting
+/// costs more than a single evaluation).
+pub fn evaluate_memo(
+    key: MemoKey,
+    arch: &QciArch,
+    fridge: &Fridge,
+    n_qubits: u64,
+    link: &InstructionLink,
+) -> PowerReport {
+    if let Some(report) = memo::lookup(key, n_qubits) {
+        return report;
+    }
+    let report = evaluate_with_link(arch, fridge, n_qubits, link);
+    memo::store(key, n_qubits, report.clone());
+    report
+}
+
 /// The maximum qubit count the refrigerator can power for this design,
 /// and the stage that binds at that scale (§4.3 → Fig. 12/13/17).
 ///
-/// Binary search over qubit count (power is monotone in `n`).
+/// Binary search over qubit count (power is monotone in `n`). Every
+/// probe goes through the [`memo`] cache, so re-analyzing a design —
+/// the experiment suite does this constantly — replays the whole
+/// bisection from cache.
 pub fn max_qubits(arch: &QciArch, fridge: &Fridge) -> (u64, Option<Stage>) {
     max_qubits_with_link(arch, fridge, &InstructionLink::standard())
 }
@@ -142,12 +172,14 @@ pub fn max_qubits_with_link(
     link: &InstructionLink,
 ) -> (u64, Option<Stage>) {
     span!("power.max_qubits");
-    if !evaluate_with_link(arch, fridge, 1, link).fits() {
-        return (0, evaluate_with_link(arch, fridge, 1, link).binding_stage());
+    let key = MemoKey::new(arch, fridge, link);
+    let probe = |n: u64| evaluate_memo(key, arch, fridge, n, link);
+    if !probe(1).fits() {
+        return (0, probe(1).binding_stage());
     }
     let mut lo = 1u64; // fits
     let mut hi = 2u64;
-    while evaluate_with_link(arch, fridge, hi, link).fits() {
+    while probe(hi).fits() {
         counter!("power.bisection.iters");
         lo = hi;
         hi *= 2;
@@ -158,14 +190,14 @@ pub fn max_qubits_with_link(
     while hi - lo > 1 {
         counter!("power.bisection.iters");
         let mid = lo + (hi - lo) / 2;
-        if evaluate_with_link(arch, fridge, mid, link).fits() {
+        if probe(mid).fits() {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    let binding = evaluate_with_link(arch, fridge, hi, link).binding_stage();
-    record_stage_gauges(&evaluate_with_link(arch, fridge, lo.max(1), link));
+    let binding = probe(hi).binding_stage();
+    record_stage_gauges(&probe(lo.max(1)));
     (lo, binding)
 }
 
@@ -267,6 +299,31 @@ mod tests {
         let std = max_qubits(&arch, &Fridge::standard()).0;
         let big = max_qubits(&arch, &Fridge::standard().with_budget(Stage::K4, 3.0)).0;
         assert!(big as f64 > 1.8 * std as f64, "std {std} big {big}");
+    }
+
+    #[test]
+    fn memoized_probes_match_direct_evaluation() {
+        let arch = CryoCmosConfig::baseline().build();
+        let fridge = Fridge::standard();
+        let link = InstructionLink::standard();
+        let key = MemoKey::new(&arch, &fridge, &link);
+        for n in [1u64, 97, 1024, 4096] {
+            let direct = evaluate_with_link(&arch, &fridge, n, &link);
+            // First call fills the cache, second replays it; both must
+            // equal the uncached computation bit for bit.
+            assert_eq!(evaluate_memo(key, &arch, &fridge, n, &link), direct);
+            assert_eq!(evaluate_memo(key, &arch, &fridge, n, &link), direct);
+        }
+    }
+
+    #[test]
+    fn repeated_bisections_replay_from_cache() {
+        let arch = SfqConfig::baseline_rsfq().build();
+        let fridge = Fridge::standard();
+        let cold = max_qubits(&arch, &fridge);
+        let warm = max_qubits(&arch, &fridge);
+        assert_eq!(cold, warm);
+        assert!(cache_len() > 0, "bisection probes must populate the cache");
     }
 
     #[test]

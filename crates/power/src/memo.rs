@@ -1,0 +1,143 @@
+//! Power-evaluation memoization.
+//!
+//! The scalability engine evaluates the same `(architecture, fridge,
+//! instruction link)` triple at many qubit counts — ~40 bisection probes
+//! per `max_qubits`, one evaluation per sweep point — and the experiment
+//! suite re-analyzes the same handful of designs over and over. Stage
+//! powers are pure functions of that triple plus the qubit count, so a
+//! process-global memo cache turns every repeat into a lookup.
+//!
+//! The cache key is a [`MemoKey`] fingerprint: a 128-bit FNV-1a hash over
+//! the `Debug` rendering of the triple. All three types are plain data
+//! and `f64` Debug formatting is shortest-round-trip, so equal physics
+//! renders to equal text; 128 bits make an accidental collision between
+//! the handful of designs a process touches vanishingly unlikely.
+//! Fingerprinting walks the whole architecture (~dozens of components),
+//! which costs more than a single stage-power evaluation — callers
+//! compute the key **once per design** and reuse it across every probe
+//! ([`crate::max_qubits`] and `scalability::sweep` do exactly that).
+//!
+//! Cache pressure is bounded: at [`CACHE_CAP`] entries the map is cleared
+//! (sweeps re-warm it in one pass). Hits, misses, and size are published
+//! as `power.cache.*` metrics through `qisim-obs`.
+
+use crate::PowerReport;
+use qisim_hal::fridge::Fridge;
+use qisim_hal::wire::InstructionLink;
+use qisim_microarch::QciArch;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Entries kept before the cache is wiped and re-warmed.
+pub const CACHE_CAP: usize = 1 << 15;
+
+/// Fingerprint of one `(architecture, fridge, instruction-link)` triple;
+/// the per-design half of the memo-cache key (the other half is the
+/// qubit count). Compute it once per design and reuse it for every
+/// [`crate::evaluate_memo`] probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoKey {
+    lo: u64,
+    hi: u64,
+}
+
+impl MemoKey {
+    /// Fingerprints the triple (see the module docs for why hashing the
+    /// `Debug` rendering is sound here).
+    pub fn new(arch: &QciArch, fridge: &Fridge, link: &InstructionLink) -> Self {
+        let text = format!("{arch:?}\u{1f}{fridge:?}\u{1f}{link:?}");
+        MemoKey {
+            lo: fnv1a(text.as_bytes(), 0xcbf2_9ce4_8422_2325),
+            hi: fnv1a(text.as_bytes(), 0x6c62_272e_07bb_0142),
+        }
+    }
+}
+
+/// FNV-1a over `bytes` from the given offset basis.
+fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn cache() -> &'static Mutex<HashMap<(MemoKey, u64), PowerReport>> {
+    static CACHE: OnceLock<Mutex<HashMap<(MemoKey, u64), PowerReport>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// A cached report, if this `(design, qubit count)` was evaluated before.
+pub(crate) fn lookup(key: MemoKey, n_qubits: u64) -> Option<PowerReport> {
+    let hit = cache().lock().unwrap_or_else(|e| e.into_inner()).get(&(key, n_qubits)).cloned();
+    match hit {
+        Some(r) => {
+            qisim_obs::counter!("power.cache.hits");
+            Some(r)
+        }
+        None => {
+            qisim_obs::counter!("power.cache.misses");
+            None
+        }
+    }
+}
+
+/// Stores a freshly computed report, wiping the map at [`CACHE_CAP`].
+pub(crate) fn store(key: MemoKey, n_qubits: u64, report: PowerReport) {
+    let mut map = cache().lock().unwrap_or_else(|e| e.into_inner());
+    if map.len() >= CACHE_CAP {
+        map.clear();
+    }
+    map.insert((key, n_qubits), report);
+    qisim_obs::gauge!("power.cache.size", map.len() as f64);
+}
+
+/// Empties the memo cache (benches use this to time cold runs fairly).
+pub fn clear_cache() {
+    cache().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    qisim_obs::gauge!("power.cache.size", 0.0);
+}
+
+/// Number of `(design, qubit count)` reports currently cached.
+pub fn cache_len() -> usize {
+    cache().lock().unwrap_or_else(|e| e.into_inner()).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qisim_microarch::CryoCmosConfig;
+
+    #[test]
+    fn equal_physics_equal_key_different_physics_different_key() {
+        let a = CryoCmosConfig::baseline().build();
+        let b = CryoCmosConfig::baseline().build();
+        let c = CryoCmosConfig { drive_bits: 6, ..CryoCmosConfig::baseline() }.build();
+        let fridge = Fridge::standard();
+        let link = InstructionLink::standard();
+        assert_eq!(MemoKey::new(&a, &fridge, &link), MemoKey::new(&b, &fridge, &link));
+        assert_ne!(MemoKey::new(&a, &fridge, &link), MemoKey::new(&c, &fridge, &link));
+        // The fridge and link are part of the key too.
+        let big = Fridge::standard().with_budget(qisim_hal::fridge::Stage::K4, 9.0);
+        assert_ne!(MemoKey::new(&a, &fridge, &link), MemoKey::new(&a, &big, &link));
+    }
+
+    #[test]
+    fn store_lookup_roundtrip_and_clear() {
+        let arch = CryoCmosConfig::baseline().build();
+        let fridge = Fridge::standard();
+        let link = InstructionLink::standard();
+        let key = MemoKey::new(&arch, &fridge, &link);
+        // A distinctive qubit count no other test is likely to probe.
+        let n = 987_654_321;
+        clear_cache();
+        assert_eq!(lookup(key, n), None);
+        let report = crate::evaluate_with_link(&arch, &fridge, n, &link);
+        store(key, n, report.clone());
+        assert_eq!(lookup(key, n), Some(report));
+        assert!(cache_len() >= 1);
+        clear_cache();
+        assert_eq!(cache_len(), 0);
+    }
+}

@@ -68,6 +68,54 @@ impl<R: Rng + ?Sized> Rng for &mut R {
     }
 }
 
+/// The SplitMix64 "gamma" increment (the golden ratio in 64-bit fixed
+/// point; odd, so the state walk covers the full 2⁶⁴ cycle).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Vigna/Steele's **SplitMix64**: a counter-based generator whose state
+/// simply steps by the golden-ratio gamma (`0x9E37_79B9_7F4A_7C15`) and
+/// whose output is a strong 64-bit mix of the counter. Two jobs here:
+///
+/// 1. seeding — one SplitMix64 output turns any seed (even 0, 1, 2, …)
+///    into a well-mixed [`Xorshift64Star`] state;
+/// 2. **stream splitting** — because the state advances additively,
+///    stream `i` of a base seed is just `seed + i·gamma`, giving O(1)
+///    access to any number of decorrelated substreams. The parallel
+///    Monte-Carlo engine derives one stream per trial chunk this way, so
+///    results are reproducible at any thread count.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_quantum::rng::{Rng, SplitMix64};
+///
+/// let mut sm = SplitMix64::new(0);
+/// let (a, b) = (sm.next_u64(), sm.next_u64());
+/// assert_ne!(a, b); // consecutive counters mix to unrelated outputs
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator whose first output mixes `seed + gamma`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
 /// The xorshift64\* generator.
 ///
 /// # Examples
@@ -91,11 +139,35 @@ impl Xorshift64Star {
     pub fn seed_from_u64(seed: u64) -> Self {
         // One SplitMix64 step decorrelates consecutive seeds and maps the
         // forbidden all-zeros state away.
-        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        Xorshift64Star { state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z } }
+        let z = SplitMix64::new(seed).next_u64();
+        Xorshift64Star { state: if z == 0 { GOLDEN_GAMMA } else { z } }
+    }
+
+    /// The `stream`-th independent generator derived from `seed`: stream
+    /// splitting à la SplitMix64, where substream `i` seeds from the state
+    /// `seed + i·gamma` in O(1). Distinct streams of one seed are as
+    /// decorrelated as distinct seeds.
+    ///
+    /// This is the reproducibility primitive of the parallel Monte-Carlo
+    /// engine: work is cut into fixed chunks, chunk `i` always samples
+    /// from `stream(seed, i)`, and the aggregate is therefore identical
+    /// whether 1 or 64 threads ran the chunks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qisim_quantum::rng::{Rng, Xorshift64Star};
+    ///
+    /// let mut s0 = Xorshift64Star::stream(42, 0);
+    /// let mut s1 = Xorshift64Star::stream(42, 1);
+    /// assert_ne!(s0.next_u64(), s1.next_u64());
+    /// assert_eq!(
+    ///     Xorshift64Star::stream(42, 1),
+    ///     { s1 = Xorshift64Star::stream(42, 1); s1 } // reproducible
+    /// );
+    /// ```
+    pub fn stream(seed: u64, stream: u64) -> Self {
+        Self::seed_from_u64(seed.wrapping_add(stream.wrapping_mul(GOLDEN_GAMMA)))
     }
 }
 
@@ -201,5 +273,54 @@ mod tests {
     fn gen_below_zero_panics() {
         let mut r = Xorshift64Star::seed_from_u64(6);
         let _ = r.gen_below(0);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_well_mixed() {
+        let a: Vec<u64> = {
+            let mut r = SplitMix64::new(0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SplitMix64::new(0);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        // Consecutive outputs differ in roughly half their bits.
+        for w in a.windows(2) {
+            let flips = (w[0] ^ w[1]).count_ones();
+            assert!((16..=48).contains(&flips), "flips {flips}");
+        }
+    }
+
+    #[test]
+    fn stream_zero_matches_plain_seeding() {
+        assert_eq!(Xorshift64Star::stream(42, 0), Xorshift64Star::seed_from_u64(42));
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_decorrelated() {
+        let outputs: Vec<Vec<u64>> = (0..16)
+            .map(|i| {
+                let mut r = Xorshift64Star::stream(7, i);
+                (0..4).map(|_| r.next_u64()).collect()
+            })
+            .collect();
+        for (i, a) in outputs.iter().enumerate() {
+            assert_eq!(*a, {
+                let mut r = Xorshift64Star::stream(7, i as u64);
+                (0..4).map(|_| r.next_u64()).collect::<Vec<_>>()
+            });
+            for b in &outputs[i + 1..] {
+                assert_ne!(a, b, "streams must not collide");
+            }
+        }
+        // Stream mean still looks uniform.
+        let mut sum = 0.0;
+        let mut r = Xorshift64Star::stream(7, 3);
+        for _ in 0..10_000 {
+            sum += r.gen_f64();
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
     }
 }

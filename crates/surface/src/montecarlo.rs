@@ -7,7 +7,7 @@
 
 use crate::decoder::{decode, DecodingGraph};
 use crate::lattice::Lattice;
-use qisim_quantum::rng::Rng;
+use qisim_quantum::rng::{Rng, Xorshift64Star};
 
 /// Result of a logical-error-rate estimation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +37,20 @@ pub fn logical_error_rate<R: Rng>(
     qisim_obs::span!("surface.montecarlo");
     qisim_obs::counter!("surface.montecarlo.trials", trials as u64);
     let graph = DecodingGraph::new(lattice, false);
+    let failures = run_trials(lattice, &graph, p, trials, rng);
+    qisim_obs::counter!("surface.montecarlo.failures", failures as u64);
+    McEstimate { logical_error: failures as f64 / trials as f64, trials, failures }
+}
+
+/// The inner sample-decode-check loop shared by the serial and parallel
+/// estimators: returns the number of logical failures in `trials` rounds.
+fn run_trials<R: Rng>(
+    lattice: &Lattice,
+    graph: &DecodingGraph,
+    p: f64,
+    trials: usize,
+    rng: &mut R,
+) -> usize {
     let n = lattice.data_qubits();
     let mut failures = 0usize;
     for _ in 0..trials {
@@ -45,7 +59,7 @@ pub fn logical_error_rate<R: Rng>(
             *e = rng.gen_f64() < p;
         }
         let syn = lattice.z_syndrome(&errs);
-        for q in decode(&graph, &syn) {
+        for q in decode(graph, &syn) {
             errs[q] ^= true;
         }
         debug_assert!(lattice.z_syndrome(&errs).iter().all(|b| !b));
@@ -53,6 +67,57 @@ pub fn logical_error_rate<R: Rng>(
             failures += 1;
         }
     }
+    failures
+}
+
+/// Trials per independent RNG stream in [`logical_error_rate_par`].
+///
+/// The chunk grid is **fixed** (it depends only on `trials`, never on the
+/// thread count): chunk `i` always runs `CHUNK_TRIALS` rounds (the tail
+/// chunk takes the remainder) on `Xorshift64Star::stream(seed, i)`, so
+/// the failure total is bit-identical whether the chunks execute on 1
+/// thread, 8 threads, or the serial `--no-default-features` build.
+pub const CHUNK_TRIALS: usize = 256;
+
+/// Estimates the logical-X error rate at physical error probability `p`
+/// over `trials` rounds, running trial chunks in parallel on the
+/// [`qisim_par`] pool.
+///
+/// Unlike [`logical_error_rate`], which consumes a caller RNG serially,
+/// this estimator derives one SplitMix64-split RNG stream per
+/// [`CHUNK_TRIALS`]-trial chunk from `seed`; see [`CHUNK_TRIALS`] for the
+/// determinism guarantee. The two entry points sample different streams,
+/// so their estimates agree statistically, not bitwise.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `trials == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_surface::{montecarlo::logical_error_rate_par, Lattice};
+///
+/// let lattice = Lattice::new(3);
+/// let a = logical_error_rate_par(&lattice, 0.02, 1000, 23);
+/// let b = logical_error_rate_par(&lattice, 0.02, 1000, 23);
+/// assert_eq!(a, b); // same seed, same estimate — at any thread count
+/// ```
+pub fn logical_error_rate_par(lattice: &Lattice, p: f64, trials: usize, seed: u64) -> McEstimate {
+    assert!((0.0..=1.0).contains(&p), "physical error rate must be a probability");
+    assert!(trials > 0, "need at least one trial");
+    qisim_obs::span!("surface.montecarlo.par");
+    qisim_obs::counter!("surface.montecarlo.trials", trials as u64);
+    let graph = DecodingGraph::new(lattice, false);
+    let chunks = trials.div_ceil(CHUNK_TRIALS);
+    let failures: usize = qisim_par::par_map_indices(chunks, |i| {
+        let start = i * CHUNK_TRIALS;
+        let len = CHUNK_TRIALS.min(trials - start);
+        let mut rng = Xorshift64Star::stream(seed, i as u64);
+        run_trials(lattice, &graph, p, len, &mut rng)
+    })
+    .into_iter()
+    .sum();
     qisim_obs::counter!("surface.montecarlo.failures", failures as u64);
     McEstimate { logical_error: failures as f64 / trials as f64, trials, failures }
 }
@@ -89,6 +154,52 @@ mod tests {
         let mut rng = Xorshift64Star::seed_from_u64(3);
         let est = logical_error_rate(&Lattice::new(5), 0.25, 1000, &mut rng);
         assert!(est.logical_error > 0.1, "p=0.25 logical error {}", est.logical_error);
+    }
+
+    #[test]
+    fn par_estimate_is_thread_count_independent() {
+        let l = Lattice::new(5);
+        let reference = logical_error_rate_par(&l, 0.03, 2000, 99);
+        for threads in [1usize, 2, 8] {
+            qisim_par::set_threads(Some(threads));
+            assert_eq!(logical_error_rate_par(&l, 0.03, 2000, 99), reference, "{threads} threads");
+        }
+        qisim_par::set_threads(None);
+    }
+
+    #[test]
+    fn par_estimate_matches_the_chunked_serial_reference() {
+        // Recompute the fixed chunk grid inline: the parallel estimate
+        // must equal this by construction, proving the serial
+        // (`--no-default-features`) build produces the same numbers.
+        let l = Lattice::new(5);
+        let (p, trials, seed) = (0.04, 1100usize, 7u64);
+        let graph = DecodingGraph::new(&l, false);
+        let mut failures = 0usize;
+        let mut start = 0usize;
+        let mut chunk = 0u64;
+        while start < trials {
+            let len = CHUNK_TRIALS.min(trials - start);
+            let mut rng = Xorshift64Star::stream(seed, chunk);
+            failures += run_trials(&l, &graph, p, len, &mut rng);
+            start += len;
+            chunk += 1;
+        }
+        let est = logical_error_rate_par(&l, p, trials, seed);
+        assert_eq!(est.failures, failures);
+        assert_eq!(est.trials, trials);
+    }
+
+    #[test]
+    fn par_estimate_agrees_statistically_with_serial() {
+        let l = Lattice::new(5);
+        let p = 0.06;
+        let mut rng = Xorshift64Star::seed_from_u64(11);
+        let serial = logical_error_rate(&l, p, 4000, &mut rng).logical_error;
+        let par = logical_error_rate_par(&l, p, 4000, 11).logical_error;
+        // Different streams, same distribution: within a few sigma.
+        let sigma = (serial * (1.0 - serial) / 4000.0).sqrt().max(1e-3);
+        assert!((par - serial).abs() < 6.0 * sigma, "par {par} vs serial {serial}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo run --example scalability_sweep`.
 
+use qisim::scalability::analyze_many;
 use qisim::{analyze, sweep, QciDesign};
 use qisim_surface::target::Target;
 
@@ -14,7 +15,7 @@ fn main() {
         "{:<48} {:>12} {:>9} {:>12} {:>6} {:>6}",
         "design", "max qubits", "binds", "p_L(d=23)", "near", "long"
     );
-    for design in [
+    let designs = [
         QciDesign::room_coax(),
         QciDesign::room_microstrip(),
         QciDesign::room_photonic(),
@@ -23,8 +24,10 @@ fn main() {
         QciDesign::rsfq_near_term(),
         QciDesign::cmos_long_term(),
         QciDesign::ersfq_long_term(),
-    ] {
-        let s = analyze(&design, &near);
+    ];
+    // One parallel task per design point (each runs its own bisection).
+    for s in analyze_many(&designs, &near) {
+        let design = designs.iter().find(|d| d.name() == s.design).expect("by name");
         println!(
             "{:<48} {:>12} {:>9} {:>12.2e} {:>6} {:>6}",
             truncate(&s.design, 48),
@@ -32,14 +35,14 @@ fn main() {
             s.binding_stage.map(|b| b.label()).unwrap_or("-"),
             s.logical_error,
             s.reaches(&near),
-            analyze(&design, &long).reaches(&long),
+            analyze(design, &long).reaches(&long),
         );
     }
 
     println!("\nPer-stage utilization sweep of the 4K CMOS baseline (Fig. 13a):");
-    println!("{:>8} {:>10} {:>10}", "qubits", "4K util", "mK util");
-    for (n, k4, mk, _) in sweep(&QciDesign::cmos_baseline(), &[128, 256, 512, 666, 1024, 1399]) {
-        println!("{n:>8} {k4:>10.3} {mk:>10.3}");
+    println!("{:>8} {:>10} {:>10} {:>11}", "qubits", "4K util", "mK util", "total W");
+    for pt in sweep(&QciDesign::cmos_baseline(), &[128, 256, 512, 666, 1024, 1399]) {
+        println!("{:>8} {:>10.3} {:>10.3} {:>11.4}", pt.qubits, pt.util_4k, pt.util_mk, pt.power_w);
     }
 }
 

@@ -6,26 +6,43 @@
 #
 # Steps:
 #   1. release build + full test suite (the tier-1 contract)
-#   2. rustfmt check (config in rustfmt.toml)
-#   3. kill-switch build: --no-default-features strips qisim-obs
-#      instrumentation from the entire workspace and must still pass
-#   4. observability smoke run: the observe example must emit a valid
+#   2. the same test suite pinned to QISIM_THREADS=2: every parallel
+#      engine must be bit-identical at any thread count
+#   3. rustfmt check (config in rustfmt.toml)
+#   4. rustdoc: the whole workspace must document cleanly (warnings are
+#      errors; qisim-par and qisim-obs additionally warn(missing_docs))
+#   5. kill-switch builds: --no-default-features strips qisim-obs
+#      instrumentation AND the qisim-par thread pool from the entire
+#      workspace and must still pass; the serial-with-obs combination
+#      (--features obs) re-runs the determinism suite to pin the
+#      parallel build's results to the serial path
+#   6. observability smoke run: the observe example must emit a valid
 #      BENCH_obs.json with span timings and per-stage watt attribution
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/4] release build + tests =="
+echo "== [1/6] release build + tests =="
 cargo build --release
 cargo test -q --release
 
-echo "== [2/4] rustfmt =="
+echo "== [2/6] tests at QISIM_THREADS=2 =="
+QISIM_THREADS=2 cargo test -q --release
+
+echo "== [3/6] rustfmt =="
 cargo fmt --check
 
-echo "== [3/4] obs kill switch (--no-default-features) =="
+echo "== [4/6] rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== [5/6] kill switches (--no-default-features) =="
 cargo build --release --no-default-features
 cargo test -q --release --no-default-features
+# Serial pool + live obs: the exact build the determinism docs promise
+# matches the parallel one bit for bit.
+cargo test -q --release -p qisim --no-default-features --features obs \
+    --test integration_par
 
-echo "== [4/4] observe smoke run =="
+echo "== [6/6] observe smoke run =="
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 (cd "$out" && cargo run --release --quiet \
