@@ -79,9 +79,12 @@ impl Experiment {
     }
 }
 
-/// Every experiment driver, in paper order: `(id, constructor)` pairs.
+/// One [`SUITE`] entry: the paper id plus the driver that regenerates it.
 /// The id matches the [`Experiment::id`] the constructor returns.
-pub const SUITE: &[(&str, fn() -> Experiment)] = &[
+pub type SuiteEntry = (&'static str, fn() -> Experiment);
+
+/// Every experiment driver, in paper order.
+pub const SUITE: &[SuiteEntry] = &[
     ("Fig. 8", validation::fig08),
     ("Fig. 10", validation::fig10),
     ("Table 1", validation::table1),
@@ -114,8 +117,7 @@ pub fn suite() -> Vec<Experiment> {
 /// Matching is by the exact id string (`"Fig. 13"`, `"Table 1"`, …).
 pub fn run_matching(pred: impl Fn(&str) -> bool + Sync) -> Vec<Experiment> {
     qisim_obs::span!("experiments.suite");
-    let picked: Vec<&(&str, fn() -> Experiment)> =
-        SUITE.iter().filter(|(id, _)| pred(id)).collect();
+    let picked: Vec<&SuiteEntry> = SUITE.iter().filter(|(id, _)| pred(id)).collect();
     qisim_obs::counter!("experiments.suite.runs", picked.len() as u64);
     qisim_par::par_map(&picked, |(_, build)| build())
 }
@@ -127,7 +129,7 @@ fn format_value(v: f64) -> String {
     let a = v.abs();
     if a == 0.0 {
         "0".into()
-    } else if a >= 1e4 || a < 1e-2 {
+    } else if !(1e-2..1e4).contains(&a) {
         format!("{v:.3e}")
     } else {
         format!("{v:.3}")

@@ -119,6 +119,23 @@ impl Scalability {
                 );
             }
         }
+        // The power memo cache backs every bisection probe behind this
+        // verdict; its process-wide hit rate says how much of the work
+        // was amortized (the counters exist whenever obs is compiled in).
+        let snap = qisim_obs::snapshot();
+        if let (Some(hits), Some(misses)) =
+            (snap.counter("power.cache.hits"), snap.counter("power.cache.misses"))
+        {
+            let total = hits + misses;
+            if total > 0 {
+                let _ = writeln!(
+                    out,
+                    "  power memo cache: {hits} hits / {misses} misses ({:.1}% hit rate, \
+                     process-wide)",
+                    100.0 * hits as f64 / total as f64
+                );
+            }
+        }
         out
     }
 }
@@ -309,6 +326,20 @@ mod tests {
         assert!(text.contains("4K"), "{text}");
         assert!(text.contains("per-stage power"), "{text}");
         assert_eq!(s.stages.len(), Stage::ALL.len());
+    }
+
+    #[test]
+    fn explain_reports_the_memo_cache_hit_rate() {
+        // The bisection behind analyze() always probes the memo cache,
+        // so the counters exist by the time explain() renders.
+        let s = analyze(&QciDesign::cmos_baseline(), &Target::near_term());
+        let text = s.explain();
+        if qisim_obs::enabled() {
+            assert!(text.contains("power memo cache"), "{text}");
+            assert!(text.contains("hit rate"), "{text}");
+        } else {
+            assert!(!text.contains("power memo cache"), "{text}");
+        }
     }
 
     #[test]

@@ -305,7 +305,7 @@ pub fn simulate(circuit: &Circuit, model: &TimingModel) -> Timeline {
                 readout_group_size,
                 &sfq_batches,
             );
-            if best.map_or(true, |(s, _, _)| start < s) {
+            if best.is_none_or(|(s, _, _)| start < s) {
                 best = Some((start, end, idx));
             }
             // Only consider each op once even if it heads several queues.

@@ -140,7 +140,7 @@ pub fn ghz(n: u32) -> Circuit {
 
 /// Bernstein–Vazirani with an `n`-bit secret (ScaffCC-style).
 pub fn bernstein_vazirani(n: u32, secret: u64) -> Circuit {
-    assert!(n >= 1 && n <= 63, "secret width out of range");
+    assert!((1..=63).contains(&n), "secret width out of range");
     let mut c = Circuit::named(&format!("bv-{n}"), n + 1, n);
     // Oracle ancilla in |−>.
     c.push(Op::one_q(OpKind::X, n));

@@ -92,7 +92,7 @@ impl IsaFormat {
     pub fn sfq_drive(bs: u32) -> Self {
         assert!(bs > 0, "#BS must be at least 1");
         let select_bits = 8 * bs; // 8-bit gate index per broadcast lane
-        let per_qubit = 32 - (bs as u32).leading_zeros(); // ceil(log2(bs+1))
+        let per_qubit = 32 - bs.leading_zeros(); // ceil(log2(bs+1))
         IsaFormat {
             name: "SFQ drive",
             fields: vec![Field { name: "bitstream select", bits: select_bits }],

@@ -155,7 +155,7 @@ impl ControlDataBuffer {
 /// # Panics
 ///
 /// Panics if `select` is `Some(lane)` with `lane >= lanes.len()`.
-pub fn select_lane<'a>(lanes: &'a [Bitstream], select: Option<usize>) -> Option<&'a Bitstream> {
+pub fn select_lane(lanes: &[Bitstream], select: Option<usize>) -> Option<&Bitstream> {
     match select {
         None => None,
         Some(lane) => {

@@ -61,7 +61,7 @@ impl SfqdcWaveform {
             let a = peak as f64 * 0.5 * (1.0 - (std::f64::consts::PI * x).cos());
             counts.push(a.round() as u8);
         }
-        counts.extend(std::iter::repeat(peak).take(plateau_cycles));
+        counts.extend(std::iter::repeat_n(peak, plateau_cycles));
         for k in (0..ramp_cycles).rev() {
             let x = (k as f64 + 0.5) / ramp_cycles as f64;
             let a = peak as f64 * 0.5 * (1.0 - (std::f64::consts::PI * x).cos());

@@ -158,6 +158,9 @@ impl Mul for C64 {
 
 impl Div for C64 {
     type Output = C64;
+    // Division via the reciprocal is the intended formula, not a typo'd
+    // operator: z/w = z·(1/w).
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: C64) -> C64 {
         self * rhs.recip()

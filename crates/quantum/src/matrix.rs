@@ -169,13 +169,13 @@ impl CMatrix {
     pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
         let mut out = vec![C64::ZERO; self.rows];
-        for r in 0..self.rows {
+        for (r, slot) in out.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = C64::ZERO;
             for (a, b) in row.iter().zip(v.iter()) {
                 acc = a.mul_add(*b, acc);
             }
-            out[r] = acc;
+            *slot = acc;
         }
         out
     }

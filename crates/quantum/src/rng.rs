@@ -183,6 +183,65 @@ impl Rng for Xorshift64Star {
     }
 }
 
+/// A geometric gap sampler: how many i.i.d. Bernoulli(`p`) trials fail
+/// before the next success.
+///
+/// Sampling a run of `n` Bernoulli flags one uniform draw at a time
+/// costs `n` draws; inverting the geometric CDF costs one draw **per
+/// success** instead (`gap = ⌊ln U / ln(1−p)⌋`, `U` uniform in `(0, 1]`).
+/// At the physical error rates the surface-code Monte-Carlo engine cares
+/// about (`p ≈ 10⁻³`), that is a ~1000× reduction in RNG traffic. The
+/// inversion is the exact geometric law — not a Poisson or other
+/// small-`p` approximation — so it is valid at any `p` in `(0, 1)`.
+///
+/// Degenerate rates are the *caller's* fast path (`p = 0`: no successes,
+/// sample nothing; `p = 1`: every trial succeeds, no randomness needed),
+/// so the constructor rejects them.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_quantum::rng::{Geometric, Xorshift64Star};
+///
+/// let geo = Geometric::new(0.25);
+/// let mut rng = Xorshift64Star::seed_from_u64(9);
+/// let gap = geo.sample(&mut rng); // failures before the next success
+/// let again = {
+///     let mut rng = Xorshift64Star::seed_from_u64(9);
+///     geo.sample(&mut rng)
+/// };
+/// assert_eq!(gap, again); // one draw, deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    /// `1 / ln(1 − p)` (negative), precomputed so sampling is one draw,
+    /// one `ln`, one multiply.
+    inv_ln_q: f64,
+}
+
+impl Geometric {
+    /// Builds a sampler for success probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1` (the degenerate rates need no sampler).
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "geometric sampler needs 0 < p < 1, got {p}");
+        Geometric { inv_ln_q: 1.0 / (1.0 - p).ln() }
+    }
+
+    /// The number of failures before the next success (possibly 0).
+    ///
+    /// Consumes exactly one `u64` from `rng`. The result saturates at
+    /// `u64::MAX` for astronomically long gaps (`as`-casts from `f64`
+    /// saturate), which callers treat as "past the end of the run".
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        // U in (0, 1] keeps ln finite; U = 1 maps to gap 0.
+        (rng.gen_open01().ln() * self.inv_ln_q) as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +350,42 @@ mod tests {
             let flips = (w[0] ^ w[1]).count_ones();
             assert!((16..=48).contains(&flips), "flips {flips}");
         }
+    }
+
+    #[test]
+    fn geometric_matches_bernoulli_scan_in_distribution() {
+        // Inverting the geometric CDF must reproduce the per-trial
+        // Bernoulli law: compare the mean gap against (1-p)/p.
+        for p in [0.01f64, 0.1, 0.5] {
+            let geo = Geometric::new(p);
+            let mut rng = Xorshift64Star::seed_from_u64(0xBEEF);
+            let n = 200_000;
+            let mut sum = 0.0;
+            for _ in 0..n {
+                sum += geo.sample(&mut rng) as f64;
+            }
+            let mean = sum / n as f64;
+            let expect = (1.0 - p) / p;
+            let sigma = ((1.0 - p) / (p * p) / n as f64).sqrt();
+            assert!((mean - expect).abs() < 6.0 * sigma, "p={p}: mean {mean} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn geometric_is_deterministic_and_one_draw() {
+        let geo = Geometric::new(0.03);
+        let mut a = Xorshift64Star::seed_from_u64(5);
+        let mut b = Xorshift64Star::seed_from_u64(5);
+        let gap = geo.sample(&mut a);
+        assert_eq!(gap, geo.sample(&mut b));
+        // Exactly one u64 consumed: the generators stay in lock step.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < p < 1")]
+    fn geometric_rejects_degenerate_rates() {
+        let _ = Geometric::new(0.0);
     }
 
     #[test]

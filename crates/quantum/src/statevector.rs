@@ -206,7 +206,7 @@ impl Statevector {
         assert!(norm2 > 0.0, "collapsing onto a zero-probability outcome");
         let inv = 1.0 / norm2.sqrt();
         for z in self.amplitudes.iter_mut() {
-            *z = *z * inv;
+            *z *= inv;
         }
     }
 

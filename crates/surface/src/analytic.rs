@@ -82,7 +82,7 @@ impl PhysicalBudget {
     /// Panics if `d < 3` or even (rotated codes use odd distances here).
     pub fn logical_error(&self, d: u32, cal: &Calibration) -> f64 {
         assert!(d >= 3 && d % 2 == 1, "use an odd distance >= 3");
-        let exponent = ((d + 1) / 2) as f64;
+        let exponent = d.div_ceil(2) as f64;
         let ratio = self.effective_error(cal) / cal.threshold;
         (cal.prefactor * ratio.powf(exponent)).min(1.0)
     }

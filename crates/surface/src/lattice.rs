@@ -131,6 +131,163 @@ impl Lattice {
     }
 }
 
+/// Bit-packed view of a [`Lattice`] for the Monte-Carlo hot loop: data
+/// qubits live in `u64` bitset words, and each Z-check carries a
+/// precomputed support mask so syndrome extraction is word-wise
+/// AND/XOR/popcount instead of per-qubit indexing.
+///
+/// The packing covers the Z-check family (which detects the X errors the
+/// Monte-Carlo estimator samples) plus the logical-`Z̄` membrane used for
+/// the failure check; it is built once per lattice and shared read-only
+/// across trials and threads.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_surface::{Lattice, PackedLattice};
+///
+/// let lattice = Lattice::new(5);
+/// let packed = PackedLattice::new(&lattice);
+/// let mut errs = vec![0u64; packed.qubit_words()];
+/// let mut syn = vec![0u64; packed.syndrome_words()];
+/// PackedLattice::set_bit(&mut errs, 12); // interior X error
+/// assert!(packed.z_syndrome_into(&errs, &mut syn));
+/// assert_eq!(syn.iter().map(|w| w.count_ones()).sum::<u32>(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedLattice {
+    /// Data-qubit count (`d²`).
+    n_qubits: usize,
+    /// `u64` words per qubit bitset.
+    qubit_words: usize,
+    /// Number of Z-checks (syndrome bits).
+    n_z_checks: usize,
+    /// `u64` words per syndrome bitset.
+    syndrome_words: usize,
+    /// Flattened per-check support masks: check `i` owns
+    /// `z_support[i·qubit_words .. (i+1)·qubit_words]`.
+    z_support: Vec<u64>,
+    /// Logical-`Z̄` support mask (the top row).
+    logical_z_mask: Vec<u64>,
+}
+
+impl PackedLattice {
+    /// Packs the Z-check family and logical-`Z̄` membrane of `lattice`.
+    pub fn new(lattice: &Lattice) -> Self {
+        let n_qubits = lattice.data_qubits();
+        let qubit_words = n_qubits.div_ceil(64);
+        let n_z_checks = lattice.z_checks.len();
+        let syndrome_words = n_z_checks.div_ceil(64).max(1);
+        let mut z_support = vec![0u64; n_z_checks * qubit_words];
+        for (i, chk) in lattice.z_checks.iter().enumerate() {
+            let mask = &mut z_support[i * qubit_words..(i + 1) * qubit_words];
+            for &q in &chk.support {
+                Self::set_bit(mask, q);
+            }
+        }
+        let mut logical_z_mask = vec![0u64; qubit_words];
+        for q in lattice.logical_z() {
+            Self::set_bit(&mut logical_z_mask, q);
+        }
+        PackedLattice {
+            n_qubits,
+            qubit_words,
+            n_z_checks,
+            syndrome_words,
+            z_support,
+            logical_z_mask,
+        }
+    }
+
+    /// Data-qubit count (`d²`).
+    pub fn data_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Words in a data-qubit bitset (`⌈d²/64⌉`).
+    pub fn qubit_words(&self) -> usize {
+        self.qubit_words
+    }
+
+    /// Words in a Z-syndrome bitset.
+    pub fn syndrome_words(&self) -> usize {
+        self.syndrome_words
+    }
+
+    /// Number of Z-checks (valid bits in a syndrome bitset).
+    pub fn z_check_count(&self) -> usize {
+        self.n_z_checks
+    }
+
+    /// Sets bit `i` in a bitset.
+    #[inline]
+    pub fn set_bit(words: &mut [u64], i: usize) {
+        words[i >> 6] |= 1u64 << (i & 63);
+    }
+
+    /// Flips bit `i` in a bitset.
+    #[inline]
+    pub fn flip_bit(words: &mut [u64], i: usize) {
+        words[i >> 6] ^= 1u64 << (i & 63);
+    }
+
+    /// Reads bit `i` of a bitset.
+    #[inline]
+    pub fn get_bit(words: &[u64], i: usize) -> bool {
+        words[i >> 6] >> (i & 63) & 1 != 0
+    }
+
+    /// Packs a per-qubit flag slice into bitset words (test/oracle glue).
+    pub fn pack(flags: &[bool]) -> Vec<u64> {
+        let mut words = vec![0u64; flags.len().div_ceil(64).max(1)];
+        for (i, &f) in flags.iter().enumerate() {
+            if f {
+                Self::set_bit(&mut words, i);
+            }
+        }
+        words
+    }
+
+    /// Word-wise Z-syndrome of a packed X-error pattern: check `i`'s bit
+    /// is the parity of `errs ∧ support(i)`. Returns `true` iff any
+    /// syndrome bit is set (the caller's zero-syndrome fast-path test).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the slices are mis-sized.
+    #[inline]
+    pub fn z_syndrome_into(&self, errs: &[u64], syndrome: &mut [u64]) -> bool {
+        debug_assert_eq!(errs.len(), self.qubit_words);
+        debug_assert_eq!(syndrome.len(), self.syndrome_words);
+        syndrome.fill(0);
+        let mut any = 0u64;
+        for (i, mask) in self.z_support.chunks_exact(self.qubit_words).enumerate() {
+            // parity(popcount(a₀)+popcount(a₁)+…) = popcount(a₀⊕a₁⊕…)&1:
+            // XOR of distinct words preserves total bit-count parity.
+            let mut acc = 0u64;
+            for (w, m) in errs.iter().zip(mask) {
+                acc ^= w & m;
+            }
+            let bit = (acc.count_ones() & 1) as u64;
+            syndrome[i >> 6] |= bit << (i & 63);
+            any |= bit;
+        }
+        any != 0
+    }
+
+    /// Whether a packed X-error pattern anticommutes with the logical
+    /// `Z̄` membrane (odd overlap with the top row): the failure verdict.
+    #[inline]
+    pub fn is_logical_x(&self, errs: &[u64]) -> bool {
+        debug_assert_eq!(errs.len(), self.qubit_words);
+        let mut acc = 0u64;
+        for (w, m) in errs.iter().zip(&self.logical_z_mask) {
+            acc ^= w & m;
+        }
+        acc.count_ones() & 1 == 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +341,46 @@ mod tests {
     #[test]
     fn provisioned_count_matches_paper() {
         assert_eq!(Lattice::new(23).provisioned_qubits(), 1152);
+    }
+
+    #[test]
+    fn packed_syndrome_matches_bool_path_on_dense_patterns() {
+        // Deterministic pseudo-random patterns across several distances
+        // (d = 9 and 11 cross the one-word boundary of the qubit bitset).
+        for d in [3usize, 5, 7, 9, 11] {
+            let l = Lattice::new(d);
+            let packed = PackedLattice::new(&l);
+            assert_eq!(packed.data_qubits(), l.data_qubits());
+            assert_eq!(packed.z_check_count(), l.z_checks.len());
+            let mut state = 0x0123_4567_89AB_CDEFu64 ^ d as u64;
+            let mut syn_words = vec![0u64; packed.syndrome_words()];
+            for _ in 0..50 {
+                let mut errs = vec![false; l.data_qubits()];
+                for e in errs.iter_mut() {
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    *e = state >> 62 == 0; // p = 1/4
+                }
+                let words = PackedLattice::pack(&errs);
+                let any = packed.z_syndrome_into(&words, &mut syn_words);
+                let reference = l.z_syndrome(&errs);
+                assert_eq!(any, reference.iter().any(|&b| b), "d={d}");
+                for (i, &bit) in reference.iter().enumerate() {
+                    assert_eq!(PackedLattice::get_bit(&syn_words, i), bit, "d={d} check {i}");
+                }
+                assert_eq!(packed.is_logical_x(&words), l.is_logical_x(&errs), "d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_bit_ops_roundtrip() {
+        let mut w = vec![0u64; 2];
+        PackedLattice::set_bit(&mut w, 70);
+        assert!(PackedLattice::get_bit(&w, 70));
+        PackedLattice::flip_bit(&mut w, 70);
+        assert!(!PackedLattice::get_bit(&w, 70));
+        assert_eq!(PackedLattice::pack(&[false, true, false]), vec![0b10]);
     }
 
     #[test]

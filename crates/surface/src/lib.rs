@@ -4,9 +4,13 @@
 //! (reproduction of Min et al., *QIsim*, ISCA 2023 — §2.1 and §6.1):
 //!
 //! * [`lattice`] — rotated surface-code patches (data/ancilla layout,
-//!   stabilizer supports, logical operators);
-//! * [`decoder`] — a union-find decoder with peeling;
-//! * [`montecarlo`] — sampled logical-error rates validating the model;
+//!   stabilizer supports, logical operators) plus the bit-packed
+//!   [`PackedLattice`] view the Monte-Carlo hot loop runs on;
+//! * [`decoder`] — a union-find decoder with peeling: an allocation-free
+//!   scratch-arena engine with an active-frontier growth stage, and the
+//!   original implementation kept as its verification oracle;
+//! * [`montecarlo`] — sampled logical-error rates validating the model
+//!   (geometric-skip error placement, zero-syndrome early exit);
 //! * [`analytic`] — the calibrated `p_L = A·(p_eff/p_th)^((d+1)/2)` model
 //!   the scalability engine evaluates;
 //! * [`target`] — the Jellium quantum-supremacy error/scale targets
@@ -32,5 +36,5 @@ pub mod montecarlo;
 pub mod target;
 
 pub use analytic::{Calibration, PhysicalBudget, CALIBRATION};
-pub use lattice::Lattice;
+pub use lattice::{Lattice, PackedLattice};
 pub use target::Target;

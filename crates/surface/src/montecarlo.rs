@@ -4,10 +4,32 @@
 //! union-find decoder, and counts logical failures — the numerical
 //! ground truth the analytic model of [`crate::analytic`] is validated
 //! against at small distances.
+//!
+//! # The bit-packed kernel
+//!
+//! The hot loop is allocation-free: error patterns and syndromes live in
+//! `u64` bitset words ([`PackedLattice`]), the decoder reuses a
+//! [`DecoderScratch`] arena, and two sampling fast paths cut the work at
+//! realistic physical error rates:
+//!
+//! * **geometric-skip placement** — one [`Geometric`] draw per *flipped*
+//!   qubit instead of one uniform draw per qubit (exact at any `p`; at
+//!   `p = 10⁻³` that is ~1000× less RNG traffic);
+//! * **zero-syndrome early exit** — a trial whose error pattern trips no
+//!   check (the common case at low `p`, most often because no error was
+//!   sampled at all) skips the decoder entirely.
+//!
+//! Two reference kernels are kept for verification and benchmarking:
+//! [`run_trials_reference`] (bool-vec storage + the legacy decoder,
+//! sharing the packed kernel's RNG draw sequence — failure counts must
+//! match the fast kernel **bit for bit** at any seed) and
+//! [`run_trials_legacy`] (the verbatim pre-optimization kernel:
+//! one uniform draw per qubit, allocate-per-trial decoding — the
+//! `BENCH_mc.json` "before" timing baseline).
 
-use crate::decoder::{decode, DecodingGraph};
-use crate::lattice::Lattice;
-use qisim_quantum::rng::{Rng, Xorshift64Star};
+use crate::decoder::{decode_into, decode_reference, DecodeStats, DecoderScratch, DecodingGraph};
+use crate::lattice::{Lattice, PackedLattice};
+use qisim_quantum::rng::{Geometric, Rng, Xorshift64Star};
 
 /// Result of a logical-error-rate estimation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,6 +40,239 @@ pub struct McEstimate {
     pub trials: usize,
     /// Failures observed.
     pub failures: usize,
+}
+
+/// Per-batch fast-path accounting of the packed kernel, flushed to the
+/// `qisim-obs` registry once per estimator call (never per trial).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct McStats {
+    /// Trials where no error was sampled at all (the geometric skip
+    /// jumped past the last qubit on its first draw).
+    pub empty_trials: u64,
+    /// Trials with errors but an all-zero syndrome: decode skipped.
+    pub zero_syndrome_trials: u64,
+    /// Trials that ran the full decode path.
+    pub decoded_trials: u64,
+}
+
+impl McStats {
+    fn merge(&mut self, other: McStats) {
+        self.empty_trials += other.empty_trials;
+        self.zero_syndrome_trials += other.zero_syndrome_trials;
+        self.decoded_trials += other.decoded_trials;
+    }
+}
+
+/// How one trial's X errors are placed. Built once per batch so the
+/// per-trial cost is a branch, not a float comparison cascade.
+#[derive(Debug, Clone, Copy)]
+enum ErrorSampler {
+    /// `p = 0`: nothing flips, no RNG draws.
+    None,
+    /// `p = 1`: everything flips, no RNG draws.
+    All,
+    /// `0 < p < 1`: geometric gaps between flipped qubits.
+    Skip(Geometric),
+}
+
+impl ErrorSampler {
+    fn new(p: f64) -> Self {
+        if p <= 0.0 {
+            ErrorSampler::None
+        } else if p >= 1.0 {
+            ErrorSampler::All
+        } else {
+            ErrorSampler::Skip(Geometric::new(p))
+        }
+    }
+
+    /// Feeds every error position (ascending) to `place`; returns whether
+    /// anything was placed. Both the packed kernel and the bool-vec
+    /// reference call this, so their RNG draw sequences are identical by
+    /// construction.
+    #[inline]
+    fn sample<R: Rng, F: FnMut(usize)>(&self, n: usize, rng: &mut R, mut place: F) -> bool {
+        match self {
+            ErrorSampler::None => false,
+            ErrorSampler::All => {
+                for q in 0..n {
+                    place(q);
+                }
+                n > 0
+            }
+            ErrorSampler::Skip(geo) => {
+                let mut pos = geo.sample(rng);
+                let any = pos < n as u64;
+                while pos < n as u64 {
+                    place(pos as usize);
+                    // Saturating: a gap of u64::MAX means "past the end".
+                    pos = pos.saturating_add(1).saturating_add(geo.sample(rng));
+                }
+                any
+            }
+        }
+    }
+}
+
+/// Reusable per-thread buffers of the packed kernel: the error and
+/// syndrome bitsets plus the decoder arena. One allocation per batch
+/// (or per parallel chunk), zero per trial.
+#[derive(Debug, Clone)]
+pub struct McScratch {
+    errs: Vec<u64>,
+    syndrome: Vec<u64>,
+    decoder: DecoderScratch,
+    stats: McStats,
+}
+
+impl McScratch {
+    /// Allocates scratch sized for `packed` and `graph`.
+    pub fn new(packed: &PackedLattice, graph: &DecodingGraph) -> Self {
+        McScratch {
+            errs: vec![0; packed.qubit_words()],
+            syndrome: vec![0; graph.syndrome_words()],
+            decoder: DecoderScratch::new(graph),
+            stats: McStats::default(),
+        }
+    }
+
+    /// Fast-path counters accumulated since construction (or the last
+    /// [`Self::take_stats`]).
+    pub fn stats(&self) -> McStats {
+        self.stats
+    }
+
+    /// Returns and resets the accumulated fast-path counters (decoder
+    /// work counters travel separately via the inner arena).
+    pub fn take_stats(&mut self) -> (McStats, DecodeStats) {
+        (std::mem::take(&mut self.stats), self.decoder.take_stats())
+    }
+}
+
+/// The bit-packed sample-decode-check kernel: returns the number of
+/// logical failures in `trials` rounds, touching no heap memory beyond
+/// `scratch`.
+///
+/// This is the engine behind [`logical_error_rate`] and
+/// [`logical_error_rate_par`]; it is public so benches and equivalence
+/// tests can drive it directly against the reference kernels.
+pub fn run_trials_packed<R: Rng>(
+    packed: &PackedLattice,
+    graph: &DecodingGraph,
+    p: f64,
+    trials: usize,
+    rng: &mut R,
+    scratch: &mut McScratch,
+) -> usize {
+    let n = packed.data_qubits();
+    let sampler = ErrorSampler::new(p);
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        scratch.errs.fill(0);
+        let errs = &mut scratch.errs;
+        let any_error = sampler.sample(n, rng, |q| PackedLattice::set_bit(errs, q));
+        if !any_error {
+            // Fast path 1: nothing flipped, nothing to decode or check.
+            scratch.stats.empty_trials += 1;
+            continue;
+        }
+        if !packed.z_syndrome_into(&scratch.errs, &mut scratch.syndrome) {
+            // Fast path 2: errors present but no check tripped — the
+            // decoder would return an empty correction, so only the
+            // logical-membrane parity is left to check.
+            scratch.stats.zero_syndrome_trials += 1;
+            if packed.is_logical_x(&scratch.errs) {
+                failures += 1;
+            }
+            continue;
+        }
+        scratch.stats.decoded_trials += 1;
+        for &q in decode_into(graph, &scratch.syndrome, &mut scratch.decoder) {
+            PackedLattice::flip_bit(&mut scratch.errs, q);
+        }
+        debug_assert!(
+            !packed.z_syndrome_into(&scratch.errs, &mut scratch.syndrome),
+            "decoder left residual syndrome"
+        );
+        if packed.is_logical_x(&scratch.errs) {
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// Bool-vec oracle for the packed kernel: identical geometric-skip RNG
+/// draw sequence, but per-qubit `Vec<bool>` storage, the naive
+/// [`Lattice::z_syndrome`], and the allocate-per-call
+/// [`decode_reference`]. For any `(lattice, p, trials, rng state)` its
+/// failure count equals [`run_trials_packed`]'s **bit for bit** — the
+/// equivalence suite and `examples/bench_mc.rs` pin this.
+pub fn run_trials_reference<R: Rng>(
+    lattice: &Lattice,
+    graph: &DecodingGraph,
+    p: f64,
+    trials: usize,
+    rng: &mut R,
+) -> usize {
+    let n = lattice.data_qubits();
+    let sampler = ErrorSampler::new(p);
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        let mut errs = vec![false; n];
+        let any = sampler.sample(n, rng, |q| errs[q] = true);
+        if any {
+            let syn = lattice.z_syndrome(&errs);
+            for q in decode_reference(graph, &syn) {
+                errs[q] ^= true;
+            }
+        }
+        debug_assert!(lattice.z_syndrome(&errs).iter().all(|b| !b));
+        if lattice.is_logical_x(&errs) {
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// The verbatim pre-optimization kernel — one uniform draw per qubit,
+/// allocate-per-trial syndrome extraction and decoding, no fast paths.
+/// Kept as the `BENCH_mc.json` "before" timing baseline (its RNG draw
+/// sequence predates geometric skipping, so its failure counts match the
+/// packed kernel only statistically, not bitwise).
+pub fn run_trials_legacy<R: Rng>(
+    lattice: &Lattice,
+    graph: &DecodingGraph,
+    p: f64,
+    trials: usize,
+    rng: &mut R,
+) -> usize {
+    let n = lattice.data_qubits();
+    let mut failures = 0usize;
+    for _ in 0..trials {
+        let mut errs = vec![false; n];
+        for e in errs.iter_mut() {
+            *e = rng.gen_f64() < p;
+        }
+        let syn = lattice.z_syndrome(&errs);
+        for q in decode_reference(graph, &syn) {
+            errs[q] ^= true;
+        }
+        debug_assert!(lattice.z_syndrome(&errs).iter().all(|b| !b));
+        if lattice.is_logical_x(&errs) {
+            failures += 1;
+        }
+    }
+    failures
+}
+
+/// Flushes per-batch kernel counters to the `qisim-obs` registry.
+fn flush_obs(failures: usize, mc: McStats, dec: DecodeStats) {
+    qisim_obs::counter!("surface.montecarlo.failures", failures as u64);
+    qisim_obs::counter!("surface.montecarlo.fastpath.empty", mc.empty_trials);
+    qisim_obs::counter!("surface.montecarlo.fastpath.zero_syndrome", mc.zero_syndrome_trials);
+    qisim_obs::counter!("surface.montecarlo.decoded", mc.decoded_trials);
+    qisim_obs::counter!("surface.decoder.rounds", dec.rounds);
+    qisim_obs::counter!("surface.decoder.frontier_edges", dec.edges_grown);
 }
 
 /// Estimates the logical-X error rate at physical error probability `p`
@@ -37,37 +292,12 @@ pub fn logical_error_rate<R: Rng>(
     qisim_obs::span!("surface.montecarlo");
     qisim_obs::counter!("surface.montecarlo.trials", trials as u64);
     let graph = DecodingGraph::new(lattice, false);
-    let failures = run_trials(lattice, &graph, p, trials, rng);
-    qisim_obs::counter!("surface.montecarlo.failures", failures as u64);
+    let packed = PackedLattice::new(lattice);
+    let mut scratch = McScratch::new(&packed, &graph);
+    let failures = run_trials_packed(&packed, &graph, p, trials, rng, &mut scratch);
+    let (mc, dec) = scratch.take_stats();
+    flush_obs(failures, mc, dec);
     McEstimate { logical_error: failures as f64 / trials as f64, trials, failures }
-}
-
-/// The inner sample-decode-check loop shared by the serial and parallel
-/// estimators: returns the number of logical failures in `trials` rounds.
-fn run_trials<R: Rng>(
-    lattice: &Lattice,
-    graph: &DecodingGraph,
-    p: f64,
-    trials: usize,
-    rng: &mut R,
-) -> usize {
-    let n = lattice.data_qubits();
-    let mut failures = 0usize;
-    for _ in 0..trials {
-        let mut errs = vec![false; n];
-        for e in errs.iter_mut() {
-            *e = rng.gen_f64() < p;
-        }
-        let syn = lattice.z_syndrome(&errs);
-        for q in decode(graph, &syn) {
-            errs[q] ^= true;
-        }
-        debug_assert!(lattice.z_syndrome(&errs).iter().all(|b| !b));
-        if lattice.is_logical_x(&errs) {
-            failures += 1;
-        }
-    }
-    failures
 }
 
 /// Trials per independent RNG stream in [`logical_error_rate_par`].
@@ -77,6 +307,13 @@ fn run_trials<R: Rng>(
 /// chunk takes the remainder) on `Xorshift64Star::stream(seed, i)`, so
 /// the failure total is bit-identical whether the chunks execute on 1
 /// thread, 8 threads, or the serial `--no-default-features` build.
+///
+/// Remainder handling: with `trials = k·CHUNK_TRIALS + r` (`0 < r <
+/// CHUNK_TRIALS`), chunks `0..k` each run `CHUNK_TRIALS` trials and the
+/// final chunk `k` runs exactly `r` — `CHUNK_TRIALS.min(trials − start)`
+/// never over- or under-counts because the chunk count is
+/// `trials.div_ceil(CHUNK_TRIALS)`. The `trials = 1000` and `trials =
+/// 257` regression tests pin this against a serial chunk replay.
 pub const CHUNK_TRIALS: usize = 256;
 
 /// Estimates the logical-X error rate at physical error probability `p`
@@ -87,7 +324,9 @@ pub const CHUNK_TRIALS: usize = 256;
 /// this estimator derives one SplitMix64-split RNG stream per
 /// [`CHUNK_TRIALS`]-trial chunk from `seed`; see [`CHUNK_TRIALS`] for the
 /// determinism guarantee. The two entry points sample different streams,
-/// so their estimates agree statistically, not bitwise.
+/// so their estimates agree statistically, not bitwise. Every chunk runs
+/// the bit-packed kernel with its own [`McScratch`]: one arena
+/// allocation per chunk, zero allocations per trial.
 ///
 /// # Panics
 ///
@@ -109,16 +348,28 @@ pub fn logical_error_rate_par(lattice: &Lattice, p: f64, trials: usize, seed: u6
     qisim_obs::span!("surface.montecarlo.par");
     qisim_obs::counter!("surface.montecarlo.trials", trials as u64);
     let graph = DecodingGraph::new(lattice, false);
+    let packed = PackedLattice::new(lattice);
     let chunks = trials.div_ceil(CHUNK_TRIALS);
-    let failures: usize = qisim_par::par_map_indices(chunks, |i| {
+    let per_chunk: Vec<(usize, McStats, DecodeStats)> = qisim_par::par_map_indices(chunks, |i| {
         let start = i * CHUNK_TRIALS;
         let len = CHUNK_TRIALS.min(trials - start);
         let mut rng = Xorshift64Star::stream(seed, i as u64);
-        run_trials(lattice, &graph, p, len, &mut rng)
-    })
-    .into_iter()
-    .sum();
-    qisim_obs::counter!("surface.montecarlo.failures", failures as u64);
+        let mut scratch = McScratch::new(&packed, &graph);
+        let failures = run_trials_packed(&packed, &graph, p, len, &mut rng, &mut scratch);
+        let (mc, dec) = scratch.take_stats();
+        (failures, mc, dec)
+    });
+    let mut failures = 0usize;
+    let mut mc = McStats::default();
+    let mut dec = DecodeStats::default();
+    for (f, m, d) in per_chunk {
+        failures += f;
+        mc.merge(m);
+        dec.decodes += d.decodes;
+        dec.rounds += d.rounds;
+        dec.edges_grown += d.edges_grown;
+    }
+    flush_obs(failures, mc, dec);
     McEstimate { logical_error: failures as f64 / trials as f64, trials, failures }
 }
 
@@ -133,6 +384,20 @@ mod tests {
         let mut rng = Xorshift64Star::seed_from_u64(1);
         let est = logical_error_rate(&l, 0.0, 50, &mut rng);
         assert_eq!(est.failures, 0);
+    }
+
+    #[test]
+    fn certain_physical_error_flips_everything() {
+        // p = 1 exercises the ErrorSampler::All branch: every qubit
+        // flips, deterministically, with zero RNG draws.
+        let l = Lattice::new(5);
+        let mut rng = Xorshift64Star::seed_from_u64(1);
+        let before = rng.clone();
+        let est = logical_error_rate(&l, 1.0, 10, &mut rng);
+        assert_eq!(rng, before, "p = 1 must consume no randomness");
+        // The all-ones pattern has zero syndrome; its logical parity is
+        // the row length d = 5, which is odd → always a failure.
+        assert_eq!(est.failures, 10);
     }
 
     #[test]
@@ -157,6 +422,44 @@ mod tests {
     }
 
     #[test]
+    fn packed_kernel_matches_bool_vec_reference_bit_for_bit() {
+        // The tentpole contract: same seed → same failure count, across
+        // the distance/error grid of the acceptance criteria.
+        for d in [3usize, 5, 7] {
+            let l = Lattice::new(d);
+            let graph = DecodingGraph::new(&l, false);
+            let packed = PackedLattice::new(&l);
+            let mut scratch = McScratch::new(&packed, &graph);
+            for p in [0.001f64, 0.01, 0.1] {
+                let seed = 0xC0FFEE ^ (d as u64) << 8 ^ p.to_bits();
+                let fast = {
+                    let mut rng = Xorshift64Star::seed_from_u64(seed);
+                    run_trials_packed(&packed, &graph, p, 600, &mut rng, &mut scratch)
+                };
+                let reference = {
+                    let mut rng = Xorshift64Star::seed_from_u64(seed);
+                    run_trials_reference(&l, &graph, p, 600, &mut rng)
+                };
+                assert_eq!(fast, reference, "d={d} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_kernel_agrees_statistically_with_packed() {
+        // The pre-PR kernel samples a different draw sequence, so only
+        // the estimates (not the counts) must agree.
+        let l = Lattice::new(5);
+        let (p, trials) = (0.08, 4000);
+        let graph = DecodingGraph::new(&l, false);
+        let mut rng = Xorshift64Star::seed_from_u64(77);
+        let legacy = run_trials_legacy(&l, &graph, p, trials, &mut rng) as f64 / trials as f64;
+        let packed = logical_error_rate_par(&l, p, trials, 77).logical_error;
+        let sigma = (legacy * (1.0 - legacy) / trials as f64).sqrt().max(1e-3);
+        assert!((packed - legacy).abs() < 6.0 * sigma, "packed {packed} vs legacy {legacy}");
+    }
+
+    #[test]
     fn par_estimate_is_thread_count_independent() {
         let l = Lattice::new(5);
         let reference = logical_error_rate_par(&l, 0.03, 2000, 99);
@@ -167,27 +470,49 @@ mod tests {
         qisim_par::set_threads(None);
     }
 
-    #[test]
-    fn par_estimate_matches_the_chunked_serial_reference() {
-        // Recompute the fixed chunk grid inline: the parallel estimate
-        // must equal this by construction, proving the serial
-        // (`--no-default-features`) build produces the same numbers.
-        let l = Lattice::new(5);
-        let (p, trials, seed) = (0.04, 1100usize, 7u64);
-        let graph = DecodingGraph::new(&l, false);
+    /// Serial replay of the fixed chunk grid: what the parallel estimate
+    /// must equal by construction at any thread count.
+    fn chunked_serial_failures(l: &Lattice, p: f64, trials: usize, seed: u64) -> usize {
+        let graph = DecodingGraph::new(l, false);
+        let packed = PackedLattice::new(l);
+        let mut scratch = McScratch::new(&packed, &graph);
         let mut failures = 0usize;
         let mut start = 0usize;
         let mut chunk = 0u64;
         while start < trials {
             let len = CHUNK_TRIALS.min(trials - start);
             let mut rng = Xorshift64Star::stream(seed, chunk);
-            failures += run_trials(&l, &graph, p, len, &mut rng);
+            failures += run_trials_packed(&packed, &graph, p, len, &mut rng, &mut scratch);
             start += len;
             chunk += 1;
         }
+        failures
+    }
+
+    #[test]
+    fn par_estimate_matches_the_chunked_serial_reference() {
+        let l = Lattice::new(5);
+        let (p, trials, seed) = (0.04, 1100usize, 7u64);
         let est = logical_error_rate_par(&l, p, trials, seed);
-        assert_eq!(est.failures, failures);
+        assert_eq!(est.failures, chunked_serial_failures(&l, p, trials, seed));
         assert_eq!(est.trials, trials);
+    }
+
+    #[test]
+    fn remainder_chunks_are_neither_dropped_nor_double_counted() {
+        // trials = 1000 = 3·256 + 232 and trials = 257 = 256 + 1: the
+        // tail chunk must run exactly the remainder, at any thread count.
+        let l = Lattice::new(5);
+        for (trials, seed) in [(1000usize, 41u64), (257, 42)] {
+            let serial = chunked_serial_failures(&l, 0.05, trials, seed);
+            for threads in [1usize, 2, 3] {
+                qisim_par::set_threads(Some(threads));
+                let est = logical_error_rate_par(&l, 0.05, trials, seed);
+                assert_eq!(est.failures, serial, "trials={trials} threads={threads}");
+                assert_eq!(est.trials, trials);
+            }
+            qisim_par::set_threads(None);
+        }
     }
 
     #[test]
@@ -209,5 +534,32 @@ mod tests {
         let lo = logical_error_rate(&l, 0.01, 3000, &mut rng).logical_error;
         let hi = logical_error_rate(&l, 0.08, 3000, &mut rng).logical_error;
         assert!(hi >= lo, "p=0.08 ({hi}) vs p=0.01 ({lo})");
+    }
+
+    #[test]
+    fn fast_path_counters_partition_the_trials() {
+        let l = Lattice::new(7);
+        let graph = DecodingGraph::new(&l, false);
+        let packed = PackedLattice::new(&l);
+        let mut scratch = McScratch::new(&packed, &graph);
+        let mut rng = Xorshift64Star::seed_from_u64(8);
+        let trials = 2000usize;
+        let _ = run_trials_packed(&packed, &graph, 0.002, trials, &mut rng, &mut scratch);
+        let (mc, dec) = scratch.take_stats();
+        assert_eq!(
+            mc.empty_trials + mc.zero_syndrome_trials + mc.decoded_trials,
+            trials as u64,
+            "{mc:?}"
+        );
+        assert!(mc.empty_trials > mc.decoded_trials, "p=0.002 is dominated by empty trials");
+        assert_eq!(dec.decodes, mc.decoded_trials, "decoder ran exactly on the slow-path trials");
+        // Second batch accumulates from zero after take_stats.
+        let _ = run_trials_packed(&packed, &graph, 0.5, 10, &mut rng, &mut scratch);
+        assert_eq!(
+            scratch.stats().empty_trials
+                + scratch.stats().zero_syndrome_trials
+                + scratch.stats().decoded_trials,
+            10
+        );
     }
 }

@@ -8,8 +8,11 @@
 
 use proptest::prelude::*;
 use qisim_surface::analytic::{cmos_budget, sfq_budget, CALIBRATION};
-use qisim_surface::decoder::{decode, DecodingGraph};
-use qisim_surface::Lattice;
+use qisim_surface::decoder::{
+    decode, decode_into, decode_reference, DecoderScratch, DecodingGraph,
+};
+use qisim_surface::montecarlo::{run_trials_packed, run_trials_reference, McScratch};
+use qisim_surface::{Lattice, PackedLattice};
 
 fn errors_strategy(d: usize) -> impl Strategy<Value = Vec<bool>> {
     proptest::collection::vec(proptest::bool::weighted(0.08), d * d)
@@ -36,6 +39,54 @@ proptest! {
         }
         let residual = lattice.z_syndrome(&errs);
         prop_assert!(residual.iter().all(|b| !b), "residual syndrome at d={d}");
+    }
+
+    /// The allocation-free frontier engine returns exactly the oracle's
+    /// correction for any syndrome, and both clear every syndrome they
+    /// are handed.
+    #[test]
+    fn arena_decoder_matches_oracle_and_clears_syndromes(
+        d in 3usize..10,
+        seed_errors in errors_strategy(9),
+    ) {
+        let lattice = Lattice::new(d);
+        let n = lattice.data_qubits();
+        let mut errs = vec![false; n];
+        for (i, e) in seed_errors.iter().enumerate() {
+            errs[i % n] ^= e;
+        }
+        let graph = DecodingGraph::new(&lattice, false);
+        let syndrome = lattice.z_syndrome(&errs);
+        let oracle = decode_reference(&graph, &syndrome);
+        let mut scratch = DecoderScratch::new(&graph);
+        let fast = decode_into(&graph, &PackedLattice::pack(&syndrome), &mut scratch).to_vec();
+        prop_assert_eq!(&fast, &oracle, "corrections diverge at d={}", d);
+        for q in fast {
+            errs[q] ^= true;
+        }
+        prop_assert!(lattice.z_syndrome(&errs).iter().all(|b| !b), "residual syndrome at d={d}");
+    }
+
+    /// The bit-packed Monte-Carlo kernel and the bool-vec reference see
+    /// the same RNG stream and must count the same failures, bit for bit.
+    #[test]
+    fn packed_kernel_failure_counts_match_reference(
+        d_idx in 0usize..3,
+        p_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        use qisim_quantum::rng::Xorshift64Star;
+        let d = [3usize, 5, 7][d_idx];
+        let p = [0.001f64, 0.01, 0.1][p_idx];
+        let lattice = Lattice::new(d);
+        let graph = DecodingGraph::new(&lattice, false);
+        let packed = PackedLattice::new(&lattice);
+        let mut scratch = McScratch::new(&packed, &graph);
+        let mut rng_a = Xorshift64Star::seed_from_u64(seed);
+        let mut rng_b = Xorshift64Star::seed_from_u64(seed);
+        let fast = run_trials_packed(&packed, &graph, p, 200, &mut rng_a, &mut scratch);
+        let oracle = run_trials_reference(&lattice, &graph, p, 200, &mut rng_b);
+        prop_assert_eq!(fast, oracle, "failure counts diverge at d={} p={}", d, p);
     }
 
     /// Syndromes are linear: syndrome(a ⊕ b) = syndrome(a) ⊕ syndrome(b).

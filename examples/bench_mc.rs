@@ -1,0 +1,159 @@
+//! Before/after benchmark of the bit-packed surface-code Monte-Carlo
+//! kernel (ISSUE 3): trials/sec of the legacy allocate-per-trial kernel
+//! vs. the allocation-free bit-packed engine, across code distances, at
+//! a supremacy-regime physical error rate — plus the two correctness
+//! gates the speedup is worthless without:
+//!
+//! * **bit-identical failure counts** between the packed kernel and the
+//!   bool-vec reference (same RNG stream, pinned seeds);
+//! * **thread-count-independent** parallel estimates.
+//!
+//! Run with `cargo run --release --example bench_mc` (writes
+//! `BENCH_mc.json`), or `-- --smoke` for the CI regression gate (tiny
+//! trial counts, correctness checks only, no artifact).
+
+use qisim::surface::decoder::DecodingGraph;
+use qisim::surface::montecarlo::{
+    logical_error_rate_par, run_trials_legacy, run_trials_packed, run_trials_reference, McScratch,
+};
+use qisim::surface::{Lattice, PackedLattice};
+use qisim_quantum::rng::Xorshift64Star;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The supremacy-regime physical error rate the sweep cares about.
+const P: f64 = 0.001;
+/// Pinned seed for every timing and equality run.
+const SEED: u64 = 0x51_C0DE;
+/// Distances benchmarked (d = 7 carries the acceptance gate).
+const DISTANCES: [usize; 5] = [3, 5, 7, 9, 11];
+
+struct Row {
+    d: usize,
+    before_tps: f64,
+    after_tps: f64,
+    speedup: f64,
+    failures_match: bool,
+}
+
+fn bench_distance(d: usize, legacy_trials: usize, packed_trials: usize) -> Row {
+    let lattice = Lattice::new(d);
+    let graph = DecodingGraph::new(&lattice, false);
+    let packed = PackedLattice::new(&lattice);
+    let mut scratch = McScratch::new(&packed, &graph);
+
+    // Warm the scratch and caches off the clock.
+    let mut rng = Xorshift64Star::seed_from_u64(SEED);
+    let _ = run_trials_packed(&packed, &graph, P, 1000, &mut rng, &mut scratch);
+
+    let before_tps = {
+        let mut rng = Xorshift64Star::seed_from_u64(SEED);
+        let started = Instant::now();
+        let failures = run_trials_legacy(&lattice, &graph, P, legacy_trials, &mut rng);
+        let tps = legacy_trials as f64 / started.elapsed().as_secs_f64();
+        std::hint::black_box(failures);
+        tps
+    };
+    let after_tps = {
+        let mut rng = Xorshift64Star::seed_from_u64(SEED);
+        let started = Instant::now();
+        let failures = run_trials_packed(&packed, &graph, P, packed_trials, &mut rng, &mut scratch);
+        let tps = packed_trials as f64 / started.elapsed().as_secs_f64();
+        std::hint::black_box(failures);
+        tps
+    };
+
+    // Bit-equality gate: packed vs. bool-vec reference on the same
+    // stream, at the bench p and a denser one that exercises the
+    // decoder path heavily.
+    let failures_match = [P, 0.02].iter().all(|&p| {
+        let n_eq = legacy_trials.min(4000);
+        let fast = {
+            let mut rng = Xorshift64Star::seed_from_u64(SEED ^ d as u64);
+            run_trials_packed(&packed, &graph, p, n_eq, &mut rng, &mut scratch)
+        };
+        let oracle = {
+            let mut rng = Xorshift64Star::seed_from_u64(SEED ^ d as u64);
+            run_trials_reference(&lattice, &graph, p, n_eq, &mut rng)
+        };
+        fast == oracle
+    });
+
+    Row { d, before_tps, after_tps, speedup: after_tps / before_tps, failures_match }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (legacy_trials, packed_trials) = if smoke { (400, 4000) } else { (20_000, 400_000) };
+
+    // Single-thread comparison, per the acceptance criteria.
+    qisim::par::set_threads(Some(1));
+    println!(
+        "bench_mc: packed vs legacy Monte-Carlo kernel, p = {P}, single thread{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let rows: Vec<Row> =
+        DISTANCES.iter().map(|&d| bench_distance(d, legacy_trials, packed_trials)).collect();
+    for r in &rows {
+        println!(
+            "  d = {:>2}: before {:>11.0} trials/s | after {:>12.0} trials/s | {:>6.1}x | \
+             failures match reference: {}",
+            r.d, r.before_tps, r.after_tps, r.speedup, r.failures_match
+        );
+    }
+
+    // Thread-count determinism of the parallel estimator (exercises the
+    // remainder chunk: 5000 = 19·256 + 136).
+    let lattice = Lattice::new(7);
+    let reference = logical_error_rate_par(&lattice, 0.01, 5000, SEED);
+    let identical = [1usize, 2, 4].iter().all(|&t| {
+        qisim::par::set_threads(Some(t));
+        logical_error_rate_par(&lattice, 0.01, 5000, SEED) == reference
+    });
+    qisim::par::set_threads(None);
+
+    let all_match = rows.iter().all(|r| r.failures_match);
+    let d7 = rows.iter().find(|r| r.d == 7).expect("d = 7 row");
+    println!(
+        "  results_identical_across_thread_counts: {identical}; \
+         d=7 speedup {:.1}x; all failure counts match: {all_match}",
+        d7.speedup
+    );
+    assert!(identical, "parallel estimates diverged across thread counts");
+    assert!(all_match, "packed kernel diverged from the bool-vec reference");
+    if smoke {
+        // The CI gate checks correctness, not machine-dependent speed.
+        println!("bench_mc smoke gate passed.");
+        return;
+    }
+    assert!(d7.speedup >= 3.0, "acceptance: need >= 3x at d = 7, p = {P}, got {:.2}x", d7.speedup);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": \"surface-code Monte-Carlo kernel, single thread: legacy \
+         allocate-per-trial bool-vec kernel ({legacy_trials} trials) vs bit-packed \
+         allocation-free kernel ({packed_trials} trials)\","
+    );
+    let _ = writeln!(json, "  \"p\": {P},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    json.push_str("  \"distances\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"d\": {}, \"before_trials_per_sec\": {:.0}, \
+             \"after_trials_per_sec\": {:.0}, \"speedup\": {:.2}, \
+             \"failure_counts_match_reference\": {}}}{comma}",
+            r.d, r.before_tps, r.after_tps, r.speedup, r.failures_match
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"speedup_d7\": {:.2},", d7.speedup);
+    let _ = writeln!(json, "  \"results_identical_across_thread_counts\": {identical},");
+    let _ = writeln!(json, "  \"failure_counts_match_legacy_path\": {all_match}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_mc.json", &json).expect("write BENCH_mc.json");
+    println!("wrote BENCH_mc.json ({} bytes)", json.len());
+}

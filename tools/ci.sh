@@ -9,32 +9,40 @@
 #   2. the same test suite pinned to QISIM_THREADS=2: every parallel
 #      engine must be bit-identical at any thread count
 #   3. rustfmt check (config in rustfmt.toml)
-#   4. rustdoc: the whole workspace must document cleanly (warnings are
+#   4. clippy across the whole workspace, warnings are errors
+#   5. rustdoc: the whole workspace must document cleanly (warnings are
 #      errors; qisim-par and qisim-obs additionally warn(missing_docs))
-#   5. kill-switch builds: --no-default-features strips qisim-obs
+#   6. kill-switch builds: --no-default-features strips qisim-obs
 #      instrumentation AND the qisim-par thread pool from the entire
 #      workspace and must still pass; the serial-with-obs combination
 #      (--features obs) re-runs the determinism suite to pin the
 #      parallel build's results to the serial path
-#   6. observability smoke run: the observe example must emit a valid
+#   7. observability smoke run: the observe example must emit a valid
 #      BENCH_obs.json with span timings and per-stage watt attribution
+#   8. Monte-Carlo bench smoke run: bench_mc --smoke checks the packed
+#      kernel against the bool-vec reference bit for bit and the
+#      parallel estimator across thread counts (no timing gate, no
+#      BENCH_mc.json rewrite — the full run is `--example bench_mc`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/6] release build + tests =="
+echo "== [1/8] release build + tests =="
 cargo build --release
 cargo test -q --release
 
-echo "== [2/6] tests at QISIM_THREADS=2 =="
+echo "== [2/8] tests at QISIM_THREADS=2 =="
 QISIM_THREADS=2 cargo test -q --release
 
-echo "== [3/6] rustfmt =="
+echo "== [3/8] rustfmt =="
 cargo fmt --check
 
-echo "== [4/6] rustdoc (deny warnings) =="
+echo "== [4/8] clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "== [5/8] rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "== [5/6] kill switches (--no-default-features) =="
+echo "== [6/8] kill switches (--no-default-features) =="
 cargo build --release --no-default-features
 cargo test -q --release --no-default-features
 # Serial pool + live obs: the exact build the determinism docs promise
@@ -42,7 +50,7 @@ cargo test -q --release --no-default-features
 cargo test -q --release -p qisim --no-default-features --features obs \
     --test integration_par
 
-echo "== [6/6] observe smoke run =="
+echo "== [7/8] observe smoke run =="
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 (cd "$out" && cargo run --release --quiet \
@@ -54,5 +62,8 @@ grep -q "p99_ns" "$out/BENCH_obs.json"
 grep -q "power.stage.4K.device_dynamic_w" "$out/BENCH_obs.json"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/BENCH_obs.json" \
     2>/dev/null || echo "note: python3 unavailable, skipped strict JSON parse"
+
+echo "== [8/8] Monte-Carlo bench smoke run =="
+cargo run --release --quiet --example bench_mc -- --smoke
 
 echo "CI gate passed."
