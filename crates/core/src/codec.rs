@@ -1,0 +1,502 @@
+//! A zero-dependency `key = value` text codec for the pipeline's
+//! boundary artifacts: [`DesignSpec`] inputs and [`Scalability`]
+//! verdicts round-trip losslessly through plain text.
+//!
+//! The format is deliberately boring — one artifact per document, a
+//! versioned header line, `#` comments, one `key = value` pair per line —
+//! so spec files can be written by hand, diffed in review, and replayed
+//! by a batch search without any serde machinery (the workspace builds
+//! fully offline). Floats are rendered with Rust's shortest round-trip
+//! `Display`, so `parse(encode(x)) == x` bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use qisim::codec;
+//! use qisim::spec::{DesignSpec, Preset};
+//!
+//! let spec = DesignSpec::new(Preset::CmosBaseline).drive_bits(6).name("lab-7");
+//! let text = codec::encode_spec(&spec);
+//! assert_eq!(codec::parse_spec(&text).unwrap(), spec);
+//! ```
+
+use crate::error::{DecodeError, QisimError};
+use crate::scalability::Scalability;
+use crate::spec::{DesignSpec, Preset};
+use qisim_hal::fridge::Stage;
+use qisim_microarch::sfq::{BitgenKind, JpmSharing};
+use qisim_microarch::DecisionKind;
+use std::fmt::Write as _;
+
+/// Header line of a serialized [`DesignSpec`].
+pub const SPEC_HEADER: &str = "qisim spec v1";
+/// Header line of a serialized [`Scalability`] report.
+pub const SCALABILITY_HEADER: &str = "qisim scalability v1";
+
+/// Serializes a [`DesignSpec`] (only the overrides that are actually
+/// set, so the document reads like the builder chain that made it).
+pub fn encode_spec(spec: &DesignSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{SPEC_HEADER}");
+    let _ = writeln!(out, "preset = {}", spec.preset.id());
+    if let Some(name) = &spec.name {
+        let _ = writeln!(out, "name = {name}");
+    }
+    if let Some(v) = spec.drive_fdm {
+        let _ = writeln!(out, "drive_fdm = {v}");
+    }
+    if let Some(v) = spec.drive_bits {
+        let _ = writeln!(out, "drive_bits = {v}");
+    }
+    if let Some(v) = spec.decision {
+        let _ = writeln!(out, "decision = {}", v.label());
+    }
+    if let Some(v) = spec.masked_isa {
+        let _ = writeln!(out, "masked_isa = {v}");
+    }
+    if let Some(v) = spec.readout_ns {
+        let _ = writeln!(out, "readout_ns = {v}");
+    }
+    if let Some(v) = spec.analog_scale {
+        let _ = writeln!(out, "analog_scale = {v}");
+    }
+    if let Some(v) = spec.bs {
+        let _ = writeln!(out, "bs = {v}");
+    }
+    if let Some(v) = spec.bitgen {
+        let _ = writeln!(out, "bitgen = {}", v.label());
+    }
+    if let Some(v) = spec.sharing {
+        let _ = writeln!(out, "sharing = {}", v.label());
+    }
+    if let Some(v) = spec.fast_driving {
+        let _ = writeln!(out, "fast_driving = {v}");
+    }
+    for (i, &stage) in Stage::ALL.iter().enumerate() {
+        if let Some(w) = spec.budgets_w[i] {
+            let _ = writeln!(out, "budget.{} = {w}", stage.label());
+        }
+    }
+    out
+}
+
+/// Parses the output of [`encode_spec`].
+///
+/// # Errors
+///
+/// Returns [`QisimError::Decode`] with a 1-based line number for a
+/// missing/wrong header, an unknown or duplicate key, or an unparsable
+/// value. Parsing does **not** validate knob ranges — that stays with
+/// [`DesignSpec::build`], so a well-formed file carrying a bad knob
+/// still round-trips and diagnoses at build time.
+pub fn parse_spec(text: &str) -> Result<DesignSpec, QisimError> {
+    let mut lines = content_lines(text, SPEC_HEADER)?;
+    let Some((line_no, key, value)) = lines.next().transpose()? else {
+        return Err(DecodeError::new(0, "missing key `preset`").into());
+    };
+    if key != "preset" {
+        return Err(DecodeError::new(line_no, "first key must be `preset`").into());
+    }
+    let preset = Preset::from_id(value)
+        .ok_or_else(|| DecodeError::new(line_no, format!("unknown preset `{value}`")))?;
+    let mut spec = DesignSpec::new(preset);
+    for item in lines {
+        let (line_no, key, value) = item?;
+        let dup = |set: bool| {
+            if set {
+                Err(DecodeError::new(line_no, format!("duplicate key `{key}`")))
+            } else {
+                Ok(())
+            }
+        };
+        match key {
+            "preset" => return Err(DecodeError::new(line_no, "duplicate key `preset`").into()),
+            "name" => {
+                dup(spec.name.is_some())?;
+                spec.name = Some(value.to_string());
+            }
+            "drive_fdm" => {
+                dup(spec.drive_fdm.is_some())?;
+                spec.drive_fdm = Some(parse_num(line_no, key, value)?);
+            }
+            "drive_bits" => {
+                dup(spec.drive_bits.is_some())?;
+                spec.drive_bits = Some(parse_num(line_no, key, value)?);
+            }
+            "decision" => {
+                dup(spec.decision.is_some())?;
+                spec.decision = Some(parse_label(line_no, key, value, DecisionKind::from_label)?);
+            }
+            "masked_isa" => {
+                dup(spec.masked_isa.is_some())?;
+                spec.masked_isa = Some(parse_num(line_no, key, value)?);
+            }
+            "readout_ns" => {
+                dup(spec.readout_ns.is_some())?;
+                spec.readout_ns = Some(parse_num(line_no, key, value)?);
+            }
+            "analog_scale" => {
+                dup(spec.analog_scale.is_some())?;
+                spec.analog_scale = Some(parse_num(line_no, key, value)?);
+            }
+            "bs" => {
+                dup(spec.bs.is_some())?;
+                spec.bs = Some(parse_num(line_no, key, value)?);
+            }
+            "bitgen" => {
+                dup(spec.bitgen.is_some())?;
+                spec.bitgen = Some(parse_label(line_no, key, value, BitgenKind::from_label)?);
+            }
+            "sharing" => {
+                dup(spec.sharing.is_some())?;
+                spec.sharing = Some(parse_label(line_no, key, value, JpmSharing::from_label)?);
+            }
+            "fast_driving" => {
+                dup(spec.fast_driving.is_some())?;
+                spec.fast_driving = Some(parse_num(line_no, key, value)?);
+            }
+            _ => {
+                let Some(label) = key.strip_prefix("budget.") else {
+                    return Err(DecodeError::new(line_no, format!("unknown key `{key}`")).into());
+                };
+                let stage = Stage::from_label(label).ok_or_else(|| {
+                    DecodeError::new(line_no, format!("unknown fridge stage `{label}`"))
+                })?;
+                let idx = Stage::ALL.iter().position(|s| *s == stage).unwrap_or(0);
+                dup(spec.budgets_w[idx].is_some())?;
+                spec.budgets_w[idx] = Some(parse_num(line_no, key, value)?);
+            }
+        }
+    }
+    Ok(spec)
+}
+
+/// Serializes a [`Scalability`] verdict, per-stage watt attribution
+/// included.
+pub fn encode_scalability(report: &Scalability) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{SCALABILITY_HEADER}");
+    let _ = writeln!(out, "design = {}", report.design);
+    let _ = writeln!(out, "power_limited_qubits = {}", report.power_limited_qubits);
+    match report.binding_stage {
+        Some(stage) => {
+            let _ = writeln!(out, "binding_stage = {}", stage.label());
+        }
+        None => {
+            let _ = writeln!(out, "binding_stage = -");
+        }
+    }
+    let _ = writeln!(out, "logical_error = {}", report.logical_error);
+    let _ = writeln!(out, "target_error = {}", report.target_error);
+    let _ = writeln!(out, "error_ok = {}", report.error_ok);
+    let _ = writeln!(out, "esm_cycle_ns = {}", report.esm_cycle_ns);
+    let _ = writeln!(out, "stages = {}", report.stages.len());
+    for (i, s) in report.stages.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "stage.{i} = {} {} {} {} {} {}",
+            s.stage.label(),
+            s.device_static_w,
+            s.device_dynamic_w,
+            s.wire_w,
+            s.instr_link_w,
+            s.budget_w,
+        );
+    }
+    out
+}
+
+/// Parses the output of [`encode_scalability`].
+///
+/// # Errors
+///
+/// Returns [`QisimError::Decode`] with a 1-based line number for a bad
+/// header, missing or duplicate keys, unparsable values, or a stage
+/// count that does not match the `stage.<i>` rows.
+pub fn parse_scalability(text: &str) -> Result<Scalability, QisimError> {
+    let mut design: Option<String> = None;
+    let mut power_limited_qubits: Option<u64> = None;
+    let mut binding_stage: Option<Option<Stage>> = None;
+    let mut logical_error: Option<f64> = None;
+    let mut target_error: Option<f64> = None;
+    let mut error_ok: Option<bool> = None;
+    let mut esm_cycle_ns: Option<f64> = None;
+    let mut n_stages: Option<usize> = None;
+    let mut stages: Vec<qisim_power::StagePower> = Vec::new();
+    for item in content_lines(text, SCALABILITY_HEADER)? {
+        let (line_no, key, value) = item?;
+        let dup = |set: bool| {
+            if set {
+                Err(DecodeError::new(line_no, format!("duplicate key `{key}`")))
+            } else {
+                Ok(())
+            }
+        };
+        match key {
+            "design" => {
+                dup(design.is_some())?;
+                design = Some(value.to_string());
+            }
+            "power_limited_qubits" => {
+                dup(power_limited_qubits.is_some())?;
+                power_limited_qubits = Some(parse_num(line_no, key, value)?);
+            }
+            "binding_stage" => {
+                dup(binding_stage.is_some())?;
+                binding_stage = Some(if value == "-" {
+                    None
+                } else {
+                    Some(Stage::from_label(value).ok_or_else(|| {
+                        DecodeError::new(line_no, format!("unknown fridge stage `{value}`"))
+                    })?)
+                });
+            }
+            "logical_error" => {
+                dup(logical_error.is_some())?;
+                logical_error = Some(parse_num(line_no, key, value)?);
+            }
+            "target_error" => {
+                dup(target_error.is_some())?;
+                target_error = Some(parse_num(line_no, key, value)?);
+            }
+            "error_ok" => {
+                dup(error_ok.is_some())?;
+                error_ok = Some(parse_num(line_no, key, value)?);
+            }
+            "esm_cycle_ns" => {
+                dup(esm_cycle_ns.is_some())?;
+                esm_cycle_ns = Some(parse_num(line_no, key, value)?);
+            }
+            "stages" => {
+                dup(n_stages.is_some())?;
+                n_stages = Some(parse_num(line_no, key, value)?);
+            }
+            _ => {
+                let Some(idx) = key.strip_prefix("stage.") else {
+                    return Err(DecodeError::new(line_no, format!("unknown key `{key}`")).into());
+                };
+                let idx: usize = parse_num(line_no, key, idx)?;
+                if idx != stages.len() {
+                    return Err(DecodeError::new(
+                        line_no,
+                        format!("stage rows must be in order; expected stage.{}", stages.len()),
+                    )
+                    .into());
+                }
+                stages.push(parse_stage_row(line_no, value)?);
+            }
+        }
+    }
+    fn required<T>(field: Option<T>, key: &str) -> Result<T, DecodeError> {
+        field.ok_or_else(|| DecodeError::new(0, format!("missing key `{key}`")))
+    }
+    let n_stages = required(n_stages, "stages")?;
+    if stages.len() != n_stages {
+        return Err(DecodeError::new(
+            0,
+            format!("stages = {n_stages} but {} stage rows present", stages.len()),
+        )
+        .into());
+    }
+    Ok(Scalability {
+        design: required(design, "design")?,
+        power_limited_qubits: required(power_limited_qubits, "power_limited_qubits")?,
+        binding_stage: required(binding_stage, "binding_stage")?,
+        stages,
+        logical_error: required(logical_error, "logical_error")?,
+        target_error: required(target_error, "target_error")?,
+        error_ok: required(error_ok, "error_ok")?,
+        esm_cycle_ns: required(esm_cycle_ns, "esm_cycle_ns")?,
+    })
+}
+
+/// One `stage.<i>` row: `<label> <static> <dynamic> <wire> <link>
+/// <budget>`.
+fn parse_stage_row(line_no: usize, value: &str) -> Result<qisim_power::StagePower, QisimError> {
+    let mut fields = value.split_whitespace();
+    let Some(label) = fields.next() else {
+        return Err(DecodeError::new(line_no, "empty stage row").into());
+    };
+    let stage = Stage::from_label(label)
+        .ok_or_else(|| DecodeError::new(line_no, format!("unknown fridge stage `{label}`")))?;
+    let mut watts = |name: &str| -> Result<f64, QisimError> {
+        let Some(field) = fields.next() else {
+            return Err(DecodeError::new(line_no, format!("stage row is missing {name}")).into());
+        };
+        Ok(parse_num(line_no, name, field)?)
+    };
+    let row = qisim_power::StagePower {
+        stage,
+        device_static_w: watts("device_static_w")?,
+        device_dynamic_w: watts("device_dynamic_w")?,
+        wire_w: watts("wire_w")?,
+        instr_link_w: watts("instr_link_w")?,
+        budget_w: watts("budget_w")?,
+    };
+    if fields.next().is_some() {
+        return Err(DecodeError::new(line_no, "trailing fields in stage row").into());
+    }
+    Ok(row)
+}
+
+/// Checks the header, then yields `(line_no, key, value)` for every
+/// non-empty, non-comment line.
+fn content_lines<'a>(
+    text: &'a str,
+    header: &'static str,
+) -> Result<impl Iterator<Item = Result<(usize, &'a str, &'a str), DecodeError>>, QisimError> {
+    let mut lines = text.lines().enumerate().filter(|(_, line)| {
+        let t = line.trim();
+        !t.is_empty() && !t.starts_with('#')
+    });
+    match lines.next() {
+        Some((_, line)) if line.trim() == header => {}
+        Some((i, line)) => {
+            return Err(DecodeError::new(
+                i + 1,
+                format!("expected header `{header}`, found `{}`", line.trim()),
+            )
+            .into());
+        }
+        None => return Err(DecodeError::new(0, format!("empty document (no `{header}`)")).into()),
+    }
+    Ok(lines.map(|(i, line)| {
+        let line_no = i + 1;
+        match line.split_once('=') {
+            Some((key, value)) => Ok((line_no, key.trim(), value.trim())),
+            None => Err(DecodeError::new(
+                line_no,
+                format!("expected `key = value`, found `{}`", line.trim()),
+            )),
+        }
+    }))
+}
+
+/// Parses any `FromStr` value with a line-anchored diagnostic.
+fn parse_num<T: std::str::FromStr>(
+    line_no: usize,
+    key: &str,
+    value: &str,
+) -> Result<T, DecodeError> {
+    value
+        .parse()
+        .map_err(|_| DecodeError::new(line_no, format!("cannot parse `{value}` for `{key}`")))
+}
+
+/// Parses a labelled enum (`from_label`-style) with a line-anchored
+/// diagnostic.
+fn parse_label<T>(
+    line_no: usize,
+    key: &str,
+    value: &str,
+    from_label: impl Fn(&str) -> Option<T>,
+) -> Result<T, DecodeError> {
+    from_label(value).ok_or_else(|| DecodeError::new(line_no, format!("unknown {key} `{value}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::QisimError;
+
+    #[test]
+    fn spec_documents_only_list_set_overrides() {
+        let text = encode_spec(&DesignSpec::new(Preset::RsfqBaseline));
+        assert_eq!(text, "qisim spec v1\npreset = rsfq_baseline\n");
+        let text = encode_spec(&DesignSpec::new(Preset::CmosBaseline).drive_bits(6));
+        assert!(text.contains("drive_bits = 6"), "{text}");
+        assert!(!text.contains("drive_fdm"), "{text}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let spec = parse_spec(
+            "# a hand-written spec\n\nqisim spec v1\n# the preset\npreset = cmos_baseline\n\ndrive_bits = 6\n",
+        )
+        .unwrap();
+        assert_eq!(spec, DesignSpec::new(Preset::CmosBaseline).drive_bits(6));
+    }
+
+    #[test]
+    fn parse_failures_carry_line_numbers() {
+        let err = |text: &str| match parse_spec(text) {
+            Err(QisimError::Decode(e)) => e,
+            other => panic!("expected a decode error, got {other:?}"),
+        };
+        assert_eq!(err("not a spec\n").line, 1);
+        let e = err("qisim spec v1\npreset = cmos_baseline\nfrobnicate = 1\n");
+        assert_eq!(e.line, 3);
+        assert!(e.reason.contains("frobnicate"), "{e}");
+        let e = err("qisim spec v1\npreset = cmos_baseline\ndrive_bits = banana\n");
+        assert_eq!(e.line, 3);
+        let e = err("qisim spec v1\npreset = cmos_baseline\ndrive_bits = 6\ndrive_bits = 7\n");
+        assert!(e.reason.contains("duplicate"), "{e}");
+        assert_eq!(err("qisim spec v1\npreset = warp_drive\n").line, 2);
+        assert_eq!(err("").line, 0);
+    }
+
+    #[test]
+    fn specs_keep_invalid_knobs_for_build_to_diagnose() {
+        // The codec ships the file; validation stays with build().
+        let spec = parse_spec("qisim spec v1\npreset = cmos_baseline\ndrive_fdm = 0\n").unwrap();
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn scalability_round_trips_non_finite_free() {
+        let report = Scalability {
+            design: "4K CMOS baseline".to_string(),
+            power_limited_qubits: 1034,
+            binding_stage: Some(Stage::K4),
+            stages: vec![qisim_power::StagePower {
+                stage: Stage::K4,
+                device_static_w: 0.1234567890123,
+                device_dynamic_w: 2e-3,
+                wire_w: 0.0,
+                instr_link_w: 1.5e-7,
+                budget_w: 1.5,
+            }],
+            logical_error: 3.1e-12,
+            target_error: 1.11e-11,
+            error_ok: true,
+            esm_cycle_ns: 1437.5,
+        };
+        let text = encode_scalability(&report);
+        assert_eq!(parse_scalability(&text).unwrap(), report);
+        // A report with no binding stage uses the `-` sentinel.
+        let unbound = Scalability { binding_stage: None, ..report };
+        let text = encode_scalability(&unbound);
+        assert!(text.contains("binding_stage = -"), "{text}");
+        assert_eq!(parse_scalability(&text).unwrap(), unbound);
+    }
+
+    #[test]
+    fn scalability_stage_rows_are_checked() {
+        let report = Scalability {
+            design: "x".to_string(),
+            power_limited_qubits: 1,
+            binding_stage: None,
+            stages: Vec::new(),
+            logical_error: 0.0,
+            target_error: 0.0,
+            error_ok: true,
+            esm_cycle_ns: 1.0,
+        };
+        let good = encode_scalability(&report);
+        assert_eq!(parse_scalability(&good).unwrap(), report);
+        // Claiming a stage that is not present fails the count check.
+        let lying = good.replace("stages = 0", "stages = 2");
+        assert!(parse_scalability(&lying).is_err());
+        // A truncated stage row is a line-anchored error.
+        let text = "qisim scalability v1\ndesign = x\npower_limited_qubits = 1\n\
+                    binding_stage = -\nlogical_error = 0\ntarget_error = 0\nerror_ok = true\n\
+                    esm_cycle_ns = 1\nstages = 1\nstage.0 = 4K 1 2 3\n";
+        match parse_scalability(text) {
+            Err(QisimError::Decode(e)) => {
+                assert_eq!(e.line, 10);
+                assert!(e.reason.contains("missing"), "{e}");
+            }
+            other => panic!("expected a decode error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! The fallible, staged analysis engine: the Fig. 6 pipeline as an
+//! explicit [`AnalysisPlan`] with typed errors and named per-stage
+//! artifacts.
+//!
+//! The plan names the five artifacts of a scalability verdict —
+//! **inventory** (the component/wire netlist) → **schedule** (the ESM
+//! timing profile) → **stage powers** (the bisection's per-stage watt
+//! accounting) → **logical error** (the `d = 23` error-model landing) →
+//! **verdict** (the assembled [`Scalability`]) — and lets callers run
+//! them one at a time, inspect intermediate artifacts, and reuse the
+//! `qisim-power` memo cache between stages. Every stage is wrapped in an
+//! `engine.stage.*` observability span.
+//!
+//! [`try_analyze`] / [`try_analyze_many`] / [`try_sweep`] are the
+//! batch-friendly entry points: malformed design points come back as
+//! [`QisimError`] diagnostics instead of aborting the process, which is
+//! what a design-space-search service needs. The historical infallible
+//! APIs ([`crate::scalability::analyze`] and friends) are thin wrappers
+//! over these.
+//!
+//! # Examples
+//!
+//! Run the pipeline stage by stage and inspect the artifacts:
+//!
+//! ```
+//! use qisim::engine::{AnalysisPlan, PlanStage};
+//! use qisim::QciDesign;
+//! use qisim_surface::target::Target;
+//!
+//! # fn main() -> Result<(), qisim::error::QisimError> {
+//! let mut plan = AnalysisPlan::new(&QciDesign::cmos_baseline(), &Target::near_term())?;
+//! assert_eq!(plan.next_stage(), Some(PlanStage::Inventory));
+//! plan.run_next()?; // inventory
+//! assert!(plan.inventory().is_some());
+//! let verdict = plan.run()?; // remaining stages
+//! assert!(verdict.power_limited_qubits > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::config::QciDesign;
+use crate::error::{QisimError, TargetError};
+use crate::scalability::{Scalability, SweepPoint};
+use crate::spec::{validate_design, DesignSpec};
+use qisim_hal::fridge::{Fridge, Stage};
+use qisim_hal::wire::InstructionLink;
+use qisim_microarch::cryo_cmos::EsmProfile;
+use qisim_microarch::QciArch;
+use qisim_obs::{counter, gauge, span};
+use qisim_power::{MemoKey, PowerError, StagePower};
+use qisim_surface::analytic::CALIBRATION;
+use qisim_surface::target::{Target, CODE_DISTANCE};
+
+/// One named stage of the Fig. 6 analysis pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanStage {
+    /// Build the component/wire inventory (`hal` + `microarch`).
+    Inventory,
+    /// Derive the steady-state ESM schedule (`cyclesim`'s steady-state
+    /// profile).
+    Schedule,
+    /// Bisect the power-limited scale and account per-stage watts
+    /// (`power`).
+    Power,
+    /// Evaluate the logical error rate at `d = 23` (`errormodel` +
+    /// `surface`).
+    LogicalError,
+    /// Assemble the [`Scalability`] verdict.
+    Verdict,
+}
+
+impl PlanStage {
+    /// All stages, in execution order.
+    pub const ALL: [PlanStage; 5] = [
+        PlanStage::Inventory,
+        PlanStage::Schedule,
+        PlanStage::Power,
+        PlanStage::LogicalError,
+        PlanStage::Verdict,
+    ];
+
+    /// Stable lower-case label (observability span suffix).
+    pub fn label(self) -> &'static str {
+        match self {
+            PlanStage::Inventory => "inventory",
+            PlanStage::Schedule => "schedule",
+            PlanStage::Power => "power",
+            PlanStage::LogicalError => "logical_error",
+            PlanStage::Verdict => "verdict",
+        }
+    }
+}
+
+/// The schedule artifact: the steady-state ESM timing profile the power
+/// duty cycles and the decoherence error model both consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EsmSchedule {
+    /// Per-phase timing profile.
+    pub profile: EsmProfile,
+    /// Total ESM round time in ns.
+    pub cycle_ns: f64,
+}
+
+/// The stage-powers artifact: the power bisection's landing point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerArtifact {
+    /// Maximum qubit count the refrigerator budgets allow.
+    pub power_limited_qubits: u64,
+    /// The stage that binds at that scale.
+    pub binding_stage: Option<Stage>,
+    /// Per-stage watt accounting at the power-limited scale.
+    pub stages: Vec<StagePower>,
+}
+
+/// The logical-error artifact: the error model evaluated against the
+/// roadmap target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogicalArtifact {
+    /// Logical error per round at `d = 23`.
+    pub logical_error: f64,
+    /// The target's required logical error.
+    pub target_error: f64,
+    /// Whether the target is met.
+    pub error_ok: bool,
+}
+
+/// A staged run of the scalability pipeline for one design point.
+///
+/// Construction validates the design and target up front (typed
+/// [`QisimError`] diagnostics); afterwards each [`AnalysisPlan::run_next`]
+/// call executes exactly one stage and stores its artifact.
+#[derive(Debug, Clone)]
+pub struct AnalysisPlan {
+    design: QciDesign,
+    target: Target,
+    fridge: Fridge,
+    link: InstructionLink,
+    inventory: Option<QciArch>,
+    schedule: Option<EsmSchedule>,
+    power: Option<PowerArtifact>,
+    logical: Option<LogicalArtifact>,
+    verdict: Option<Scalability>,
+}
+
+impl AnalysisPlan {
+    /// Plans an analysis on the standard refrigerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QisimError::Config`] for an invalid design knob or
+    /// [`QisimError::Target`] for a malformed target.
+    pub fn new(design: &QciDesign, target: &Target) -> Result<Self, QisimError> {
+        AnalysisPlan::on(design, target, &Fridge::standard())
+    }
+
+    /// Plans an analysis on a custom refrigerator (§7.1 what-ifs).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalysisPlan::new`].
+    pub fn on(design: &QciDesign, target: &Target, fridge: &Fridge) -> Result<Self, QisimError> {
+        validate_design(design)?;
+        validate_target(target)?;
+        Ok(AnalysisPlan {
+            design: *design,
+            target: *target,
+            fridge: fridge.clone(),
+            link: InstructionLink::standard(),
+            inventory: None,
+            schedule: None,
+            power: None,
+            logical: None,
+            verdict: None,
+        })
+    }
+
+    /// The design under analysis.
+    pub fn design(&self) -> &QciDesign {
+        &self.design
+    }
+
+    /// The target analyzed against.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// The next stage [`AnalysisPlan::run_next`] would execute (`None`
+    /// when the plan is complete).
+    pub fn next_stage(&self) -> Option<PlanStage> {
+        if self.inventory.is_none() {
+            Some(PlanStage::Inventory)
+        } else if self.schedule.is_none() {
+            Some(PlanStage::Schedule)
+        } else if self.power.is_none() {
+            Some(PlanStage::Power)
+        } else if self.logical.is_none() {
+            Some(PlanStage::LogicalError)
+        } else if self.verdict.is_none() {
+            Some(PlanStage::Verdict)
+        } else {
+            None
+        }
+    }
+
+    /// Executes the next pending stage and returns which one ran
+    /// (`Ok(None)` when the plan was already complete). Each stage
+    /// records an `engine.stage.<label>` observability span.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stage's typed failure; the plan stays resumable
+    /// (already-computed artifacts are kept).
+    pub fn run_next(&mut self) -> Result<Option<PlanStage>, QisimError> {
+        let Some(stage) = self.next_stage() else {
+            return Ok(None);
+        };
+        counter!("engine.plan.stages");
+        match stage {
+            PlanStage::Inventory => {
+                span!("engine.stage.inventory");
+                self.inventory = Some(self.design.arch());
+            }
+            PlanStage::Schedule => {
+                span!("engine.stage.schedule");
+                let profile = self.design.esm_profile();
+                self.schedule = Some(EsmSchedule { profile, cycle_ns: profile.cycle_ns() });
+            }
+            PlanStage::Power => {
+                span!("engine.stage.power");
+                let design = self.design;
+                let arch = self.inventory.get_or_insert_with(|| design.arch());
+                let (n, binding) =
+                    qisim_power::try_max_qubits_with_link(arch, &self.fridge, &self.link)?;
+                // The bisection's landing probe is in the memo cache;
+                // replay it for the per-stage attribution.
+                let key = MemoKey::new(arch, &self.fridge, &self.link);
+                let stages =
+                    qisim_power::try_evaluate_memo(key, arch, &self.fridge, n.max(1), &self.link)?
+                        .stages;
+                self.power =
+                    Some(PowerArtifact { power_limited_qubits: n, binding_stage: binding, stages });
+            }
+            PlanStage::LogicalError => {
+                span!("engine.stage.logical_error");
+                let logical_error =
+                    self.design.physical_budget().logical_error(CODE_DISTANCE, &CALIBRATION);
+                let target_error = self.target.logical_error_target();
+                self.logical = Some(LogicalArtifact {
+                    logical_error,
+                    target_error,
+                    error_ok: logical_error <= target_error,
+                });
+            }
+            PlanStage::Verdict => {
+                span!("engine.stage.verdict");
+                if let (Some(power), Some(logical), Some(schedule)) =
+                    (&self.power, &self.logical, &self.schedule)
+                {
+                    gauge!("scalability.power_limited_qubits", power.power_limited_qubits as f64);
+                    gauge!("scalability.logical_error", logical.logical_error);
+                    self.verdict = Some(Scalability {
+                        design: self.design.name(),
+                        power_limited_qubits: power.power_limited_qubits,
+                        binding_stage: power.binding_stage,
+                        stages: power.stages.clone(),
+                        logical_error: logical.logical_error,
+                        target_error: logical.target_error,
+                        error_ok: logical.error_ok,
+                        esm_cycle_ns: schedule.cycle_ns,
+                    });
+                } else {
+                    // next_stage() only yields Verdict once every
+                    // upstream artifact exists.
+                    debug_assert!(false, "verdict scheduled before its artifacts");
+                }
+            }
+        }
+        Ok(Some(stage))
+    }
+
+    /// Runs every remaining stage and returns the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first stage failure.
+    pub fn run(&mut self) -> Result<Scalability, QisimError> {
+        loop {
+            if let Some(v) = &self.verdict {
+                return Ok(v.clone());
+            }
+            self.run_next()?;
+        }
+    }
+
+    /// The inventory artifact, if that stage has run.
+    pub fn inventory(&self) -> Option<&QciArch> {
+        self.inventory.as_ref()
+    }
+
+    /// The schedule artifact, if that stage has run.
+    pub fn schedule(&self) -> Option<&EsmSchedule> {
+        self.schedule.as_ref()
+    }
+
+    /// The stage-powers artifact, if that stage has run.
+    pub fn stage_powers(&self) -> Option<&PowerArtifact> {
+        self.power.as_ref()
+    }
+
+    /// The logical-error artifact, if that stage has run.
+    pub fn logical(&self) -> Option<&LogicalArtifact> {
+        self.logical.as_ref()
+    }
+
+    /// The verdict, if the plan is complete.
+    pub fn verdict(&self) -> Option<&Scalability> {
+        self.verdict.as_ref()
+    }
+}
+
+/// Validates a [`Target`]'s fields (it is plain-old-data, so the engine
+/// checks it on entry).
+///
+/// # Errors
+///
+/// Returns a [`TargetError`] for non-positive/non-finite `logical_ops`
+/// or zero `logical_qubits`.
+pub fn validate_target(target: &Target) -> Result<(), TargetError> {
+    if !(target.logical_ops.is_finite() && target.logical_ops > 0.0) {
+        return Err(TargetError::InvalidOps { value: target.logical_ops });
+    }
+    if target.logical_qubits == 0 {
+        return Err(TargetError::NoLogicalQubits);
+    }
+    Ok(())
+}
+
+/// Fallible [`crate::scalability::analyze`]: validates the design point,
+/// then runs the staged pipeline on the standard refrigerator.
+///
+/// # Errors
+///
+/// Returns [`QisimError::Config`] / [`QisimError::Target`] for invalid
+/// inputs and propagates any stage failure.
+pub fn try_analyze(design: &QciDesign, target: &Target) -> Result<Scalability, QisimError> {
+    try_analyze_on(design, target, &Fridge::standard())
+}
+
+/// Fallible [`crate::scalability::analyze_on`].
+///
+/// # Errors
+///
+/// Same as [`try_analyze`].
+pub fn try_analyze_on(
+    design: &QciDesign,
+    target: &Target,
+    fridge: &Fridge,
+) -> Result<Scalability, QisimError> {
+    span!("scalability.analyze");
+    counter!("scalability.analyze.calls");
+    AnalysisPlan::on(design, target, fridge)?.run()
+}
+
+/// Analyzes a validated [`DesignSpec`]: builds the design and the
+/// (possibly budget-overridden) refrigerator, runs the staged pipeline,
+/// and stamps the spec's display name on the verdict.
+///
+/// # Errors
+///
+/// Returns the spec's validation diagnostics or any stage failure.
+pub fn try_analyze_spec(spec: &DesignSpec, target: &Target) -> Result<Scalability, QisimError> {
+    let design = spec.build()?;
+    let fridge = spec.fridge()?;
+    let mut verdict = try_analyze_on(&design, target, &fridge)?;
+    verdict.design = spec.display_name();
+    Ok(verdict)
+}
+
+/// Fallible [`crate::scalability::analyze_many`]: every design is
+/// validated, then analyzed concurrently on the [`qisim_par`] pool.
+/// Results are in `designs` order and bit-identical to mapping
+/// [`try_analyze`] serially; the first error (in `designs` order) wins.
+///
+/// # Errors
+///
+/// Returns the first design's [`QisimError`], if any.
+pub fn try_analyze_many(
+    designs: &[QciDesign],
+    target: &Target,
+) -> Result<Vec<Scalability>, QisimError> {
+    span!("scalability.analyze_many");
+    counter!("scalability.analyze_many.designs", designs.len() as u64);
+    qisim_par::par_map(designs, |design| try_analyze(design, target)).into_iter().collect()
+}
+
+/// Fallible [`crate::scalability::sweep`]: validates the design and the
+/// qubit counts, then evaluates the utilization curve in parallel
+/// through the power memo cache.
+///
+/// # Errors
+///
+/// Returns [`QisimError::Config`] for an invalid design and
+/// [`QisimError::Power`] ([`PowerError::NoQubits`]) when a requested
+/// count is zero.
+pub fn try_sweep(design: &QciDesign, qubit_counts: &[u64]) -> Result<Vec<SweepPoint>, QisimError> {
+    validate_design(design)?;
+    if qubit_counts.contains(&0) {
+        return Err(PowerError::NoQubits.into());
+    }
+    span!("scalability.sweep");
+    counter!("scalability.sweep.points", qubit_counts.len() as u64);
+    let arch = design.arch();
+    let fridge = Fridge::standard();
+    let link = InstructionLink::standard();
+    let key = MemoKey::new(&arch, &fridge, &link);
+    let p_l = design.physical_budget().logical_error(CODE_DISTANCE, &CALIBRATION);
+    let util = |r: &qisim_power::PowerReport, stage: Stage| {
+        r.stage(stage).map_or(0.0, StagePower::utilization)
+    };
+    qisim_par::par_map(qubit_counts, |&n| {
+        let r = qisim_power::try_evaluate_memo(key, &arch, &fridge, n, &link)?;
+        Ok(SweepPoint {
+            qubits: n,
+            power_w: r.stages.iter().map(StagePower::total_w).sum(),
+            util_4k: util(&r, Stage::K4),
+            util_mk: util(&r, Stage::Mk100).max(util(&r, Stage::Mk20)),
+            logical_error: p_l,
+        })
+    })
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ConfigError;
+    use qisim_microarch::CryoCmosConfig;
+
+    #[test]
+    fn plan_runs_stages_in_order() {
+        let mut plan =
+            AnalysisPlan::new(&QciDesign::cmos_baseline(), &Target::near_term()).unwrap();
+        let mut ran = Vec::new();
+        while let Some(stage) = plan.run_next().unwrap() {
+            ran.push(stage);
+        }
+        assert_eq!(ran, PlanStage::ALL);
+        assert!(plan.inventory().is_some());
+        assert!(plan.schedule().is_some());
+        assert!(plan.stage_powers().is_some());
+        assert!(plan.logical().is_some());
+        let verdict = plan.verdict().unwrap();
+        assert!(verdict.power_limited_qubits > 0);
+        // A completed plan is a no-op.
+        assert_eq!(plan.run_next().unwrap(), None);
+    }
+
+    #[test]
+    fn plan_artifacts_feed_the_verdict() {
+        let mut plan =
+            AnalysisPlan::new(&QciDesign::rsfq_baseline(), &Target::near_term()).unwrap();
+        let verdict = plan.run().unwrap();
+        let power = plan.stage_powers().unwrap();
+        assert_eq!(power.power_limited_qubits, verdict.power_limited_qubits);
+        assert_eq!(power.stages, verdict.stages);
+        let schedule = plan.schedule().unwrap();
+        assert_eq!(schedule.cycle_ns, verdict.esm_cycle_ns);
+        let logical = plan.logical().unwrap();
+        assert_eq!(logical.error_ok, verdict.error_ok);
+    }
+
+    #[test]
+    fn invalid_designs_are_rejected_at_plan_time() {
+        let bad =
+            QciDesign::CryoCmos(CryoCmosConfig { drive_fdm: 0, ..CryoCmosConfig::baseline() });
+        let err = AnalysisPlan::new(&bad, &Target::near_term()).unwrap_err();
+        assert!(matches!(err, QisimError::Config(ConfigError::OutOfRange { .. })), "{err:?}");
+        assert!(try_analyze(&bad, &Target::near_term()).is_err());
+    }
+
+    #[test]
+    fn invalid_targets_are_typed() {
+        let mut t = Target::near_term();
+        t.logical_ops = 0.0;
+        assert!(matches!(
+            try_analyze(&QciDesign::cmos_baseline(), &t),
+            Err(QisimError::Target(TargetError::InvalidOps { .. }))
+        ));
+        let mut t = Target::near_term();
+        t.logical_qubits = 0;
+        assert!(matches!(validate_target(&t), Err(TargetError::NoLogicalQubits)));
+    }
+
+    #[test]
+    fn try_sweep_rejects_zero_counts() {
+        let err = try_sweep(&QciDesign::cmos_baseline(), &[64, 0, 128]).unwrap_err();
+        assert!(matches!(err, QisimError::Power(PowerError::NoQubits)), "{err:?}");
+    }
+
+    #[test]
+    fn spec_analysis_stamps_the_display_name() {
+        use crate::spec::Preset;
+        let spec = DesignSpec::new(Preset::CmosBaseline).name("svc-design-7");
+        let verdict = try_analyze_spec(&spec, &Target::near_term()).unwrap();
+        assert_eq!(verdict.design, "svc-design-7");
+        let plain = try_analyze(&QciDesign::cmos_baseline(), &Target::near_term()).unwrap();
+        assert_eq!(verdict.power_limited_qubits, plain.power_limited_qubits);
+    }
+}

@@ -21,6 +21,14 @@
 //! 5. **scalability** — [`scalability::analyze`] combines (3) and (4)
 //!    into the manageable qubit scale.
 //!
+//! The pipeline has two front doors. The historical infallible API
+//! ([`scalability::analyze`] and friends) panics on malformed inputs and
+//! suits one-shot paper drivers. The **fallible engine** ([`engine`])
+//! returns typed [`error::QisimError`] diagnostics, exposes the pipeline
+//! as a staged [`engine::AnalysisPlan`], and pairs with validated,
+//! serializable [`spec::DesignSpec`]s and the [`codec`] text format —
+//! the API a batch design-space search should use.
+//!
 //! # Examples
 //!
 //! Reproduce the headline Fig. 13a result — the 4 K CMOS baseline stalls
@@ -48,19 +56,28 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codec;
 pub mod config;
+pub mod engine;
+pub mod error;
 pub mod experiments;
 pub mod opts;
 pub mod paperdata;
 pub mod scalability;
+pub mod spec;
 
 pub use config::QciDesign;
+pub use engine::{try_analyze, try_analyze_many, try_analyze_on, try_sweep, AnalysisPlan};
+pub use error::QisimError;
 pub use opts::{apply, apply_all, Opt};
 pub use scalability::{analyze, analyze_on, sweep, Scalability};
+pub use spec::{DesignSpec, Preset};
 
 // Re-export the component crates so downstream users need only `qisim`.
+// (`qisim-error` is the physical gate/readout *error model*; the typed
+// failure hierarchy lives in [`error`].)
 pub use qisim_cyclesim as cyclesim;
-pub use qisim_error as error;
+pub use qisim_error as errormodel;
 pub use qisim_hal as hal;
 pub use qisim_microarch as microarch;
 pub use qisim_obs as obs;

@@ -10,12 +10,10 @@
 //! naively-shared RSFQ readout, Fig. 13b).
 
 use crate::config::QciDesign;
+use crate::engine;
 use qisim_hal::fridge::{Fridge, Stage};
-use qisim_hal::wire::InstructionLink;
-use qisim_obs::{counter, gauge, span};
-use qisim_power::{max_qubits, MemoKey, StagePower};
-use qisim_surface::analytic::CALIBRATION;
-use qisim_surface::target::{Target, CODE_DISTANCE};
+use qisim_power::StagePower;
+use qisim_surface::target::Target;
 use std::fmt::Write as _;
 
 /// The scalability verdict of one design against one roadmap target.
@@ -141,6 +139,10 @@ impl Scalability {
 }
 
 /// Analyzes a design against a roadmap target on the standard fridge.
+///
+/// Infallible wrapper over [`engine::try_analyze`]: panics with the
+/// typed diagnostic's text on a malformed design or target (DESIGN.md
+/// error-handling policy — batch callers should use the `try_*` API).
 pub fn analyze(design: &QciDesign, target: &Target) -> Scalability {
     analyze_on(design, target, &Fridge::standard())
 }
@@ -148,29 +150,8 @@ pub fn analyze(design: &QciDesign, target: &Target) -> Scalability {
 /// [`analyze`] with a custom refrigerator (future-capacity what-ifs,
 /// §7.1).
 pub fn analyze_on(design: &QciDesign, target: &Target, fridge: &Fridge) -> Scalability {
-    span!("scalability.analyze");
-    counter!("scalability.analyze.calls");
-    let arch = design.arch();
-    let (power_limited_qubits, binding_stage) = max_qubits(&arch, fridge);
-    // The bisection's landing probe is in the memo cache; replay it.
-    let link = InstructionLink::standard();
-    let key = MemoKey::new(&arch, fridge, &link);
-    let stages =
-        qisim_power::evaluate_memo(key, &arch, fridge, power_limited_qubits.max(1), &link).stages;
-    let logical_error = design.physical_budget().logical_error(CODE_DISTANCE, &CALIBRATION);
-    let target_error = target.logical_error_target();
-    gauge!("scalability.power_limited_qubits", power_limited_qubits as f64);
-    gauge!("scalability.logical_error", logical_error);
-    Scalability {
-        design: design.name(),
-        power_limited_qubits,
-        binding_stage,
-        stages,
-        logical_error,
-        target_error,
-        error_ok: logical_error <= target_error,
-        esm_cycle_ns: design.esm_cycle_ns(),
-    }
+    // Allowlisted panic (tools/panic_allowlist.txt): infallible wrapper.
+    engine::try_analyze_on(design, target, fridge).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// One row of a scalability utilization curve (the Fig. 12/13/17 plot
@@ -214,36 +195,23 @@ impl SweepPoint {
 ///
 /// A stage absent from a report (a custom fridge or architecture that
 /// doesn't model it) contributes utilization 0 rather than panicking.
+///
+/// Infallible wrapper over [`engine::try_sweep`] (panics on a malformed
+/// design or a zero qubit count).
 pub fn sweep(design: &QciDesign, qubit_counts: &[u64]) -> Vec<SweepPoint> {
-    span!("scalability.sweep");
-    counter!("scalability.sweep.points", qubit_counts.len() as u64);
-    let arch = design.arch();
-    let fridge = Fridge::standard();
-    let link = InstructionLink::standard();
-    let key = MemoKey::new(&arch, &fridge, &link);
-    let p_l = design.physical_budget().logical_error(CODE_DISTANCE, &CALIBRATION);
-    let util = |r: &qisim_power::PowerReport, stage: Stage| {
-        r.stage(stage).map_or(0.0, StagePower::utilization)
-    };
-    qisim_par::par_map(qubit_counts, |&n| {
-        let r = qisim_power::evaluate_memo(key, &arch, &fridge, n, &link);
-        SweepPoint {
-            qubits: n,
-            power_w: r.stages.iter().map(StagePower::total_w).sum(),
-            util_4k: util(&r, Stage::K4),
-            util_mk: util(&r, Stage::Mk100).max(util(&r, Stage::Mk20)),
-            logical_error: p_l,
-        }
-    })
+    // Allowlisted panic (tools/panic_allowlist.txt): infallible wrapper.
+    engine::try_sweep(design, qubit_counts).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Analyzes many designs against one target concurrently: one task per
 /// design point, each including its own power bisection. Results are in
 /// `designs` order and bit-identical to mapping [`analyze`] serially.
+///
+/// Infallible wrapper over [`engine::try_analyze_many`] (panics on the
+/// first malformed design).
 pub fn analyze_many(designs: &[QciDesign], target: &Target) -> Vec<Scalability> {
-    span!("scalability.analyze_many");
-    counter!("scalability.analyze_many.designs", designs.len() as u64);
-    qisim_par::par_map(designs, |design| analyze(design, target))
+    // Allowlisted panic (tools/panic_allowlist.txt): infallible wrapper.
+    engine::try_analyze_many(designs, target).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

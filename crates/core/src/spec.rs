@@ -1,0 +1,589 @@
+//! Validated design specifications: the typed, serializable front door
+//! to [`QciDesign`].
+//!
+//! `QciDesign` and its configuration structs are plain-old-data — any
+//! knob combination is *constructible*, including ones the models reject
+//! at run time (an FDM degree of 0 divides by zero inside the ESM
+//! profile; a 40-bit DAC is outside the calibrated precision sweep). A
+//! [`DesignSpec`] is the validated counterpart: it names a paper
+//! [`Preset`] as the starting point, records knob overrides without
+//! judging them, and [`DesignSpec::build`] turns the whole combination
+//! into a [`QciDesign`] or a typed [`QisimError`] diagnostic.
+//!
+//! Specs are value types (`PartialEq`) and round-trip losslessly through
+//! the text codec ([`crate::codec`]), which is what makes the analysis
+//! pipeline batch-friendly: a design-space search can generate, ship,
+//! and replay spec files without ever risking a panic in the library.
+//!
+//! # Examples
+//!
+//! ```
+//! use qisim::spec::{DesignSpec, Preset};
+//! use qisim::error::QisimError;
+//!
+//! // The Fig. 13a optimized design, built safely:
+//! let design = DesignSpec::new(Preset::CmosBaseline)
+//!     .drive_bits(6)
+//!     .decision(qisim::microarch::DecisionKind::Memoryless)
+//!     .build()
+//!     .unwrap();
+//! assert!(design.esm_cycle_ns() > 1000.0);
+//!
+//! // An invalid knob is a diagnostic, not a panic:
+//! let err = DesignSpec::new(Preset::CmosBaseline).drive_fdm(0).build().unwrap_err();
+//! assert!(matches!(err, QisimError::Config(_)));
+//! ```
+
+use crate::config::QciDesign;
+use crate::error::{ConfigError, QisimError};
+use crate::opts::Opt;
+use qisim_hal::fridge::{Fridge, Stage};
+use qisim_microarch::cryo_cmos::{CryoCmosConfig, MULTI_ROUND_READOUT_NS};
+use qisim_microarch::sfq::{BitgenKind, JpmSharing, SfqConfig};
+use qisim_microarch::DecisionKind;
+
+/// Validated range of the CMOS drive FDM degree (`drive_fdm`). The
+/// paper's designs use 20–32; one cable cannot multiplex more than 64
+/// qubits within the drive band.
+pub const FDM_RANGE: (u32, u32) = (1, 64);
+/// Validated range of the drive DAC precision in bits (`drive_bits`).
+/// The precision sweep of Fig. 14b is calibrated up to 16 bits.
+pub const DAC_BITS_RANGE: (u32, u32) = (1, 16);
+/// Validated range of the SFQ broadcast parallelism (`bs`). The paper
+/// explores 8 (baseline) down to 1 (Opt-5).
+pub const BS_RANGE: (u32, u32) = (1, 8);
+
+/// The nine paper preset designs (Figs. 12, 13, 17): every spec starts
+/// from one of these and applies knob overrides on top.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// 300 K rack over stainless coax (Fig. 12a).
+    RoomCoax,
+    /// 300 K rack over flexible microstrip (Fig. 12b).
+    RoomMicrostrip,
+    /// 300 K rack over a photonic link (Fig. 12c).
+    RoomPhotonic,
+    /// Near-term 4 K CMOS baseline (Fig. 13a).
+    CmosBaseline,
+    /// Near-term 4 K CMOS with Opt-1 + Opt-2 (the 1,399-qubit design).
+    CmosNearTerm,
+    /// Long-term advanced 4 K CMOS (Fig. 17a).
+    CmosLongTerm,
+    /// Near-term RSFQ baseline (Fig. 13b).
+    RsfqBaseline,
+    /// RSFQ with Opt-3/4/5 (the 1,248-qubit design).
+    RsfqNearTerm,
+    /// Long-term ERSFQ with Opt-8 (Fig. 17b).
+    ErsfqLongTerm,
+}
+
+impl Preset {
+    /// All nine presets, in paper order.
+    pub const ALL: [Preset; 9] = [
+        Preset::RoomCoax,
+        Preset::RoomMicrostrip,
+        Preset::RoomPhotonic,
+        Preset::CmosBaseline,
+        Preset::CmosNearTerm,
+        Preset::CmosLongTerm,
+        Preset::RsfqBaseline,
+        Preset::RsfqNearTerm,
+        Preset::ErsfqLongTerm,
+    ];
+
+    /// Stable text-codec identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            Preset::RoomCoax => "room_coax",
+            Preset::RoomMicrostrip => "room_microstrip",
+            Preset::RoomPhotonic => "room_photonic",
+            Preset::CmosBaseline => "cmos_baseline",
+            Preset::CmosNearTerm => "cmos_near_term",
+            Preset::CmosLongTerm => "cmos_long_term",
+            Preset::RsfqBaseline => "rsfq_baseline",
+            Preset::RsfqNearTerm => "rsfq_near_term",
+            Preset::ErsfqLongTerm => "ersfq_long_term",
+        }
+    }
+
+    /// Inverse of [`Preset::id`]; `None` for unknown identifiers.
+    pub fn from_id(id: &str) -> Option<Preset> {
+        Preset::ALL.into_iter().find(|p| p.id() == id)
+    }
+
+    /// The preset's design point.
+    pub fn design(self) -> QciDesign {
+        match self {
+            Preset::RoomCoax => QciDesign::room_coax(),
+            Preset::RoomMicrostrip => QciDesign::room_microstrip(),
+            Preset::RoomPhotonic => QciDesign::room_photonic(),
+            Preset::CmosBaseline => QciDesign::cmos_baseline(),
+            Preset::CmosNearTerm => QciDesign::CryoCmos(CryoCmosConfig {
+                decision: DecisionKind::Memoryless,
+                drive_bits: 6,
+                ..CryoCmosConfig::baseline()
+            }),
+            Preset::CmosLongTerm => QciDesign::cmos_long_term(),
+            Preset::RsfqBaseline => QciDesign::rsfq_baseline(),
+            Preset::RsfqNearTerm => QciDesign::rsfq_near_term(),
+            Preset::ErsfqLongTerm => QciDesign::ersfq_long_term(),
+        }
+    }
+}
+
+/// A validated, serializable design specification: a [`Preset`] plus
+/// knob overrides plus optional refrigerator-budget overrides.
+///
+/// Setters record values without judging them; [`DesignSpec::build`]
+/// validates the whole combination at once and returns every problem as
+/// a typed [`QisimError::Config`] diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpec {
+    pub(crate) preset: Preset,
+    pub(crate) name: Option<String>,
+    // CMOS knobs.
+    pub(crate) drive_fdm: Option<u32>,
+    pub(crate) drive_bits: Option<u32>,
+    pub(crate) decision: Option<DecisionKind>,
+    pub(crate) masked_isa: Option<bool>,
+    pub(crate) readout_ns: Option<f64>,
+    pub(crate) analog_scale: Option<f64>,
+    // SFQ knobs.
+    pub(crate) bs: Option<u32>,
+    pub(crate) bitgen: Option<BitgenKind>,
+    pub(crate) sharing: Option<JpmSharing>,
+    pub(crate) fast_driving: Option<bool>,
+    // Refrigerator budget overrides, indexed like `Stage::ALL`.
+    pub(crate) budgets_w: [Option<f64>; 5],
+}
+
+impl DesignSpec {
+    /// A spec with no overrides: exactly the preset design on the
+    /// standard refrigerator.
+    pub fn new(preset: Preset) -> Self {
+        DesignSpec {
+            preset,
+            name: None,
+            drive_fdm: None,
+            drive_bits: None,
+            decision: None,
+            masked_isa: None,
+            readout_ns: None,
+            analog_scale: None,
+            bs: None,
+            bitgen: None,
+            sharing: None,
+            fast_driving: None,
+            budgets_w: [None; 5],
+        }
+    }
+
+    /// The preset this spec starts from.
+    pub fn preset(&self) -> Preset {
+        self.preset
+    }
+
+    /// Overrides the display name (must be non-empty at build time).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Overrides the CMOS drive FDM degree (validated against
+    /// [`FDM_RANGE`]).
+    pub fn drive_fdm(mut self, fdm: u32) -> Self {
+        self.drive_fdm = Some(fdm);
+        self
+    }
+
+    /// Overrides the drive DAC precision in bits (validated against
+    /// [`DAC_BITS_RANGE`]).
+    pub fn drive_bits(mut self, bits: u32) -> Self {
+        self.drive_bits = Some(bits);
+        self
+    }
+
+    /// Overrides the RX decision unit.
+    pub fn decision(mut self, kind: DecisionKind) -> Self {
+        self.decision = Some(kind);
+        self
+    }
+
+    /// Enables/disables the Opt-6 masked ISA.
+    pub fn masked_isa(mut self, masked: bool) -> Self {
+        self.masked_isa = Some(masked);
+        self
+    }
+
+    /// Overrides the readout duration in ns (must be positive and
+    /// finite).
+    pub fn readout_ns(mut self, ns: f64) -> Self {
+        self.readout_ns = Some(ns);
+        self
+    }
+
+    /// Overrides the analog power scale (must be positive and finite).
+    pub fn analog_scale(mut self, scale: f64) -> Self {
+        self.analog_scale = Some(scale);
+        self
+    }
+
+    /// Overrides the SFQ broadcast parallelism #BS (validated against
+    /// [`BS_RANGE`]).
+    pub fn bs(mut self, bs: u32) -> Self {
+        self.bs = Some(bs);
+        self
+    }
+
+    /// Overrides the SFQ bitstream-generator flavour.
+    pub fn bitgen(mut self, kind: BitgenKind) -> Self {
+        self.bitgen = Some(kind);
+        self
+    }
+
+    /// Overrides the JPM readout sharing.
+    pub fn sharing(mut self, sharing: JpmSharing) -> Self {
+        self.sharing = Some(sharing);
+        self
+    }
+
+    /// Enables/disables Opt-8 fast resonator driving.
+    pub fn fast_driving(mut self, fast: bool) -> Self {
+        self.fast_driving = Some(fast);
+        self
+    }
+
+    /// Overrides one refrigerator stage's cooling budget in watts (must
+    /// be positive and finite).
+    pub fn budget(mut self, stage: Stage, watts: f64) -> Self {
+        self.budgets_w[stage_index(stage)] = Some(watts);
+        self
+    }
+
+    /// Records the knob overrides of one paper optimization (the spec
+    /// counterpart of [`crate::opts::apply`]). Technology mismatches —
+    /// an SFQ optimization on a CMOS preset — surface at
+    /// [`DesignSpec::build`] as [`ConfigError::KnobMismatch`].
+    pub fn apply(self, opt: Opt) -> Self {
+        match opt {
+            Opt::MemorylessDecision => self.decision(DecisionKind::Memoryless),
+            Opt::LowPrecisionDrive => self.drive_bits(6),
+            Opt::SharedPipelinedReadout => self.sharing(JpmSharing::SharedPipelined),
+            Opt::LowPowerBitgen => self.bitgen(BitgenKind::SplitterShared),
+            Opt::SingleBroadcast => self.bs(1),
+            Opt::MaskedIsa => self.masked_isa(true),
+            Opt::FastMultiRoundReadout => self.drive_fdm(20).readout_ns(MULTI_ROUND_READOUT_NS),
+            Opt::FastDrivingUnshared => self.fast_driving(true).sharing(JpmSharing::Unshared),
+        }
+    }
+
+    /// The display name: the override if set, else the built design's
+    /// derived name (falls back to the preset id for unbuildable specs).
+    pub fn display_name(&self) -> String {
+        match (&self.name, self.build()) {
+            (Some(n), _) => n.clone(),
+            (None, Ok(design)) => design.name(),
+            (None, Err(_)) => self.preset.id().to_string(),
+        }
+    }
+
+    /// Validates every knob and assembles the design point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QisimError::Config`] naming the first offending knob:
+    /// out-of-range values ([`ConfigError::OutOfRange`] /
+    /// [`ConfigError::NotPositive`]), overrides that do not exist on the
+    /// preset's technology ([`ConfigError::KnobMismatch`]), an empty
+    /// name ([`ConfigError::EmptyName`]), or an invalid budget override
+    /// ([`ConfigError::Budget`]).
+    pub fn build(&self) -> Result<QciDesign, QisimError> {
+        if let Some(name) = &self.name {
+            if name.trim().is_empty() {
+                return Err(ConfigError::EmptyName.into());
+            }
+        }
+        for (i, &stage) in Stage::ALL.iter().enumerate() {
+            if let Some(w) = self.budgets_w[i] {
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(ConfigError::Budget { stage, value: w }.into());
+                }
+            }
+        }
+        let base = self.preset.design();
+        let design = match base {
+            QciDesign::Room(_) => {
+                self.reject_cmos_knobs(&base)?;
+                self.reject_sfq_knobs(&base)?;
+                base
+            }
+            QciDesign::CryoCmos(cfg) => {
+                self.reject_sfq_knobs(&base)?;
+                QciDesign::CryoCmos(CryoCmosConfig {
+                    drive_fdm: self.drive_fdm.unwrap_or(cfg.drive_fdm),
+                    drive_bits: self.drive_bits.unwrap_or(cfg.drive_bits),
+                    decision: self.decision.unwrap_or(cfg.decision),
+                    masked_isa: self.masked_isa.unwrap_or(cfg.masked_isa),
+                    readout_ns: self.readout_ns.unwrap_or(cfg.readout_ns),
+                    analog_scale: self.analog_scale.unwrap_or(cfg.analog_scale),
+                    ..cfg
+                })
+            }
+            QciDesign::Sfq(cfg) => {
+                self.reject_cmos_knobs(&base)?;
+                QciDesign::Sfq(SfqConfig {
+                    bs: self.bs.unwrap_or(cfg.bs),
+                    bitgen: self.bitgen.unwrap_or(cfg.bitgen),
+                    sharing: self.sharing.unwrap_or(cfg.sharing),
+                    fast_driving: self.fast_driving.unwrap_or(cfg.fast_driving),
+                    ..cfg
+                })
+            }
+        };
+        validate_design(&design)?;
+        Ok(design)
+    }
+
+    /// The refrigerator this spec analyzes on: the standard fridge with
+    /// the recorded budget overrides applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Budget`] for a non-positive or non-finite
+    /// override.
+    pub fn fridge(&self) -> Result<Fridge, QisimError> {
+        let mut fridge = Fridge::standard();
+        for (i, &stage) in Stage::ALL.iter().enumerate() {
+            if let Some(w) = self.budgets_w[i] {
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(ConfigError::Budget { stage, value: w }.into());
+                }
+                fridge = fridge.with_budget(stage, w);
+            }
+        }
+        Ok(fridge)
+    }
+
+    fn reject_cmos_knobs(&self, design: &QciDesign) -> Result<(), ConfigError> {
+        let mismatch = |knob| ConfigError::KnobMismatch { knob, design: design.name() };
+        if self.drive_fdm.is_some() {
+            return Err(mismatch("drive_fdm"));
+        }
+        if self.drive_bits.is_some() {
+            return Err(mismatch("drive_bits"));
+        }
+        if self.decision.is_some() {
+            return Err(mismatch("decision"));
+        }
+        if self.masked_isa.is_some() {
+            return Err(mismatch("masked_isa"));
+        }
+        if self.readout_ns.is_some() {
+            return Err(mismatch("readout_ns"));
+        }
+        if self.analog_scale.is_some() {
+            return Err(mismatch("analog_scale"));
+        }
+        Ok(())
+    }
+
+    fn reject_sfq_knobs(&self, design: &QciDesign) -> Result<(), ConfigError> {
+        let mismatch = |knob| ConfigError::KnobMismatch { knob, design: design.name() };
+        if self.bs.is_some() {
+            return Err(mismatch("bs"));
+        }
+        if self.bitgen.is_some() {
+            return Err(mismatch("bitgen"));
+        }
+        if self.sharing.is_some() {
+            return Err(mismatch("sharing"));
+        }
+        if self.fast_driving.is_some() {
+            return Err(mismatch("fast_driving"));
+        }
+        Ok(())
+    }
+}
+
+fn stage_index(stage: Stage) -> usize {
+    Stage::ALL.iter().position(|s| *s == stage).unwrap_or(0)
+}
+
+/// Validates a raw [`QciDesign`]'s knobs against the same ranges
+/// [`DesignSpec::build`] enforces. The fallible engine entry points call
+/// this before touching the models, so a free-form design with e.g.
+/// `drive_fdm: 0` is a typed diagnostic instead of a downstream panic.
+///
+/// # Errors
+///
+/// Returns the first offending knob as a [`ConfigError`].
+pub fn validate_design(design: &QciDesign) -> Result<(), ConfigError> {
+    match design {
+        QciDesign::Room(_) => Ok(()),
+        QciDesign::CryoCmos(cfg) => {
+            check_range("drive_fdm", cfg.drive_fdm, FDM_RANGE)?;
+            check_range("drive_bits", cfg.drive_bits, DAC_BITS_RANGE)?;
+            check_positive("readout_ns", cfg.readout_ns)?;
+            check_positive("analog_scale", cfg.analog_scale)?;
+            Ok(())
+        }
+        QciDesign::Sfq(cfg) => check_range("bs", cfg.bs, BS_RANGE),
+    }
+}
+
+fn check_range(knob: &'static str, value: u32, (min, max): (u32, u32)) -> Result<(), ConfigError> {
+    if value < min || value > max {
+        return Err(ConfigError::OutOfRange {
+            knob,
+            value: value as u64,
+            min: min as u64,
+            max: max as u64,
+        });
+    }
+    Ok(())
+}
+
+fn check_positive(knob: &'static str, value: f64) -> Result<(), ConfigError> {
+    if !(value.is_finite() && value > 0.0) {
+        return Err(ConfigError::NotPositive { knob, value });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts;
+
+    #[test]
+    fn presets_build_their_paper_designs() {
+        assert_eq!(
+            DesignSpec::new(Preset::CmosBaseline).build().unwrap(),
+            QciDesign::cmos_baseline()
+        );
+        assert_eq!(
+            DesignSpec::new(Preset::RsfqNearTerm).build().unwrap(),
+            QciDesign::rsfq_near_term()
+        );
+        assert_eq!(
+            DesignSpec::new(Preset::ErsfqLongTerm).build().unwrap(),
+            QciDesign::ersfq_long_term()
+        );
+        // The ninth preset is the Fig. 13a Opt-1+2 design.
+        let via_opts = opts::apply_all(
+            &QciDesign::cmos_baseline(),
+            &[Opt::MemorylessDecision, Opt::LowPrecisionDrive],
+        )
+        .unwrap();
+        assert_eq!(DesignSpec::new(Preset::CmosNearTerm).build().unwrap(), via_opts);
+    }
+
+    #[test]
+    fn preset_ids_round_trip() {
+        for p in Preset::ALL {
+            assert_eq!(Preset::from_id(p.id()), Some(p));
+        }
+        assert_eq!(Preset::from_id("warp_drive"), None);
+    }
+
+    #[test]
+    fn overrides_change_only_their_knob() {
+        let d = DesignSpec::new(Preset::CmosBaseline).drive_fdm(20).build().unwrap();
+        match d {
+            QciDesign::CryoCmos(cfg) => {
+                assert_eq!(cfg.drive_fdm, 20);
+                assert_eq!(cfg.drive_bits, CryoCmosConfig::baseline().drive_bits);
+            }
+            _ => panic!("preset must stay CMOS"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_knobs_are_typed_diagnostics() {
+        let fdm0 = DesignSpec::new(Preset::CmosBaseline).drive_fdm(0).build().unwrap_err();
+        assert!(
+            matches!(
+                fdm0,
+                QisimError::Config(ConfigError::OutOfRange { knob: "drive_fdm", value: 0, .. })
+            ),
+            "{fdm0:?}"
+        );
+        let bits = DesignSpec::new(Preset::CmosBaseline).drive_bits(17).build().unwrap_err();
+        assert!(
+            matches!(bits, QisimError::Config(ConfigError::OutOfRange { knob: "drive_bits", .. })),
+            "{bits:?}"
+        );
+        let bs = DesignSpec::new(Preset::RsfqBaseline).bs(9).build().unwrap_err();
+        assert!(
+            matches!(bs, QisimError::Config(ConfigError::OutOfRange { knob: "bs", .. })),
+            "{bs:?}"
+        );
+    }
+
+    #[test]
+    fn knob_mismatches_name_the_design() {
+        let err = DesignSpec::new(Preset::RsfqBaseline).drive_bits(6).build().unwrap_err();
+        match err {
+            QisimError::Config(ConfigError::KnobMismatch { knob, design }) => {
+                assert_eq!(knob, "drive_bits");
+                assert!(design.contains("SFQ"), "{design}");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(DesignSpec::new(Preset::RoomCoax).bs(1).build().is_err());
+        assert!(DesignSpec::new(Preset::RoomCoax).masked_isa(true).build().is_err());
+    }
+
+    #[test]
+    fn budgets_and_names_are_validated() {
+        let err =
+            DesignSpec::new(Preset::CmosBaseline).budget(Stage::K4, -1.0).build().unwrap_err();
+        assert!(
+            matches!(err, QisimError::Config(ConfigError::Budget { stage: Stage::K4, .. })),
+            "{err:?}"
+        );
+        let err = DesignSpec::new(Preset::CmosBaseline).name("  ").build().unwrap_err();
+        assert!(matches!(err, QisimError::Config(ConfigError::EmptyName)), "{err:?}");
+        let fridge = DesignSpec::new(Preset::CmosBaseline).budget(Stage::K4, 6.0).fridge().unwrap();
+        assert_eq!(fridge.budget_w(Stage::K4), 6.0);
+    }
+
+    #[test]
+    fn apply_records_the_paper_opts() {
+        let spec = DesignSpec::new(Preset::RsfqBaseline)
+            .apply(Opt::SharedPipelinedReadout)
+            .apply(Opt::LowPowerBitgen)
+            .apply(Opt::SingleBroadcast);
+        assert_eq!(spec.build().unwrap(), QciDesign::rsfq_near_term());
+        // A mismatched opt is recorded, then rejected at build time.
+        let err = DesignSpec::new(Preset::CmosBaseline).apply(Opt::SingleBroadcast).build();
+        assert!(matches!(err, Err(QisimError::Config(ConfigError::KnobMismatch { .. }))));
+    }
+
+    #[test]
+    fn validate_design_catches_free_form_poison() {
+        let bad =
+            QciDesign::CryoCmos(CryoCmosConfig { drive_fdm: 0, ..CryoCmosConfig::baseline() });
+        assert!(validate_design(&bad).is_err());
+        let bad = QciDesign::CryoCmos(CryoCmosConfig {
+            readout_ns: f64::NAN,
+            ..CryoCmosConfig::baseline()
+        });
+        assert!(validate_design(&bad).is_err());
+        assert!(validate_design(&QciDesign::rsfq_baseline()).is_ok());
+        assert!(validate_design(&QciDesign::room_photonic()).is_ok());
+    }
+
+    #[test]
+    fn display_name_prefers_the_override() {
+        let spec = DesignSpec::new(Preset::CmosBaseline).name("my qci");
+        assert_eq!(spec.display_name(), "my qci");
+        let spec = DesignSpec::new(Preset::CmosBaseline);
+        assert_eq!(spec.display_name(), QciDesign::cmos_baseline().name());
+        // Unbuildable specs fall back to the preset id.
+        assert_eq!(
+            DesignSpec::new(Preset::CmosBaseline).drive_fdm(0).display_name(),
+            "cmos_baseline"
+        );
+    }
+}

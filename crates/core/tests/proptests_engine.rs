@@ -1,0 +1,90 @@
+//! Property-based tests of the fallible staged engine: `try_analyze` is
+//! panic-free over randomized near-valid knob grids, and the codec
+//! round-trips arbitrary well-formed specs.
+//!
+//! Requires the `proptest` crate, which the offline reference build
+//! cannot fetch; enable with `cargo test --features proptest` on a
+//! machine with registry access (and add the dev-dependency back).
+
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use qisim::codec;
+use qisim::engine::try_analyze_spec;
+use qisim::spec::{DesignSpec, Preset};
+use qisim_hal::fridge::Stage;
+use qisim_surface::target::Target;
+
+fn presets() -> impl Strategy<Value = Preset> {
+    prop_oneof![
+        Just(Preset::RoomCoax),
+        Just(Preset::RoomMicrostrip),
+        Just(Preset::RoomPhotonic),
+        Just(Preset::CmosBaseline),
+        Just(Preset::CmosNearTerm),
+        Just(Preset::CmosLongTerm),
+        Just(Preset::RsfqBaseline),
+        Just(Preset::RsfqNearTerm),
+        Just(Preset::ErsfqLongTerm),
+    ]
+}
+
+/// Near-valid knob grids: each override straddles its validated range
+/// (and is applied regardless of the preset's technology, so mismatches
+/// are generated too).
+fn near_valid_specs() -> impl Strategy<Value = DesignSpec> {
+    (
+        presets(),
+        proptest::option::of(0u32..68),
+        proptest::option::of(0u32..19),
+        proptest::option::of(0u32..10),
+        proptest::option::of(-100.0f64..4000.0),
+        proptest::option::of(-0.5f64..2.0),
+        proptest::option::of((0usize..5, -1.0f64..8.0)),
+    )
+        .prop_map(|(preset, fdm, bits, bs, readout, scale, budget)| {
+            let mut spec = DesignSpec::new(preset);
+            if let Some(v) = fdm {
+                spec = spec.drive_fdm(v);
+            }
+            if let Some(v) = bits {
+                spec = spec.drive_bits(v);
+            }
+            if let Some(v) = bs {
+                spec = spec.bs(v);
+            }
+            if let Some(v) = readout {
+                spec = spec.readout_ns(v);
+            }
+            if let Some(v) = scale {
+                spec = spec.analog_scale(v);
+            }
+            if let Some((i, w)) = budget {
+                spec = spec.budget(Stage::ALL[i], w);
+            }
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `try_analyze_spec` never panics: every input is either a verdict
+    /// or a typed diagnostic that renders.
+    #[test]
+    fn try_analyze_is_panic_free(spec in near_valid_specs()) {
+        match try_analyze_spec(&spec, &Target::near_term()) {
+            Ok(s) => prop_assert!(s.logical_error >= 0.0),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Any well-formed spec survives `parse(encode(spec)) == spec`,
+    /// valid knobs or not (validation belongs to `build()`, not the
+    /// codec).
+    #[test]
+    fn codec_round_trips_arbitrary_specs(spec in near_valid_specs()) {
+        let text = codec::encode_spec(&spec);
+        prop_assert_eq!(codec::parse_spec(&text).unwrap(), spec);
+    }
+}

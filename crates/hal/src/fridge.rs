@@ -72,6 +72,12 @@ impl Stage {
             Stage::Mk20 => "20mK",
         }
     }
+
+    /// Inverse of [`Stage::label`], for text codecs: `"4K"` →
+    /// [`Stage::K4`]. Returns `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|s| s.label() == label)
+    }
 }
 
 impl std::fmt::Display for Stage {

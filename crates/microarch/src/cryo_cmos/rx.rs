@@ -149,6 +149,24 @@ pub enum DecisionKind {
     Memoryless,
 }
 
+impl DecisionKind {
+    /// Stable text-codec label (`qisim::codec`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DecisionKind::BinCounting => "bin_counting",
+            DecisionKind::SinglePoint => "single_point",
+            DecisionKind::Memoryless => "memoryless",
+        }
+    }
+
+    /// Inverse of [`DecisionKind::label`]; `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<DecisionKind> {
+        [DecisionKind::BinCounting, DecisionKind::SinglePoint, DecisionKind::Memoryless]
+            .into_iter()
+            .find(|k| k.label() == label)
+    }
+}
+
 /// Builds the RX component inventory for the chosen decision unit.
 ///
 /// `bank_duty` is the fraction of the ESM cycle any one qubit's digital

@@ -174,6 +174,23 @@ pub enum BitgenKind {
     SplitterShared,
 }
 
+impl BitgenKind {
+    /// Stable text-codec label (`qisim::codec`).
+    pub fn label(self) -> &'static str {
+        match self {
+            BitgenKind::PerPhiShiftRegisters => "per_phi_shift_registers",
+            BitgenKind::SplitterShared => "splitter_shared",
+        }
+    }
+
+    /// Inverse of [`BitgenKind::label`]; `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<BitgenKind> {
+        [BitgenKind::PerPhiShiftRegisters, BitgenKind::SplitterShared]
+            .into_iter()
+            .find(|k| k.label() == label)
+    }
+}
+
 /// Cell inventory of the bitstream generator (shared by `group` qubits).
 pub fn bitgen_cells(kind: BitgenKind) -> Vec<(SfqCell, u64)> {
     match kind {

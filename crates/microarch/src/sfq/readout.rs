@@ -44,6 +44,24 @@ pub enum JpmSharing {
     SharedPipelined,
 }
 
+impl JpmSharing {
+    /// Stable text-codec label (`qisim::codec`).
+    pub fn label(self) -> &'static str {
+        match self {
+            JpmSharing::Unshared => "unshared",
+            JpmSharing::SharedNaive => "shared_naive",
+            JpmSharing::SharedPipelined => "shared_pipelined",
+        }
+    }
+
+    /// Inverse of [`JpmSharing::label`]; `None` for unknown labels.
+    pub fn from_label(label: &str) -> Option<JpmSharing> {
+        [JpmSharing::Unshared, JpmSharing::SharedNaive, JpmSharing::SharedPipelined]
+            .into_iter()
+            .find(|k| k.label() == label)
+    }
+}
+
 /// JPMs per shared readout circuit (Opt-3).
 pub const SHARING_DEGREE: usize = 8;
 

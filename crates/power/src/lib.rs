@@ -33,6 +33,36 @@ use qisim_hal::fridge::{Fridge, Stage};
 use qisim_hal::wire::InstructionLink;
 use qisim_microarch::QciArch;
 use qisim_obs::{counter, gauge, span};
+use std::fmt;
+
+/// Typed failure of the runtime-power model.
+///
+/// Library entry points return this through the `try_*` functions; the
+/// infallible wrappers ([`evaluate`], [`max_qubits`], …) keep their
+/// historical panic behavior for the paper drivers. `qisim`'s
+/// `QisimError::Power` variant wraps this error and exposes it through
+/// [`std::error::Error::source`], so callers can match on the concrete
+/// power failure across the crate boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A power evaluation was requested at zero qubits. The model's
+    /// per-qubit amortizations (shared banks, FDM groups) are undefined
+    /// there, and the bisection never probes it.
+    NoQubits,
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            // Exactly the historical `assert!` message, so the
+            // infallible wrappers panic with the same text as before.
+            PowerError::NoQubits => f.write_str("need at least one qubit"),
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
 
 /// Power accounting of one refrigerator stage.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -84,10 +114,15 @@ impl PowerReport {
     }
 
     /// The most-loaded stage (by utilization).
+    ///
+    /// Uses [`f64::total_cmp`], so a degenerate report (a zero-budget
+    /// stage yielding a NaN utilization) still returns a stage instead
+    /// of panicking mid-pipeline; NaN orders above every finite
+    /// utilization and therefore surfaces as the binding stage.
     pub fn binding_stage(&self) -> Option<Stage> {
         self.stages
             .iter()
-            .max_by(|a, b| a.utilization().partial_cmp(&b.utilization()).expect("finite"))
+            .max_by(|a, b| a.utilization().total_cmp(&b.utilization()))
             .map(|s| s.stage)
     }
 
@@ -99,18 +134,59 @@ impl PowerReport {
 
 /// Evaluates a design's per-stage power at `n_qubits` using the standard
 /// 6 Gb/s instruction link.
+///
+/// # Panics
+///
+/// Panics if `n_qubits == 0`; use [`try_evaluate`] for a typed error.
 pub fn evaluate(arch: &QciArch, fridge: &Fridge, n_qubits: u64) -> PowerReport {
     evaluate_with_link(arch, fridge, n_qubits, &InstructionLink::standard())
 }
 
+/// Fallible [`evaluate`]: zero qubits is a [`PowerError::NoQubits`]
+/// diagnostic instead of a process abort.
+///
+/// # Errors
+///
+/// Returns [`PowerError::NoQubits`] when `n_qubits == 0`.
+pub fn try_evaluate(
+    arch: &QciArch,
+    fridge: &Fridge,
+    n_qubits: u64,
+) -> Result<PowerReport, PowerError> {
+    try_evaluate_with_link(arch, fridge, n_qubits, &InstructionLink::standard())
+}
+
 /// Evaluates with a custom instruction link (future-technology what-ifs).
+///
+/// # Panics
+///
+/// Panics if `n_qubits == 0`; use [`try_evaluate_with_link`] for a typed
+/// error.
 pub fn evaluate_with_link(
     arch: &QciArch,
     fridge: &Fridge,
     n_qubits: u64,
     link: &InstructionLink,
 ) -> PowerReport {
-    assert!(n_qubits > 0, "need at least one qubit");
+    // Allowlisted panic (tools/panic_allowlist.txt): the infallible
+    // wrapper keeps the historical abort-with-message behavior.
+    try_evaluate_with_link(arch, fridge, n_qubits, link).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`evaluate_with_link`].
+///
+/// # Errors
+///
+/// Returns [`PowerError::NoQubits`] when `n_qubits == 0`.
+pub fn try_evaluate_with_link(
+    arch: &QciArch,
+    fridge: &Fridge,
+    n_qubits: u64,
+    link: &InstructionLink,
+) -> Result<PowerReport, PowerError> {
+    if n_qubits == 0 {
+        return Err(PowerError::NoQubits);
+    }
     span!("power.evaluate");
     counter!("power.evaluate.calls");
     let stages = Stage::ALL
@@ -128,7 +204,7 @@ pub fn evaluate_with_link(
             budget_w: fridge.budget_w(stage),
         })
         .collect();
-    PowerReport { n_qubits, stages }
+    Ok(PowerReport { n_qubits, stages })
 }
 
 /// [`evaluate_with_link`] through the process-global memo cache
@@ -146,12 +222,29 @@ pub fn evaluate_memo(
     n_qubits: u64,
     link: &InstructionLink,
 ) -> PowerReport {
+    // Allowlisted panic (tools/panic_allowlist.txt): infallible wrapper.
+    try_evaluate_memo(key, arch, fridge, n_qubits, link).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`evaluate_memo`].
+///
+/// # Errors
+///
+/// Returns [`PowerError::NoQubits`] when `n_qubits == 0` (zero-qubit
+/// probes are never cached).
+pub fn try_evaluate_memo(
+    key: MemoKey,
+    arch: &QciArch,
+    fridge: &Fridge,
+    n_qubits: u64,
+    link: &InstructionLink,
+) -> Result<PowerReport, PowerError> {
     if let Some(report) = memo::lookup(key, n_qubits) {
-        return report;
+        return Ok(report);
     }
-    let report = evaluate_with_link(arch, fridge, n_qubits, link);
+    let report = try_evaluate_with_link(arch, fridge, n_qubits, link)?;
     memo::store(key, n_qubits, report.clone());
-    report
+    Ok(report)
 }
 
 /// The maximum qubit count the refrigerator can power for this design,
@@ -165,40 +258,66 @@ pub fn max_qubits(arch: &QciArch, fridge: &Fridge) -> (u64, Option<Stage>) {
     max_qubits_with_link(arch, fridge, &InstructionLink::standard())
 }
 
+/// Fallible [`max_qubits`]. The bisection itself only ever probes
+/// `n ≥ 1`, so this currently cannot fail on any constructible input;
+/// the `Result` keeps the signature honest as the model grows fallible
+/// inputs (custom fridges, link models).
+///
+/// # Errors
+///
+/// Propagates any [`PowerError`] raised by a bisection probe.
+pub fn try_max_qubits(arch: &QciArch, fridge: &Fridge) -> Result<(u64, Option<Stage>), PowerError> {
+    try_max_qubits_with_link(arch, fridge, &InstructionLink::standard())
+}
+
 /// [`max_qubits`] with a custom instruction link.
 pub fn max_qubits_with_link(
     arch: &QciArch,
     fridge: &Fridge,
     link: &InstructionLink,
 ) -> (u64, Option<Stage>) {
+    // Allowlisted panic (tools/panic_allowlist.txt): infallible wrapper.
+    try_max_qubits_with_link(arch, fridge, link).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`max_qubits_with_link`].
+///
+/// # Errors
+///
+/// Propagates any [`PowerError`] raised by a bisection probe.
+pub fn try_max_qubits_with_link(
+    arch: &QciArch,
+    fridge: &Fridge,
+    link: &InstructionLink,
+) -> Result<(u64, Option<Stage>), PowerError> {
     span!("power.max_qubits");
     let key = MemoKey::new(arch, fridge, link);
-    let probe = |n: u64| evaluate_memo(key, arch, fridge, n, link);
-    if !probe(1).fits() {
-        return (0, probe(1).binding_stage());
+    let probe = |n: u64| try_evaluate_memo(key, arch, fridge, n, link);
+    if !probe(1)?.fits() {
+        return Ok((0, probe(1)?.binding_stage()));
     }
     let mut lo = 1u64; // fits
     let mut hi = 2u64;
-    while probe(hi).fits() {
+    while probe(hi)?.fits() {
         counter!("power.bisection.iters");
         lo = hi;
         hi *= 2;
         if hi > 1 << 40 {
-            return (lo, None); // effectively unbounded by power
+            return Ok((lo, None)); // effectively unbounded by power
         }
     }
     while hi - lo > 1 {
         counter!("power.bisection.iters");
         let mid = lo + (hi - lo) / 2;
-        if probe(mid).fits() {
+        if probe(mid)?.fits() {
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    let binding = probe(hi).binding_stage();
-    record_stage_gauges(&probe(lo.max(1)));
-    (lo, binding)
+    let binding = probe(hi)?.binding_stage();
+    record_stage_gauges(&probe(lo.max(1))?);
+    Ok((lo, binding))
 }
 
 /// Publishes per-stage watt attribution and utilization gauges for a
@@ -324,6 +443,48 @@ mod tests {
         let warm = max_qubits(&arch, &fridge);
         assert_eq!(cold, warm);
         assert!(cache_len() > 0, "bisection probes must populate the cache");
+    }
+
+    #[test]
+    fn zero_qubits_is_a_typed_error() {
+        let arch = CryoCmosConfig::baseline().build();
+        let fridge = Fridge::standard();
+        let link = InstructionLink::standard();
+        let err = try_evaluate(&arch, &fridge, 0).unwrap_err();
+        assert_eq!(err, PowerError::NoQubits);
+        assert_eq!(err.to_string(), "need at least one qubit");
+        let key = MemoKey::new(&arch, &fridge, &link);
+        assert_eq!(try_evaluate_memo(key, &arch, &fridge, 0, &link), Err(PowerError::NoQubits));
+    }
+
+    #[test]
+    fn try_paths_match_infallible_paths() {
+        let arch = SfqConfig::baseline_rsfq().build();
+        let fridge = Fridge::standard();
+        assert_eq!(try_evaluate(&arch, &fridge, 512).unwrap(), evaluate(&arch, &fridge, 512));
+        assert_eq!(try_max_qubits(&arch, &fridge).unwrap(), max_qubits(&arch, &fridge));
+    }
+
+    #[test]
+    fn binding_stage_survives_nan_utilization() {
+        // A zero-budget stage makes utilization NaN when its total is
+        // also zero; `total_cmp` ranks NaN above every finite value, so
+        // the degenerate stage is reported instead of panicking.
+        let nan_stage = StagePower {
+            stage: Stage::Mk20,
+            device_static_w: 0.0,
+            device_dynamic_w: 0.0,
+            wire_w: 0.0,
+            instr_link_w: 0.0,
+            budget_w: 0.0,
+        };
+        let fine_stage = StagePower { budget_w: 1.5, device_static_w: 1.0, ..nan_stage };
+        let report = PowerReport {
+            n_qubits: 1,
+            stages: vec![StagePower { stage: Stage::K4, ..fine_stage }, nan_stage],
+        };
+        assert!(report.stages[1].utilization().is_nan());
+        assert_eq!(report.binding_stage(), Some(Stage::Mk20));
     }
 
     #[test]

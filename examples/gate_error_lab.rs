@@ -5,12 +5,12 @@
 //! (release strongly recommended: the CZ calibrator and SFQ bitstream
 //! search do real numerical work).
 
-use qisim::error::cmos_1q::{Axis, Cmos1qModel};
-use qisim::error::readout_cmos::{CmosReadoutModel, MultiRound};
-use qisim::error::readout_sfq::SfqReadoutModel;
-use qisim::error::sfq_1q::Sfq1qModel;
-use qisim::error::workload::seeded_rng;
-use qisim::error::CzModel;
+use qisim::errormodel::cmos_1q::{Axis, Cmos1qModel};
+use qisim::errormodel::readout_cmos::{CmosReadoutModel, MultiRound};
+use qisim::errormodel::readout_sfq::SfqReadoutModel;
+use qisim::errormodel::sfq_1q::Sfq1qModel;
+use qisim::errormodel::workload::seeded_rng;
+use qisim::errormodel::CzModel;
 use qisim::microarch::DecisionKind;
 use qisim::quantum::rng::Xorshift64Star;
 use std::f64::consts::PI;

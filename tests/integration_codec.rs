@@ -1,0 +1,139 @@
+//! Round-trip tests of the zero-dependency text codec: every paper
+//! design spec and every analysis verdict must survive
+//! `parse(encode(x)) == x` bit-for-bit, so a batch design-space search
+//! can ship specs and replay reports through plain text files.
+
+use qisim::codec;
+use qisim::engine;
+use qisim::error::QisimError;
+use qisim::hal::fridge::Stage;
+use qisim::microarch::sfq::{BitgenKind, JpmSharing};
+use qisim::microarch::DecisionKind;
+use qisim::spec::{DesignSpec, Preset};
+use qisim::surface::target::Target;
+use qisim::Opt;
+
+/// Specs covering all nine presets, the paper's optimized variants, and
+/// the name/budget override features.
+fn paper_specs() -> Vec<DesignSpec> {
+    let mut specs: Vec<DesignSpec> = Preset::ALL.iter().map(|&p| DesignSpec::new(p)).collect();
+    // Fig. 13a: CMOS baseline + Opt-1 + Opt-2.
+    specs.push(
+        DesignSpec::new(Preset::CmosBaseline)
+            .apply(Opt::MemorylessDecision)
+            .apply(Opt::LowPrecisionDrive),
+    );
+    // Fig. 13b: RSFQ baseline + Opt-3/4/5.
+    specs.push(
+        DesignSpec::new(Preset::RsfqBaseline)
+            .apply(Opt::SharedPipelinedReadout)
+            .apply(Opt::LowPowerBitgen)
+            .apply(Opt::SingleBroadcast),
+    );
+    // Fig. 17a: long-term CMOS + Opt-6 + Opt-7.
+    specs.push(
+        DesignSpec::new(Preset::CmosLongTerm)
+            .apply(Opt::MaskedIsa)
+            .apply(Opt::FastMultiRoundReadout),
+    );
+    // Fig. 17b: ERSFQ + Opt-8.
+    specs.push(DesignSpec::new(Preset::ErsfqLongTerm).apply(Opt::FastDrivingUnshared));
+    // Every remaining knob and override feature in one spec.
+    specs.push(
+        DesignSpec::new(Preset::CmosBaseline)
+            .name("what-if: big 4K stage")
+            .drive_fdm(24)
+            .decision(DecisionKind::SinglePoint)
+            .readout_ns(437.5)
+            .analog_scale(0.25)
+            .budget(Stage::K4, 6.0)
+            .budget(Stage::Mk20, 0.002),
+    );
+    specs.push(
+        DesignSpec::new(Preset::RsfqBaseline)
+            .bitgen(BitgenKind::SplitterShared)
+            .sharing(JpmSharing::SharedNaive)
+            .fast_driving(false)
+            .bs(4),
+    );
+    specs
+}
+
+#[test]
+fn every_paper_spec_round_trips_losslessly() {
+    for spec in paper_specs() {
+        let text = codec::encode_spec(&spec);
+        let parsed = codec::parse_spec(&text).unwrap_or_else(|e| {
+            panic!("{} failed to parse its own encoding: {e}\n{text}", spec.display_name())
+        });
+        assert_eq!(parsed, spec, "round-trip mismatch for\n{text}");
+        // Round-tripped specs build the same design point.
+        assert_eq!(
+            parsed.build().map_err(|e| e.to_string()),
+            spec.build().map_err(|e| e.to_string())
+        );
+    }
+}
+
+#[test]
+fn scalability_reports_round_trip_for_both_targets() {
+    for target in [Target::near_term(), Target::long_term()] {
+        for preset in Preset::ALL {
+            let spec = DesignSpec::new(preset);
+            let report = engine::try_analyze_spec(&spec, &target).expect("paper preset");
+            let text = codec::encode_scalability(&report);
+            let parsed = codec::parse_scalability(&text)
+                .unwrap_or_else(|e| panic!("{} report failed to parse: {e}\n{text}", preset.id()));
+            // Bit-for-bit: floats ride the shortest round-trip Display.
+            assert_eq!(parsed, report, "round-trip mismatch for\n{text}");
+        }
+    }
+}
+
+#[test]
+fn spec_files_are_stable_under_reencoding() {
+    for spec in paper_specs() {
+        let once = codec::encode_spec(&spec);
+        let twice = codec::encode_spec(&codec::parse_spec(&once).expect("own encoding"));
+        assert_eq!(once, twice, "encoding must be canonical");
+    }
+}
+
+#[test]
+fn hand_written_spec_files_replay_through_the_engine() {
+    let text = "# Fig. 13a optimized design on a doubled 4 K budget\n\
+                qisim spec v1\n\
+                preset = cmos_baseline\n\
+                name = opt12 on big fridge\n\
+                decision = memoryless\n\
+                drive_bits = 6\n\
+                budget.4K = 3\n";
+    let spec = codec::parse_spec(text).expect("hand-written spec");
+    let report = engine::try_analyze_spec(&spec, &Target::near_term()).expect("valid spec");
+    assert_eq!(report.design, "opt12 on big fridge");
+    // The doubled budget must beat the standard-fridge run.
+    let std_spec = codec::parse_spec(
+        "qisim spec v1\npreset = cmos_baseline\ndecision = memoryless\ndrive_bits = 6\n",
+    )
+    .expect("spec");
+    let std_report = engine::try_analyze_spec(&std_spec, &Target::near_term()).expect("valid spec");
+    assert!(report.power_limited_qubits > std_report.power_limited_qubits);
+}
+
+#[test]
+fn decode_failures_are_line_anchored_decode_errors() {
+    let line_of = |text: &str| match codec::parse_spec(text) {
+        Err(QisimError::Decode(e)) => e.line,
+        other => panic!("expected a decode error, got {other:?}"),
+    };
+    assert_eq!(line_of("qisim scalability v1\n"), 1, "wrong header is rejected");
+    assert_eq!(line_of("qisim spec v1\npreset = cmos_baseline\nnot a pair\n"), 3);
+    assert_eq!(line_of("qisim spec v1\ndrive_bits = 6\n"), 2, "preset must come first");
+    assert_eq!(line_of("qisim spec v1\npreset = cmos_baseline\nbudget.3K = 1\n"), 3);
+    // Scalability documents are checked the same way.
+    assert!(matches!(codec::parse_scalability("qisim spec v1\n"), Err(QisimError::Decode(_))));
+    assert!(matches!(
+        codec::parse_scalability("qisim scalability v1\ndesign = x\n"),
+        Err(QisimError::Decode(_))
+    ));
+}

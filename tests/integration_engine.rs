@@ -1,0 +1,275 @@
+//! Integration tests of the fallible staged engine: the new `try_*`
+//! entry points must be **bit-identical** to the historical infallible
+//! pipeline for every paper design, and every malformed input must come
+//! back as the right typed [`QisimError`] variant instead of a panic.
+
+use qisim::engine::{self, AnalysisPlan, PlanStage};
+use qisim::error::{ConfigError, QisimError, TargetError};
+use qisim::hal::fridge::{Fridge, Stage};
+use qisim::hal::wire::InstructionLink;
+use qisim::microarch::cryo_cmos::CryoCmosConfig;
+use qisim::microarch::sfq::SfqConfig;
+use qisim::power::{PowerError, StagePower};
+use qisim::quantum::rng::{Rng, Xorshift64Star};
+use qisim::spec::{DesignSpec, Preset};
+use qisim::surface::analytic::CALIBRATION;
+use qisim::surface::target::{Target, CODE_DISTANCE};
+use qisim::{scalability, QciDesign, Scalability};
+
+/// A verbatim copy of the pre-refactor `scalability::analyze_on` body,
+/// kept as the bit-identity oracle for the staged path.
+fn legacy_analyze_on(design: &QciDesign, target: &Target, fridge: &Fridge) -> Scalability {
+    let arch = design.arch();
+    let (power_limited_qubits, binding_stage) = qisim::power::max_qubits(&arch, fridge);
+    let link = InstructionLink::standard();
+    let key = qisim::power::MemoKey::new(&arch, fridge, &link);
+    let stages =
+        qisim::power::evaluate_memo(key, &arch, fridge, power_limited_qubits.max(1), &link).stages;
+    let logical_error = design.physical_budget().logical_error(CODE_DISTANCE, &CALIBRATION);
+    let target_error = target.logical_error_target();
+    Scalability {
+        design: design.name(),
+        power_limited_qubits,
+        binding_stage,
+        stages,
+        logical_error,
+        target_error,
+        error_ok: logical_error <= target_error,
+        esm_cycle_ns: design.esm_cycle_ns(),
+    }
+}
+
+/// Every paper design point the experiment drivers touch: the nine
+/// presets plus the optimized/degraded variants of Figs. 13–17.
+fn paper_designs() -> Vec<QciDesign> {
+    let mut designs: Vec<QciDesign> = Preset::ALL.iter().map(|p| p.design()).collect();
+    designs.push(QciDesign::Sfq(SfqConfig {
+        sharing: qisim::microarch::sfq::JpmSharing::SharedNaive,
+        ..SfqConfig::baseline_rsfq()
+    }));
+    designs.push(QciDesign::CryoCmos(CryoCmosConfig {
+        drive_fdm: 32,
+        readout_ns: qisim::microarch::cryo_cmos::READOUT_NS,
+        ..CryoCmosConfig::long_term()
+    }));
+    designs.push(QciDesign::CryoCmos(CryoCmosConfig {
+        masked_isa: true,
+        ..CryoCmosConfig::baseline()
+    }));
+    designs
+}
+
+#[test]
+fn staged_path_is_bit_identical_to_the_legacy_pipeline() {
+    for target in [Target::near_term(), Target::long_term()] {
+        for design in paper_designs() {
+            let legacy = legacy_analyze_on(&design, &target, &Fridge::standard());
+            let staged = engine::try_analyze(&design, &target).expect("paper design");
+            assert_eq!(staged, legacy, "{} vs {}", staged.design, target.name);
+            // The infallible wrapper is the same staged path.
+            assert_eq!(scalability::analyze(&design, &target), legacy);
+        }
+    }
+}
+
+#[test]
+fn staged_path_matches_legacy_on_custom_fridges() {
+    let fridges = [
+        Fridge::standard().with_budget(Stage::K4, 6.0),
+        Fridge::standard().with_budget(Stage::Mk20, 1e-2),
+    ];
+    let t = Target::near_term();
+    for fridge in &fridges {
+        for design in [QciDesign::cmos_baseline(), QciDesign::rsfq_baseline()] {
+            let legacy = legacy_analyze_on(&design, &t, fridge);
+            let staged = engine::try_analyze_on(&design, &t, fridge).expect("paper design");
+            assert_eq!(staged, legacy);
+        }
+    }
+}
+
+#[test]
+fn try_sweep_matches_the_infallible_sweep() {
+    let counts = [64u64, 256, 1024, 4096];
+    for design in [QciDesign::cmos_baseline(), QciDesign::rsfq_near_term()] {
+        let legacy = scalability::sweep(&design, &counts);
+        let fallible = engine::try_sweep(&design, &counts).expect("valid sweep");
+        assert_eq!(fallible, legacy);
+    }
+}
+
+#[test]
+fn try_analyze_many_matches_serial_try_analyze() {
+    let t = Target::near_term();
+    let designs = paper_designs();
+    let many = engine::try_analyze_many(&designs, &t).expect("paper designs");
+    let serial: Vec<_> =
+        designs.iter().map(|d| engine::try_analyze(d, &t).expect("paper design")).collect();
+    assert_eq!(many, serial);
+}
+
+#[test]
+fn plan_exposes_every_intermediate_artifact() {
+    let mut plan =
+        AnalysisPlan::new(&QciDesign::cmos_baseline(), &Target::near_term()).expect("valid");
+    assert_eq!(plan.next_stage(), Some(PlanStage::Inventory));
+    let mut ran = Vec::new();
+    while let Some(stage) = plan.run_next().expect("paper design") {
+        ran.push(stage);
+    }
+    assert_eq!(ran, PlanStage::ALL);
+    let arch = plan.inventory().expect("inventory artifact");
+    assert!(!arch.components.is_empty());
+    let schedule = plan.schedule().expect("schedule artifact");
+    assert!(schedule.cycle_ns > 0.0);
+    let power = plan.stage_powers().expect("power artifact");
+    assert_eq!(power.stages.len(), Stage::ALL.len());
+    let verdict = plan.verdict().expect("verdict").clone();
+    assert_eq!(
+        verdict,
+        legacy_analyze_on(&QciDesign::cmos_baseline(), &Target::near_term(), &Fridge::standard())
+    );
+}
+
+/// Every invalid spec knob yields its documented [`QisimError`] variant
+/// — never a panic, never a wrong variant.
+#[test]
+fn invalid_spec_knobs_map_to_their_variants() {
+    let t = Target::near_term();
+    let config = |spec: &DesignSpec| match engine::try_analyze_spec(spec, &t) {
+        Err(QisimError::Config(e)) => e,
+        other => panic!("expected a config error, got {other:?}"),
+    };
+    // FDM degree 0 (would divide by zero in the ESM profile).
+    let e = config(&DesignSpec::new(Preset::CmosBaseline).drive_fdm(0));
+    assert!(matches!(e, ConfigError::OutOfRange { knob: "drive_fdm", value: 0, .. }), "{e:?}");
+    // DAC precision past the calibrated sweep.
+    let e = config(&DesignSpec::new(Preset::CmosBaseline).drive_bits(17));
+    assert!(matches!(e, ConfigError::OutOfRange { knob: "drive_bits", value: 17, .. }), "{e:?}");
+    // SFQ broadcast parallelism out of range.
+    let e = config(&DesignSpec::new(Preset::RsfqBaseline).bs(0));
+    assert!(matches!(e, ConfigError::OutOfRange { knob: "bs", .. }), "{e:?}");
+    // Negative fridge budget.
+    let e = config(&DesignSpec::new(Preset::CmosBaseline).budget(Stage::K4, -2.5));
+    assert!(matches!(e, ConfigError::Budget { stage: Stage::K4, .. }), "{e:?}");
+    // Empty design name.
+    let e = config(&DesignSpec::new(Preset::CmosBaseline).name(""));
+    assert!(matches!(e, ConfigError::EmptyName), "{e:?}");
+    // Technology mismatch: an SFQ knob on a CMOS preset.
+    let e = config(&DesignSpec::new(Preset::CmosBaseline).bs(1));
+    assert!(matches!(e, ConfigError::KnobMismatch { knob: "bs", .. }), "{e:?}");
+    // Non-finite analog knob.
+    let e = config(&DesignSpec::new(Preset::CmosBaseline).readout_ns(f64::NAN));
+    assert!(matches!(e, ConfigError::NotPositive { knob: "readout_ns", .. }), "{e:?}");
+}
+
+#[test]
+fn invalid_raw_designs_and_targets_are_typed() {
+    let t = Target::near_term();
+    let bad = QciDesign::CryoCmos(CryoCmosConfig { drive_fdm: 0, ..CryoCmosConfig::baseline() });
+    assert!(matches!(
+        engine::try_analyze(&bad, &t),
+        Err(QisimError::Config(ConfigError::OutOfRange { knob: "drive_fdm", .. }))
+    ));
+    assert!(matches!(
+        engine::try_sweep(&bad, &[64]),
+        Err(QisimError::Config(ConfigError::OutOfRange { .. }))
+    ));
+    // One bad design poisons an analyze_many batch with the same error.
+    assert!(matches!(
+        engine::try_analyze_many(&[QciDesign::cmos_baseline(), bad], &t),
+        Err(QisimError::Config(_))
+    ));
+    // A zero qubit count is the power model's typed refusal.
+    assert!(matches!(
+        engine::try_sweep(&QciDesign::cmos_baseline(), &[0]),
+        Err(QisimError::Power(PowerError::NoQubits))
+    ));
+    // Malformed targets.
+    let mut t0 = Target::near_term();
+    t0.logical_ops = f64::INFINITY;
+    assert!(matches!(
+        engine::try_analyze(&QciDesign::cmos_baseline(), &t0),
+        Err(QisimError::Target(TargetError::InvalidOps { .. }))
+    ));
+    let mut t0 = Target::near_term();
+    t0.logical_qubits = 0;
+    assert!(matches!(
+        engine::try_analyze(&QciDesign::cmos_baseline(), &t0),
+        Err(QisimError::Target(TargetError::NoLogicalQubits))
+    ));
+}
+
+#[test]
+fn errors_render_and_chain_like_std_errors() {
+    use std::error::Error as _;
+    let err = engine::try_sweep(&QciDesign::cmos_baseline(), &[0]).expect_err("zero count");
+    assert_eq!(err.to_string(), "power model: need at least one qubit");
+    let source = err.source().expect("source-chained to qisim-power");
+    assert_eq!(source.to_string(), "need at least one qubit");
+}
+
+/// A seeded randomized grid of near-valid knob combinations: every
+/// `try_analyze_spec` call must return `Ok` or a typed error — this test
+/// would abort on any panic escaping the engine. (The `proptest` feature
+/// gates a heavier generative version of the same property.)
+#[test]
+fn randomized_near_valid_knob_grid_never_panics() {
+    let mut rng = Xorshift64Star::seed_from_u64(0x5157_5349_4d21);
+    let t = Target::near_term();
+    let mut oks = 0usize;
+    let mut errs = 0usize;
+    for _ in 0..200 {
+        let preset = Preset::ALL[(rng.next_u64() % 9) as usize];
+        let mut spec = DesignSpec::new(preset);
+        // Knob values straddle the validated boundaries (0..=2 around
+        // each limit), mixed across technologies to exercise mismatches.
+        if rng.gen_f64() < 0.5 {
+            spec = spec.drive_fdm((rng.next_u64() % 68) as u32);
+        }
+        if rng.gen_f64() < 0.5 {
+            spec = spec.drive_bits((rng.next_u64() % 19) as u32);
+        }
+        if rng.gen_f64() < 0.3 {
+            spec = spec.bs((rng.next_u64() % 10) as u32);
+        }
+        if rng.gen_f64() < 0.3 {
+            spec = spec.readout_ns((rng.gen_f64() - 0.25) * 4000.0);
+        }
+        if rng.gen_f64() < 0.3 {
+            spec = spec.analog_scale(rng.gen_f64() * 2.0 - 0.5);
+        }
+        if rng.gen_f64() < 0.3 {
+            let stage = Stage::ALL[(rng.next_u64() % 5) as usize];
+            spec = spec.budget(stage, rng.gen_f64() * 4.0 - 1.0);
+        }
+        match engine::try_analyze_spec(&spec, &t) {
+            Ok(s) => {
+                oks += 1;
+                assert!(s.power_limited_qubits >= 1 || !s.error_ok || s.stages.is_empty());
+            }
+            Err(e) => {
+                errs += 1;
+                // Every diagnostic renders.
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+    assert!(oks > 0, "the grid must hit some valid points ({oks} ok / {errs} err)");
+    assert!(errs > 0, "the grid must hit some invalid points ({oks} ok / {errs} err)");
+}
+
+/// The per-stage watt attribution exposed by the plan equals the
+/// verdict's (same memoized probe, not a recomputation).
+#[test]
+fn plan_power_artifact_backs_the_verdict() {
+    let mut plan =
+        AnalysisPlan::new(&QciDesign::rsfq_near_term(), &Target::near_term()).expect("valid");
+    let verdict = plan.run().expect("paper design");
+    let power = plan.stage_powers().expect("power artifact");
+    assert_eq!(power.power_limited_qubits, verdict.power_limited_qubits);
+    assert_eq!(power.binding_stage, verdict.binding_stage);
+    assert_eq!(power.stages, verdict.stages);
+    let total: f64 = verdict.stages.iter().map(StagePower::total_w).sum();
+    assert!(total > 0.0);
+}

@@ -3,7 +3,7 @@
 //! Fig. 6 flow exercised end to end.
 
 use qisim::cyclesim::{qasm, simulate, workloads, TimingModel};
-use qisim::error::workload::{seeded_rng, ErrorRates, WorkloadSim};
+use qisim::errormodel::workload::{seeded_rng, ErrorRates, WorkloadSim};
 use qisim::hal::fridge::{Fridge, Stage};
 use qisim::microarch::sfq::ReadoutSchedule;
 use qisim::power::evaluate;

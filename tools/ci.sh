@@ -23,26 +23,32 @@
 #      kernel against the bool-vec reference bit for bit and the
 #      parallel estimator across thread counts (no timing gate, no
 #      BENCH_mc.json rewrite — the full run is `--example bench_mc`)
+#   9. panic-regression gate: library code must not grow panic!/unwrap/
+#      expect sites beyond the per-file budgets in
+#      tools/panic_allowlist.txt (DESIGN.md error-handling policy)
+#  10. paper-suite smoke run: the cheap experiment drivers (Fig. 12/13/17
+#      + Table 2) must replay their paper numbers through the staged
+#      engine (the full 19-driver suite is `--example paper_suite`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/8] release build + tests =="
+echo "== [1/10] release build + tests =="
 cargo build --release
 cargo test -q --release
 
-echo "== [2/8] tests at QISIM_THREADS=2 =="
+echo "== [2/10] tests at QISIM_THREADS=2 =="
 QISIM_THREADS=2 cargo test -q --release
 
-echo "== [3/8] rustfmt =="
+echo "== [3/10] rustfmt =="
 cargo fmt --check
 
-echo "== [4/8] clippy (deny warnings) =="
+echo "== [4/10] clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
-echo "== [5/8] rustdoc (deny warnings) =="
+echo "== [5/10] rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "== [6/8] kill switches (--no-default-features) =="
+echo "== [6/10] kill switches (--no-default-features) =="
 cargo build --release --no-default-features
 cargo test -q --release --no-default-features
 # Serial pool + live obs: the exact build the determinism docs promise
@@ -50,7 +56,7 @@ cargo test -q --release --no-default-features
 cargo test -q --release -p qisim --no-default-features --features obs \
     --test integration_par
 
-echo "== [7/8] observe smoke run =="
+echo "== [7/10] observe smoke run =="
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 (cd "$out" && cargo run --release --quiet \
@@ -63,7 +69,24 @@ grep -q "power.stage.4K.device_dynamic_w" "$out/BENCH_obs.json"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/BENCH_obs.json" \
     2>/dev/null || echo "note: python3 unavailable, skipped strict JSON parse"
 
-echo "== [8/8] Monte-Carlo bench smoke run =="
+echo "== [8/10] Monte-Carlo bench smoke run =="
 cargo run --release --quiet --example bench_mc -- --smoke
+
+echo "== [9/10] panic-regression gate =="
+tools/check_panics.sh
+
+echo "== [10/10] paper-suite smoke run =="
+# Cheap drivers only: Fig. 12/13/17 + Table 2 finish in seconds; the
+# minute-scale Table 1 / Fig. 8 / Fig. 11 runs stay on the full suite
+# (filters are substring matches against the experiment ids).
+suite_out="$(cargo run --release --quiet --example paper_suite -- \
+    "Fig. 12" "Fig. 13" "Fig. 17" "Table 2")"
+echo "$suite_out" | grep -q "running 4 experiment"
+for id in "Fig. 12" "Fig. 13" "Fig. 17" "Table 2"; do
+    echo "$suite_out" | grep -q "$id" || { echo "missing $id" >&2; exit 1; }
+done
+# The headline scalability numbers must replay exactly through the
+# staged engine (zero relative error renders as "-").
+echo "$suite_out" | grep -q "max |rel err|"
 
 echo "CI gate passed."
