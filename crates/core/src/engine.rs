@@ -275,7 +275,38 @@ impl AnalysisPlan {
                 }
             }
         }
+        if qisim_obs::trace::armed() {
+            self.trace_stage_artifact(stage);
+        }
         Ok(Some(stage))
+    }
+
+    /// Emits a flight-recorder instant sizing the artifact a stage just
+    /// produced (approximate in-memory bytes), so timeline views show
+    /// what each `engine.stage.*` span handed downstream.
+    fn trace_stage_artifact(&self, stage: PlanStage) {
+        use std::mem::{size_of, size_of_val};
+        let stage_power_bytes = |stages: &[StagePower]| size_of_val(stages);
+        let (name, bytes) = match stage {
+            PlanStage::Inventory => ("engine.stage.inventory.artifact", size_of::<QciArch>()),
+            PlanStage::Schedule => ("engine.stage.schedule.artifact", size_of::<EsmSchedule>()),
+            PlanStage::Power => (
+                "engine.stage.power.artifact",
+                self.power
+                    .as_ref()
+                    .map_or(0, |p| size_of::<PowerArtifact>() + stage_power_bytes(&p.stages)),
+            ),
+            PlanStage::LogicalError => {
+                ("engine.stage.logical_error.artifact", size_of::<LogicalArtifact>())
+            }
+            PlanStage::Verdict => (
+                "engine.stage.verdict.artifact",
+                self.verdict.as_ref().map_or(0, |v| {
+                    size_of::<Scalability>() + stage_power_bytes(&v.stages) + v.design.len()
+                }),
+            ),
+        };
+        qisim_obs::trace::instant(name, &[("bytes", bytes as f64)]);
     }
 
     /// Runs every remaining stage and returns the verdict.
@@ -390,7 +421,14 @@ pub fn try_analyze_many(
 ) -> Result<Vec<Scalability>, QisimError> {
     span!("scalability.analyze_many");
     counter!("scalability.analyze_many.designs", designs.len() as u64);
-    qisim_par::par_map(designs, |design| try_analyze(design, target)).into_iter().collect()
+    qisim_par::par_map_indices(designs.len(), |i| {
+        if qisim_obs::trace::armed() {
+            qisim_obs::trace::instant("scalability.analyze_many.design", &[("design", i as f64)]);
+        }
+        try_analyze(&designs[i], target)
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Fallible [`crate::scalability::sweep`]: validates the design and the
@@ -418,6 +456,9 @@ pub fn try_sweep(design: &QciDesign, qubit_counts: &[u64]) -> Result<Vec<SweepPo
         r.stage(stage).map_or(0.0, StagePower::utilization)
     };
     qisim_par::par_map(qubit_counts, |&n| {
+        if qisim_obs::trace::armed() {
+            qisim_obs::trace::instant("scalability.sweep.point", &[("qubits", n as f64)]);
+        }
         let r = qisim_power::try_evaluate_memo(key, &arch, &fridge, n, &link)?;
         Ok(SweepPoint {
             qubits: n,

@@ -35,14 +35,46 @@ pub fn string_literal(s: &str) -> String {
 
 /// Appends a float as a JSON number; NaN and ±infinity become `null`
 /// (JSON has no representation for them).
+///
+/// Finite values use shortest-round-trip formatting (the same contract
+/// as `qisim::codec`): the emitted text is the shortest of the decimal
+/// and scientific renderings that parses back to the exact same bits,
+/// so integral values print as `1024` (not `1024.0`) and tiny values as
+/// `2e-5` (not `0.00002`), while inexact values keep every digit they
+/// need.
 pub fn push_f64(out: &mut String, v: f64) {
     if v.is_finite() {
-        // `{:?}` is Rust's shortest round-trip float formatting and is
-        // always a valid JSON number for finite values.
-        out.push_str(&format!("{v:?}"));
+        out.push_str(&shortest_f64(v));
     } else {
         out.push_str("null");
     }
+}
+
+/// Shortest text for a finite f64 that round-trips bit-exactly. Every
+/// candidate (`{}`, `{:?}`, `{:.p$e}`) is a valid JSON number for finite
+/// input, so the result always is too.
+fn shortest_f64(v: f64) -> String {
+    debug_assert!(v.is_finite());
+    let bits = v.to_bits();
+    let round_trips = |s: &str| s.parse::<f64>().map(f64::to_bits) == Ok(bits);
+    // `{:?}` is Rust's shortest-digits formatting and always round-trips;
+    // start from it and only accept strictly shorter exact candidates.
+    let mut best = format!("{v:?}");
+    let display = format!("{v}");
+    if display.len() < best.len() && round_trips(&display) {
+        best = display;
+    }
+    for precision in 0..17 {
+        let sci = format!("{v:.precision$e}");
+        if sci.len() >= best.len() {
+            break; // precision only grows the string from here on
+        }
+        if round_trips(&sci) {
+            best = sci;
+            break;
+        }
+    }
+    best
 }
 
 /// Appends an unsigned integer.
@@ -138,11 +170,34 @@ mod tests {
 
     #[test]
     fn finite_floats_round_trip() {
-        for v in [0.0, -1.5, 1e-300, 6.02e23, 1117.0] {
+        for v in [0.0, -1.5, 1e-300, 6.02e23, 1117.0, 0.1, 2e-5, 1.9999999999999998e-5] {
             let mut s = String::new();
             push_f64(&mut s, v);
-            assert_eq!(s.parse::<f64>().unwrap(), v, "formatting {v}");
+            assert_eq!(s.parse::<f64>().unwrap().to_bits(), v.to_bits(), "formatting {v}");
         }
+    }
+
+    #[test]
+    fn floats_use_shortest_round_trip_form() {
+        for (v, expected) in [
+            (1024.0, "1024"),
+            (-1.5, "-1.5"),
+            (0.1, "0.1"),
+            (2e-5, "2e-5"),
+            (0.00002, "2e-5"),
+            (1e300, "1e300"),
+            (0.0, "0"),
+            (691.0, "691"),
+        ] {
+            let mut s = String::new();
+            push_f64(&mut s, v);
+            assert_eq!(s, expected, "formatting {v}");
+        }
+        // Values with no short exact form keep every digit they need.
+        let noisy = 1.9999999999999998e-5;
+        let mut s = String::new();
+        push_f64(&mut s, noisy);
+        assert_eq!(s.parse::<f64>().unwrap().to_bits(), noisy.to_bits());
     }
 
     #[test]

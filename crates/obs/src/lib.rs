@@ -53,11 +53,15 @@ pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod trace;
+pub mod trace_export;
 
 pub use export::{json_is_well_formed, text_table, to_json};
 pub use hist::Histogram;
 pub use metrics::{Registry, Snapshot, SpanStats};
 pub use span::SpanGuard;
+pub use trace::TraceSession;
+pub use trace_export::trace_is_well_formed;
 
 #[cfg(feature = "obs")]
 mod global {
@@ -114,6 +118,20 @@ pub fn counter_add(name: &str, delta: u64) {
     #[cfg(feature = "obs")]
     if global::enabled() {
         global::registry().counter_add(name, delta);
+    }
+    #[cfg(not(feature = "obs"))]
+    let _ = (name, delta);
+}
+
+/// [`counter_add`] for `&'static str` names: additionally emits a
+/// flight-recorder counter-delta event when the recorder is armed (see
+/// [`trace`]). The [`counter!`] macro routes literal names here.
+#[inline]
+pub fn counter_add_traced(name: &'static str, delta: u64) {
+    #[cfg(feature = "obs")]
+    if global::enabled() {
+        global::registry().counter_add(name, delta);
+        trace::counter_event(name, delta);
     }
     #[cfg(not(feature = "obs"))]
     let _ = (name, delta);
@@ -183,29 +201,54 @@ macro_rules! span {
 
 /// Increments a named counter (`counter!("name")` adds 1,
 /// `counter!("name", n)` adds `n`).
+///
+/// The name and delta expressions are only evaluated while recording is
+/// enabled — a computed name (`counter!(format!(…))`) costs nothing when
+/// observability is off. Literal names additionally emit a
+/// flight-recorder counter event when the recorder is armed ([`trace`]).
 #[macro_export]
 macro_rules! counter {
+    ($name:literal) => {
+        if $crate::enabled() {
+            $crate::counter_add_traced($name, 1);
+        }
+    };
+    ($name:literal, $delta:expr) => {
+        if $crate::enabled() {
+            $crate::counter_add_traced($name, $delta);
+        }
+    };
     ($name:expr) => {
-        $crate::counter_add(&$name, 1)
+        if $crate::enabled() {
+            $crate::counter_add(&$name, 1);
+        }
     };
     ($name:expr, $delta:expr) => {
-        $crate::counter_add(&$name, $delta)
+        if $crate::enabled() {
+            $crate::counter_add(&$name, $delta);
+        }
     };
 }
 
-/// Sets a named gauge to a value (last write wins).
+/// Sets a named gauge to a value (last write wins). The name and value
+/// expressions are only evaluated while recording is enabled.
 #[macro_export]
 macro_rules! gauge {
     ($name:expr, $value:expr) => {
-        $crate::gauge_set(&$name, $value)
+        if $crate::enabled() {
+            $crate::gauge_set(&$name, $value);
+        }
     };
 }
 
-/// Records a sample into a named histogram.
+/// Records a sample into a named histogram. The name and value
+/// expressions are only evaluated while recording is enabled.
 #[macro_export]
 macro_rules! observe {
     ($name:expr, $value:expr) => {
-        $crate::observe_f64(&$name, $value)
+        if $crate::enabled() {
+            $crate::observe_f64(&$name, $value);
+        }
     };
 }
 
@@ -238,6 +281,58 @@ mod tests {
         assert!(crate::report_text().contains("lib.count"));
         crate::reset();
         assert!(crate::snapshot().is_empty());
+    }
+
+    #[test]
+    fn disabled_macros_do_not_evaluate_name_or_value_expressions() {
+        let _l = crate::global_test_lock();
+        crate::reset();
+        crate::set_enabled(false);
+        let mut evaluations = 0u32;
+        {
+            let mut name = |n: &str| {
+                evaluations += 1;
+                format!("lib.lazy.{n}")
+            };
+            counter!(name("count"));
+            counter!(name("count"), 4);
+            gauge!(name("gauge"), 2.5);
+            observe!(name("hist"), 10.0);
+        }
+        assert_eq!(evaluations, 0, "disabled macros must not evaluate their name expression");
+        crate::set_enabled(true);
+        {
+            let mut name = |n: &str| {
+                evaluations += 1;
+                format!("lib.lazy.{n}")
+            };
+            counter!(name("count"));
+        }
+        assert_eq!(evaluations, 1, "enabled macros evaluate the name exactly once");
+        assert_eq!(crate::snapshot().counter("lib.lazy.count"), Some(1));
+        crate::reset();
+    }
+
+    #[test]
+    fn literal_counter_names_reach_the_flight_recorder() {
+        let _l = crate::global_test_lock();
+        crate::reset();
+        crate::set_enabled(true);
+        crate::trace::arm();
+        crate::trace::clear();
+        counter!("lib.traced.count", 3);
+        let session = crate::trace::TraceSession::drain();
+        crate::trace::disarm();
+        let ev = session
+            .threads
+            .iter()
+            .flat_map(|t| &t.events)
+            .find(|e| e.name == "lib.traced.count")
+            .expect("counter event recorded");
+        assert_eq!(ev.kind, crate::trace::TraceEventKind::Counter);
+        assert_eq!(ev.args[0], Some(("delta", 3.0)));
+        assert_eq!(crate::snapshot().counter("lib.traced.count"), Some(3));
+        crate::reset();
     }
 
     #[test]

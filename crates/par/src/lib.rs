@@ -152,16 +152,34 @@ fn parallel_map_indices<U: Send, F: Fn(usize) -> U + Sync>(
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    // Flight-recorder epoch for queue-to-start latency: tasks measure how
+    // long they sat in the queue relative to the pool going live.
+    let pool_t0 = qisim_obs::trace::now_ns();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|w| {
+                let next = &next;
+                scope.spawn(move || {
+                    if qisim_obs::trace::armed() {
+                        qisim_obs::trace::set_thread_label(&format!("qisim-par worker-{w}"));
+                    }
                     let started = std::time::Instant::now();
                     let mut local: Vec<(usize, U)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
+                        }
+                        if qisim_obs::trace::armed() {
+                            let queue_ns = qisim_obs::trace::now_ns().saturating_sub(pool_t0);
+                            qisim_obs::trace::instant(
+                                "par.chunk.dispatch",
+                                &[
+                                    ("worker", w as f64),
+                                    ("chunk", i as f64),
+                                    ("queue_ns", queue_ns as f64),
+                                ],
+                            );
                         }
                         local.push((i, f(i)));
                     }

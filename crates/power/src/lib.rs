@@ -300,6 +300,9 @@ pub fn try_max_qubits_with_link(
     let mut hi = 2u64;
     while probe(hi)?.fits() {
         counter!("power.bisection.iters");
+        if qisim_obs::trace::armed() {
+            qisim_obs::trace::instant("power.bisection.probe", &[("qubits", hi as f64)]);
+        }
         lo = hi;
         hi *= 2;
         if hi > 1 << 40 {
@@ -309,6 +312,9 @@ pub fn try_max_qubits_with_link(
     while hi - lo > 1 {
         counter!("power.bisection.iters");
         let mid = lo + (hi - lo) / 2;
+        if qisim_obs::trace::armed() {
+            qisim_obs::trace::instant("power.bisection.probe", &[("qubits", mid as f64)]);
+        }
         if probe(mid)?.fits() {
             lo = mid;
         } else {

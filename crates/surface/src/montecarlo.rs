@@ -265,6 +265,21 @@ pub fn run_trials_legacy<R: Rng>(
     failures
 }
 
+/// Flight-recorder sampling stride for per-chunk Monte-Carlo events:
+/// `QISIM_TRACE_SAMPLE` (a positive integer, default 1 = every chunk,
+/// anything else clamps to 1). Chunk events are emitted per *chunk*,
+/// never per trial, so even stride 1 is one ring-buffer write per
+/// [`CHUNK_TRIALS`] trials; larger strides thin out huge sweeps.
+fn trace_sample() -> usize {
+    static SAMPLE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *SAMPLE.get_or_init(|| {
+        std::env::var("QISIM_TRACE_SAMPLE")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .map_or(1, |n| n.max(1))
+    })
+}
+
 /// Flushes per-batch kernel counters to the `qisim-obs` registry.
 fn flush_obs(failures: usize, mc: McStats, dec: DecodeStats) {
     qisim_obs::counter!("surface.montecarlo.failures", failures as u64);
@@ -353,6 +368,12 @@ pub fn logical_error_rate_par(lattice: &Lattice, p: f64, trials: usize, seed: u6
     let per_chunk: Vec<(usize, McStats, DecodeStats)> = qisim_par::par_map_indices(chunks, |i| {
         let start = i * CHUNK_TRIALS;
         let len = CHUNK_TRIALS.min(trials - start);
+        if qisim_obs::trace::armed() && i % trace_sample() == 0 {
+            qisim_obs::trace::instant(
+                "surface.montecarlo.chunk",
+                &[("chunk", i as f64), ("trials", len as f64)],
+            );
+        }
         let mut rng = Xorshift64Star::stream(seed, i as u64);
         let mut scratch = McScratch::new(&packed, &graph);
         let failures = run_trials_packed(&packed, &graph, p, len, &mut rng, &mut scratch);

@@ -5,14 +5,25 @@
 //! attribution plus p50/p99 span timings for `power.max_qubits` and
 //! `scalability.analyze`).
 //!
-//! Run with `cargo run --release --example observe`.
+//! The run also demonstrates the flight recorder: with
+//! `QISIM_TRACE=trace.json` set (or via the programmatic `trace::arm()`
+//! fallback below), the drained `TraceSession` is exported as a Chrome
+//! `trace_event` timeline — open it in `chrome://tracing` or
+//! <https://ui.perfetto.dev> — plus folded flamegraph stacks.
+//!
+//! Run with `cargo run --release --example observe`, or traced:
+//! `QISIM_TRACE=trace.json cargo run --release --example observe`.
 
-use qisim::obs;
+use qisim::obs::{self, trace, trace_export};
 use qisim::surface::target::Target;
 use qisim::{analyze, sweep, QciDesign};
 
 fn main() {
     obs::reset();
+    // Arm the recorder even without QISIM_TRACE so the demo always has a
+    // timeline to summarize; with the env var set, finish() below also
+    // writes the artifacts to disk.
+    trace::arm();
     let target = Target::near_term();
 
     for design in [QciDesign::cmos_baseline(), QciDesign::rsfq_near_term()] {
@@ -26,7 +37,8 @@ fn main() {
     }
 
     // A utilization sweep adds histogram samples on top of the spans the
-    // analyses recorded.
+    // analyses recorded — and, traced, scatters per-point instants
+    // across the qisim-par worker lanes.
     let _ = sweep(&QciDesign::cmos_baseline(), &[64, 128, 256, 512, 1024]);
 
     println!("{}", obs::report_text());
@@ -34,4 +46,26 @@ fn main() {
     let json = obs::report_json();
     std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
     println!("wrote BENCH_obs.json ({} bytes)", json.len());
+
+    // Drain the flight recorder and exercise both exporters.
+    let session = trace::TraceSession::drain();
+    let chrome = trace_export::chrome_trace_json(&session);
+    let folded = trace_export::folded_stacks(&session);
+    println!(
+        "trace: {} events on {} lane(s), {} dropped; chrome export {} bytes, {} folded stacks",
+        session.event_count(),
+        session.threads.len(),
+        session.dropped_events,
+        chrome.len(),
+        folded.lines().count()
+    );
+    assert!(trace_export::trace_is_well_formed(&chrome), "chrome export must validate");
+    println!("trace export: well-formed");
+    // With QISIM_TRACE=<path> set this writes <path> and <path>.folded;
+    // without it, it's a no-op returning None.
+    match session.finish() {
+        Ok(Some(path)) => println!("wrote {} (+ .folded)", path.display()),
+        Ok(None) => println!("QISIM_TRACE unset; trace artifacts not written"),
+        Err(e) => panic!("trace dump failed: {e}"),
+    }
 }

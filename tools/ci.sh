@@ -18,7 +18,10 @@
 #      (--features obs) re-runs the determinism suite to pin the
 #      parallel build's results to the serial path
 #   7. observability smoke run: the observe example must emit a valid
-#      BENCH_obs.json with span timings and per-stage watt attribution
+#      BENCH_obs.json with span timings and per-stage watt attribution,
+#      and (run under QISIM_TRACE at QISIM_THREADS=2) a Chrome
+#      trace_event timeline that self-validates via trace_is_well_formed,
+#      carries balanced begin/end events, worker lanes, and folded stacks
 #   8. Monte-Carlo bench smoke run: bench_mc --smoke checks the packed
 #      kernel against the bool-vec reference bit for bit and the
 #      parallel estimator across thread counts (no timing gate, no
@@ -56,10 +59,10 @@ cargo test -q --release --no-default-features
 cargo test -q --release -p qisim --no-default-features --features obs \
     --test integration_par
 
-echo "== [7/10] observe smoke run =="
+echo "== [7/10] observe + trace smoke run =="
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
-(cd "$out" && cargo run --release --quiet \
+(cd "$out" && QISIM_TRACE="$out/trace.json" QISIM_THREADS=2 cargo run --release --quiet \
     --manifest-path "$OLDPWD/Cargo.toml" --example observe > observe.txt)
 grep -q "power-limited" "$out/observe.txt"
 grep -q "power.max_qubits" "$out/BENCH_obs.json"
@@ -67,6 +70,19 @@ grep -q "scalability.analyze" "$out/BENCH_obs.json"
 grep -q "p99_ns" "$out/BENCH_obs.json"
 grep -q "power.stage.4K.device_dynamic_w" "$out/BENCH_obs.json"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/BENCH_obs.json" \
+    2>/dev/null || echo "note: python3 unavailable, skipped strict JSON parse"
+# The example asserts trace_is_well_formed on its own export before
+# writing; the artifacts and balanced/labeled events must be on disk.
+grep -q "trace export: well-formed" "$out/observe.txt"
+grep -q "traceEvents" "$out/trace.json"
+grep -q "thread_name" "$out/trace.json"
+grep -q "engine.stage.power" "$out/trace.json"
+test -s "$out/trace.json.folded"
+begins=$(grep -o '"ph":"B"' "$out/trace.json" | wc -l)
+ends=$(grep -o '"ph":"E"' "$out/trace.json" | wc -l)
+test "$begins" -gt 0
+test "$begins" -eq "$ends" || { echo "unbalanced trace: $begins B vs $ends E" >&2; exit 1; }
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/trace.json" \
     2>/dev/null || echo "note: python3 unavailable, skipped strict JSON parse"
 
 echo "== [8/10] Monte-Carlo bench smoke run =="
