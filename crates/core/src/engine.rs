@@ -425,7 +425,18 @@ pub fn try_analyze_many(
         if qisim_obs::trace::armed() {
             qisim_obs::trace::instant("scalability.analyze_many.design", &[("design", i as f64)]);
         }
-        try_analyze(&designs[i], target)
+        // Per-candidate latency distribution: the autotuner workload is
+        // thousands of these points, so its p50/p99 is the service's
+        // headline histogram.
+        let t0 = qisim_obs::enabled().then(std::time::Instant::now);
+        let verdict = try_analyze(&designs[i], target);
+        if let Some(t0) = t0 {
+            qisim_obs::observe!(
+                "scalability.analyze_many.point_ns",
+                t0.elapsed().as_nanos() as f64
+            );
+        }
+        verdict
     })
     .into_iter()
     .collect()

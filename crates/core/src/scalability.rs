@@ -126,11 +126,15 @@ impl Scalability {
         {
             let total = hits + misses;
             if total > 0 {
+                let stats = qisim_power::cache_stats();
                 let _ = writeln!(
                     out,
                     "  power memo cache: {hits} hits / {misses} misses ({:.1}% hit rate, \
-                     process-wide)",
-                    100.0 * hits as f64 / total as f64
+                     process-wide); {} entries resident of {} cap, {} evicted",
+                    100.0 * hits as f64 / total as f64,
+                    stats.len,
+                    stats.cap,
+                    stats.evictions,
                 );
             }
         }

@@ -1,6 +1,9 @@
-//! Exporters: render a [`Snapshot`] as an aligned text table (for humans)
-//! or as JSON (for `BENCH_obs.json`-style perf-trajectory artifacts).
+//! Exporters: render a [`Snapshot`] as an aligned text table (for humans),
+//! as JSON (for `BENCH_obs.json`-style perf-trajectory artifacts), or as
+//! OpenMetrics text exposition (for Prometheus-style scrapers and the
+//! [`crate::telemetry`] periodic exporter).
 
+use crate::hist::Histogram;
 use crate::json::ObjectWriter;
 use crate::metrics::Snapshot;
 
@@ -126,6 +129,22 @@ pub fn text_table(snap: &Snapshot) -> String {
             &["histogram", "count", "mean", "p50", "p90", "p99", "min", "max"],
             &rows,
         );
+        out.push('\n');
+    }
+    // Health footer: ring overflow and cache effectiveness at a glance,
+    // without having to parse the JSON artifact.
+    out.push_str("== summary ==\n");
+    let dropped = snap.counter("trace.dropped_events").unwrap_or(0);
+    out.push_str(&format!("trace.dropped_events: {dropped}\n"));
+    let hits = snap.counter("power.cache.hits").unwrap_or(0);
+    let misses = snap.counter("power.cache.misses").unwrap_or(0);
+    if hits + misses > 0 {
+        let rate = 100.0 * hits as f64 / (hits + misses) as f64;
+        out.push_str(&format!(
+            "power memo cache: {hits} hits / {misses} misses ({rate:.1}% hit rate)\n"
+        ));
+    } else {
+        out.push_str("power memo cache: no lookups recorded\n");
     }
     out
 }
@@ -367,6 +386,279 @@ pub fn json_is_well_formed(s: &str) -> bool {
     i == b.len()
 }
 
+/// Maps a dotted qisim metric name (`power.cache.hits`) onto the
+/// OpenMetrics name charset `[a-zA-Z_:][a-zA-Z0-9_:]*`: dots and every
+/// other illegal character become underscores, and a leading digit gets
+/// an underscore prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if out.is_empty() && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders a float the way OpenMetrics spells the special values.
+fn fmt_om(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// One histogram family: `# TYPE`/`# HELP`, cumulative `_bucket` series
+/// (underflow folded into `le="1"`, the first bucket edge), the mandatory
+/// `le="+Inf"` bucket, `_sum`, and `_count`.
+fn push_om_histogram(out: &mut String, n: &str, orig: &str, h: &Histogram) {
+    out.push_str(&format!("# TYPE {n} histogram\n"));
+    out.push_str(&format!("# HELP {n} qisim histogram {orig}\n"));
+    let mut cum = h.underflow();
+    if cum > 0 {
+        out.push_str(&format!("{n}_bucket{{le=\"1\"}} {cum}\n"));
+    }
+    for (_lo, hi, c) in h.nonempty_buckets() {
+        cum += c;
+        out.push_str(&format!("{n}_bucket{{le=\"{hi}\"}} {cum}\n"));
+    }
+    // `count` includes non-finite samples excluded from every bucket, so
+    // +Inf (the whole real line and beyond) is the only edge that sees
+    // them — exactly the OpenMetrics contract `+Inf == _count`.
+    out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{n}_sum {}\n", fmt_om(h.sum())));
+    out.push_str(&format!("{n}_count {}\n", h.count()));
+}
+
+/// Renders the snapshot in OpenMetrics text exposition format:
+///
+/// ```text
+/// # TYPE power_cache_hits counter
+/// # HELP power_cache_hits qisim counter power.cache.hits
+/// power_cache_hits_total 182
+/// # TYPE cyclesim_makespan_ns histogram
+/// cyclesim_makespan_ns_bucket{le="1024"} 1
+/// cyclesim_makespan_ns_bucket{le="+Inf"} 2
+/// cyclesim_makespan_ns_sum 2032
+/// cyclesim_makespan_ns_count 2
+/// # EOF
+/// ```
+///
+/// Dotted names are sanitized via [`sanitize_metric_name`]; spans export
+/// as a `{name}_duration_ns` histogram plus a `{name}_self_ns` counter.
+/// The output always terminates with `# EOF` and round-trips through
+/// [`openmetrics_is_well_formed`].
+pub fn openmetrics(snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    for (name, v) in &snap.counters {
+        let n = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n"));
+        out.push_str(&format!("# HELP {n} qisim counter {name}\n"));
+        out.push_str(&format!("{n}_total {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n"));
+        out.push_str(&format!("# HELP {n} qisim gauge {name}\n"));
+        out.push_str(&format!("{n} {}\n", fmt_om(*v)));
+    }
+    for (name, h) in &snap.hists {
+        push_om_histogram(&mut out, &sanitize_metric_name(name), name, h);
+    }
+    for (name, s) in &snap.spans {
+        let n = sanitize_metric_name(name);
+        push_om_histogram(&mut out, &format!("{n}_duration_ns"), name, &s.durations);
+        out.push_str(&format!("# TYPE {n}_self_ns counter\n"));
+        out.push_str(&format!("# HELP {n}_self_ns qisim span self-time {name}\n"));
+        out.push_str(&format!("{n}_self_ns_total {}\n", s.self_ns));
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// OpenMetrics name charset: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn om_name_ok(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Label set between braces: `key="value",key="value"` with `\\`, `\"`,
+/// and `\n` escapes inside values. Returns the value of `le` if present.
+fn om_labels_ok(s: &str) -> Option<Option<String>> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    let mut le = None;
+    if b.is_empty() {
+        return Some(None);
+    }
+    loop {
+        let key_start = i;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        if i == key_start || i >= b.len() || b[i] != b'=' {
+            return None;
+        }
+        let key = &s[key_start..i];
+        i += 1;
+        if i >= b.len() || b[i] != b'"' {
+            return None;
+        }
+        i += 1;
+        let val_start = i;
+        loop {
+            if i >= b.len() {
+                return None;
+            }
+            match b[i] {
+                b'"' => break,
+                b'\\' => {
+                    if i + 1 >= b.len() || !matches!(b[i + 1], b'\\' | b'"' | b'n') {
+                        return None;
+                    }
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        if key == "le" {
+            le = Some(s[val_start..i].to_string());
+        }
+        i += 1; // closing quote
+        if i == b.len() {
+            return Some(le);
+        }
+        if b[i] != b',' {
+            return None;
+        }
+        i += 1;
+    }
+}
+
+/// A small OpenMetrics well-formedness checker mirroring
+/// [`json_is_well_formed`]: used by the exporter tests and the CI smoke
+/// run as a self-check on [`openmetrics`] output. Validates the `# EOF`
+/// terminator, `# TYPE` declarations preceding their samples, the metric
+/// name charset, label syntax, float values (including `NaN`/`+Inf`),
+/// counter `_total` / histogram `_bucket`/`_sum`/`_count` suffix
+/// discipline, and cumulative bucket monotonicity with
+/// `le="+Inf" == _count`. Not a full parser — just enough to catch
+/// exposition bugs.
+pub fn openmetrics_is_well_formed(s: &str) -> bool {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<&str, &str> = BTreeMap::new();
+    // Per histogram family: (last cumulative bucket value, +Inf value).
+    let mut buckets: BTreeMap<&str, (f64, Option<f64>)> = BTreeMap::new();
+    let mut seen_eof = false;
+    let value_ok = |v: &str| -> Option<f64> {
+        match v {
+            "NaN" => Some(f64::NAN),
+            "+Inf" => Some(f64::INFINITY),
+            "-Inf" => Some(f64::NEG_INFINITY),
+            _ => v.parse::<f64>().ok().filter(|x| x.is_finite()),
+        }
+    };
+    for line in s.lines() {
+        if seen_eof {
+            return false; // nothing may follow the terminator
+        }
+        if line == "# EOF" {
+            seen_eof = true;
+            continue;
+        }
+        if line.is_empty() {
+            return false;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.splitn(2, ' ');
+            let (name, ty) = (it.next().unwrap_or(""), it.next().unwrap_or(""));
+            let known = matches!(ty, "counter" | "gauge" | "histogram" | "summary" | "unknown");
+            if !om_name_ok(name) || !known || types.insert(name, ty).is_some() {
+                return false;
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            if !om_name_ok(rest.split(' ').next().unwrap_or("")) {
+                return false;
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return false; // only TYPE/HELP/EOF comment forms exist
+        }
+        // Sample line: name[{labels}] value
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        let name = &line[..name_end];
+        if !om_name_ok(name) {
+            return false;
+        }
+        let mut rest = &line[name_end..];
+        let mut le = None;
+        if let Some(inner) = rest.strip_prefix('{') {
+            let Some(close) = inner.find('}') else { return false };
+            match om_labels_ok(&inner[..close]) {
+                Some(l) => le = l,
+                None => return false,
+            }
+            rest = &inner[close + 1..];
+        }
+        let Some(valstr) = rest.strip_prefix(' ') else { return false };
+        let Some(val) = value_ok(valstr) else { return false };
+        // Suffix discipline: the sample must belong to a declared family
+        // of the matching type, declared before this line.
+        let fam_of = |suffix: &str, ty: &str| -> Option<&str> {
+            let base = name.strip_suffix(suffix)?;
+            (types.get(base) == Some(&ty)).then_some(base)
+        };
+        if types.get(name) == Some(&"gauge") || types.get(name) == Some(&"unknown") {
+            // plain sample, nothing more to check
+        } else if fam_of("_total", "counter").is_some() {
+            if val < 0.0 {
+                return false;
+            }
+        } else if let Some(base) = fam_of("_bucket", "histogram") {
+            let Some(edge) = le else { return false };
+            if value_ok(&edge).is_none() {
+                return false;
+            }
+            let entry = buckets.entry(base).or_insert((f64::NEG_INFINITY, None));
+            if val < entry.0 {
+                return false; // cumulative series must be non-decreasing
+            }
+            entry.0 = val;
+            if edge == "+Inf" {
+                entry.1 = Some(val);
+            }
+        } else if let Some(base) = fam_of("_count", "histogram") {
+            match buckets.get(base).and_then(|e| e.1) {
+                Some(inf) if inf == val => {}
+                _ => return false, // +Inf bucket missing or != _count
+            }
+        } else if fam_of("_sum", "histogram").is_none() {
+            return false;
+        }
+    }
+    seen_eof
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -419,6 +711,96 @@ mod tests {
             t.lines().filter(|l| l.contains(".calls") || l.contains("cyclesim.ops")).collect();
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0].len(), lines[1].len(), "{t}");
+    }
+
+    #[test]
+    fn text_table_summary_footer_reports_health() {
+        let r = Registry::new();
+        r.counter_add("trace.dropped_events", 3);
+        r.counter_add("power.cache.hits", 9);
+        r.counter_add("power.cache.misses", 1);
+        let t = text_table(&r.snapshot());
+        assert!(t.contains("== summary =="), "{t}");
+        assert!(t.contains("trace.dropped_events: 3"), "{t}");
+        assert!(t.contains("9 hits / 1 misses (90.0% hit rate)"), "{t}");
+        // Without the counters the footer still renders, with defaults.
+        let t = text_table(&sample());
+        assert!(t.contains("trace.dropped_events: 0"), "{t}");
+        assert!(t.contains("no lookups recorded"), "{t}");
+    }
+
+    #[test]
+    fn metric_names_sanitize_to_openmetrics_charset() {
+        assert_eq!(sanitize_metric_name("power.cache.hits"), "power_cache_hits");
+        assert_eq!(sanitize_metric_name("weird \"name\"\\path"), "weird__name__path");
+        assert_eq!(sanitize_metric_name("4K.stage"), "_4K_stage");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("already_fine:ns"), "already_fine:ns");
+    }
+
+    #[test]
+    fn openmetrics_export_is_well_formed_and_complete() {
+        let om = openmetrics(&sample());
+        assert!(openmetrics_is_well_formed(&om), "malformed:\n{om}");
+        assert!(om.ends_with("# EOF\n"), "{om}");
+        // Counter family: TYPE line + _total sample with sanitized name.
+        assert!(om.contains("# TYPE power_evaluate_calls counter"), "{om}");
+        assert!(om.contains("power_evaluate_calls_total 182"), "{om}");
+        // Gauge family, including the NaN degradation.
+        assert!(om.contains("# TYPE power_stage_4K_utilization gauge"), "{om}");
+        assert!(om.contains("power_stage_4K_utilization 0.997"), "{om}");
+        assert!(om.contains("weird__name__path NaN"), "{om}");
+        // Histogram family: buckets are cumulative and capped by +Inf.
+        assert!(om.contains("# TYPE cyclesim_makespan_ns histogram"), "{om}");
+        assert!(om.contains("cyclesim_makespan_ns_bucket{le=\"+Inf\"} 2"), "{om}");
+        assert!(om.contains("cyclesim_makespan_ns_sum 2032"), "{om}");
+        assert!(om.contains("cyclesim_makespan_ns_count 2"), "{om}");
+        // Span family: duration histogram + self-time counter.
+        assert!(om.contains("# TYPE power_max_qubits_duration_ns histogram"), "{om}");
+        assert!(om.contains("power_max_qubits_self_ns_total 1500000"), "{om}");
+    }
+
+    #[test]
+    fn openmetrics_underflow_folds_into_first_bucket() {
+        let r = Registry::new();
+        r.observe("h", 0.25); // below the first bucket edge
+        r.observe("h", 0.5);
+        r.observe("h", 100.0);
+        let om = openmetrics(&r.snapshot());
+        assert!(openmetrics_is_well_formed(&om), "malformed:\n{om}");
+        assert!(om.contains("h_bucket{le=\"1\"} 2"), "{om}");
+        assert!(om.contains("h_bucket{le=\"+Inf\"} 3"), "{om}");
+    }
+
+    #[test]
+    fn empty_snapshot_openmetrics_is_just_eof() {
+        let om = openmetrics(&Snapshot::default());
+        assert_eq!(om, "# EOF\n");
+        assert!(openmetrics_is_well_formed(&om));
+    }
+
+    #[test]
+    fn openmetrics_checker_rejects_garbage() {
+        for bad in [
+            "",                                                                                      // no EOF
+            "foo_total 1\n# EOF\n",                      // sample before TYPE
+            "# TYPE foo counter\nfoo 1\n# EOF\n",        // counter without _total
+            "# TYPE foo counter\nfoo_total -1\n# EOF\n", // negative counter
+            "# TYPE foo counter\nfoo_total 1\n",         // missing EOF
+            "# TYPE foo counter\n# EOF\nfoo_total 1\n",  // sample after EOF
+            "# TYPE foo gauge\nfoo abc\n# EOF\n",        // bad value
+            "# TYPE 9foo gauge\n9foo 1\n# EOF\n",        // bad name
+            "# TYPE foo gauge\n# TYPE foo gauge\n# EOF\n", // duplicate TYPE
+            "# TYPE foo wibble\n# EOF\n",                // unknown family type
+            "# TYPE h histogram\nh_bucket{le=\"2\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n# EOF\n", // non-monotone
+            "# TYPE h histogram\nh_sum 1\nh_count 3\n# EOF\n", // _count without +Inf
+            "# TYPE h histogram\nh_bucket{le=} 1\n# EOF\n",    // broken labels
+        ] {
+            assert!(!openmetrics_is_well_formed(bad), "accepted: {bad:?}");
+        }
+        let good = "# TYPE h histogram\n# HELP h words here\nh_bucket{le=\"1\"} 1\n\
+                    h_bucket{le=\"+Inf\"} 2\nh_sum 3.5\nh_count 2\n# EOF\n";
+        assert!(openmetrics_is_well_formed(good));
     }
 
     #[test]

@@ -137,7 +137,9 @@ impl Histogram {
 
     /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) from the bucket counts:
     /// the geometric midpoint of the bucket holding the target rank,
-    /// clamped into the observed `[min, max]`. Returns NaN when empty.
+    /// clamped into the observed `[min, max]`. The endpoints are exact:
+    /// `quantile(0.0)` returns the observed minimum and `quantile(1.0)`
+    /// the observed maximum. Returns NaN when empty.
     ///
     /// # Panics
     ///
@@ -147,6 +149,12 @@ impl Histogram {
         let finite = self.underflow + self.buckets.iter().sum::<u64>();
         if finite == 0 {
             return f64::NAN;
+        }
+        if q == 0.0 {
+            return self.min();
+        }
+        if q == 1.0 {
+            return self.max();
         }
         let target = ((q * finite as f64).ceil() as u64).max(1);
         let mut seen = self.underflow;
@@ -160,6 +168,55 @@ impl Histogram {
             }
         }
         self.max
+    }
+
+    /// Number of samples below the first bucket edge (`v < 1.0`,
+    /// including zero; the OpenMetrics exporter folds these into the
+    /// `le="1"` bucket).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// The samples recorded since `prev`, as a histogram of their own:
+    /// the per-interval view the telemetry exporter publishes, so
+    /// p50/p99 describe the last interval instead of the process
+    /// lifetime.
+    ///
+    /// `prev` must be an earlier snapshot of the same histogram. If it
+    /// is not a prefix of `self` — the registry was [`reset`] between
+    /// the two snapshots — the full current contents are returned
+    /// (everything since the reset is new), so delta counts never go
+    /// negative. The interval's exact min/max are not recoverable from
+    /// two cumulative snapshots; the cumulative bounds are kept as the
+    /// clamp window, which can only widen quantile estimates, never
+    /// corrupt them.
+    ///
+    /// [`reset`]: crate::reset
+    pub fn delta_since(&self, prev: &Histogram) -> Histogram {
+        if self.count < prev.count {
+            return self.clone(); // reset in between: everything is new
+        }
+        let count = self.count - prev.count;
+        if count == 0 {
+            return Histogram::new();
+        }
+        let buckets = if self.buckets.is_empty() {
+            Vec::new()
+        } else {
+            self.buckets
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| c.saturating_sub(prev.buckets.get(i).copied().unwrap_or(0)))
+                .collect()
+        };
+        Histogram {
+            count,
+            sum: (self.sum - prev.sum).max(0.0),
+            min: self.min,
+            max: self.max,
+            underflow: self.underflow.saturating_sub(prev.underflow),
+            buckets,
+        }
     }
 
     /// Iterates non-empty buckets as `(lo, hi, count)` triples.
@@ -253,5 +310,72 @@ mod tests {
         let mut h = Histogram::new();
         h.observe(1.0);
         let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn quantile_endpoints_are_exact() {
+        let mut h = Histogram::new();
+        for v in [17.3, 2.0, 950.0, 0.25, 31.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 0.25, "q=0 must be the exact minimum");
+        assert_eq!(h.quantile(1.0), 950.0, "q=1 must be the exact maximum");
+        // Dense monotonicity sweep across the whole range.
+        let qs: Vec<f64> = (0..=100).map(|i| h.quantile(i as f64 / 100.0)).collect();
+        for w in qs.windows(2) {
+            assert!(w[1] >= w[0], "quantile not monotone in q: {qs:?}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantile_endpoints_are_nan() {
+        let h = Histogram::new();
+        assert!(h.quantile(0.0).is_nan());
+        assert!(h.quantile(1.0).is_nan());
+        assert!(h.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn delta_since_isolates_the_interval() {
+        let mut h = Histogram::new();
+        for v in 1..=100 {
+            h.observe(v as f64);
+        }
+        let first = h.clone();
+        for v in 10_000..=20_000 {
+            h.observe(v as f64);
+        }
+        let delta = h.delta_since(&first);
+        assert_eq!(delta.count(), 10_001);
+        // The interval's samples all sit near 10⁴; a lifetime histogram
+        // would pull the p50 down toward the early cheap samples.
+        let p50 = delta.quantile(0.5);
+        assert!(p50 > 9_000.0, "interval p50 {p50} polluted by pre-interval samples");
+        assert!((delta.sum() - (10_000..=20_000).sum::<u64>() as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_empty() {
+        let mut h = Histogram::new();
+        h.observe(5.0);
+        h.observe(500.0);
+        let delta = h.delta_since(&h.clone());
+        assert_eq!(delta.count(), 0);
+        assert!(delta.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn delta_across_reset_returns_current_contents() {
+        let mut before = Histogram::new();
+        for v in 1..=50 {
+            before.observe(v as f64);
+        }
+        // "Reset": the new histogram restarts from empty, so the current
+        // snapshot has fewer samples than the previous one.
+        let mut after = Histogram::new();
+        after.observe(7.0);
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.count(), 1, "everything since the reset is new");
+        assert_eq!(delta.sum(), 7.0);
     }
 }

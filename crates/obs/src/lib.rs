@@ -53,10 +53,14 @@ pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod span;
+pub mod telemetry;
 pub mod trace;
 pub mod trace_export;
 
-pub use export::{json_is_well_formed, text_table, to_json};
+pub use export::{
+    json_is_well_formed, openmetrics, openmetrics_is_well_formed, sanitize_metric_name, text_table,
+    to_json,
+};
 pub use hist::Histogram;
 pub use metrics::{Registry, Snapshot, SpanStats};
 pub use span::SpanGuard;

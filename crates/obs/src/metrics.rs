@@ -26,6 +26,22 @@ impl SpanStats {
     fn new() -> Self {
         SpanStats { count: 0, total_ns: 0, self_ns: 0, durations: Histogram::new() }
     }
+
+    /// The occurrences recorded since `prev` (see
+    /// [`Snapshot::delta_since`]). A registry reset between the two
+    /// snapshots makes the whole current value the delta; counts never
+    /// go negative.
+    fn delta_since(&self, prev: &SpanStats) -> SpanStats {
+        if self.count < prev.count {
+            return self.clone();
+        }
+        SpanStats {
+            count: self.count - prev.count,
+            total_ns: self.total_ns.saturating_sub(prev.total_ns),
+            self_ns: self.self_ns.saturating_sub(prev.self_ns),
+            durations: self.durations.delta_since(&prev.durations),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -49,6 +65,13 @@ pub struct Registry {
 /// A point-in-time copy of the registry contents, used by the exporters.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
+    /// Monotonic capture timestamp: nanoseconds since the process
+    /// observability epoch (the recorder's first timestamp request).
+    /// Two snapshots of the same registry order by `at_ns`, so an
+    /// interval's wall-clock length is `cur.at_ns - prev.at_ns` — the
+    /// denominator that turns [`Snapshot::delta_since`] counters into
+    /// rates. Always 0 when the `obs` feature is compiled out.
+    pub at_ns: u64,
     /// Counter values.
     pub counters: Vec<(String, u64)>,
     /// Gauge values.
@@ -81,6 +104,70 @@ impl Snapshot {
     /// Looks up span statistics by name.
     pub fn span(&self, name: &str) -> Option<&SpanStats> {
         self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// The activity between `prev` and `self`, as a snapshot of its own:
+    /// counters become per-interval increments, histograms and span
+    /// durations hold only the interval's samples (so p50/p99 describe
+    /// the last interval, not the process lifetime), and gauges keep
+    /// their latest value (a gauge has no meaningful delta).
+    ///
+    /// Every series present in `self` stays present in the delta even
+    /// when its interval value is zero, so a scraper sees a stable set
+    /// of time series instead of families that blink in and out. Series
+    /// that vanished entirely (only possible across a [`Registry::reset`])
+    /// are dropped. A reset between the snapshots never produces a
+    /// negative delta: a counter that shrank reports its full current
+    /// value (everything since the reset is new).
+    ///
+    /// `delta_since` of two identical snapshots is all-zero, and the
+    /// delta of a delta against itself is zero again — the operation is
+    /// idempotent at zero, which the telemetry tests pin.
+    pub fn delta_since(&self, prev: &Snapshot) -> Snapshot {
+        let counter_delta = |cur: u64, prev: Option<u64>| {
+            let p = prev.unwrap_or(0);
+            if cur >= p {
+                cur - p
+            } else {
+                cur // reset in between: everything is new
+            }
+        };
+        Snapshot {
+            at_ns: self.at_ns,
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| (n.clone(), counter_delta(*v, prev.counter(n))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(n, h)| {
+                    let d = match prev.hist(n) {
+                        Some(p) => h.delta_since(p),
+                        None => h.clone(),
+                    };
+                    (n.clone(), d)
+                })
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|(n, s)| {
+                    let d = match prev.span(n) {
+                        Some(p) => s.delta_since(p),
+                        None => s.clone(),
+                    };
+                    (n.clone(), d)
+                })
+                .collect(),
+        }
     }
 }
 
@@ -139,15 +226,26 @@ impl Registry {
         s.durations.observe(total_ns as f64);
     }
 
-    /// Copies the current contents out for export.
+    /// Copies the current contents out for export, stamped with the
+    /// monotonic capture time ([`Snapshot::at_ns`]).
     pub fn snapshot(&self) -> Snapshot {
+        let at_ns = crate::trace::now_ns();
         let g = self.lock();
         Snapshot {
+            at_ns,
             counters: g.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
             gauges: g.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
             hists: g.hists.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
             spans: g.spans.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
         }
+    }
+
+    /// The activity since `prev` was captured from this registry:
+    /// [`Registry::snapshot`] followed by [`Snapshot::delta_since`]. The
+    /// telemetry exporter calls this once per interval; the returned
+    /// snapshot's `at_ns` minus `prev.at_ns` is the interval length.
+    pub fn delta_since(&self, prev: &Snapshot) -> Snapshot {
+        self.snapshot().delta_since(prev)
     }
 
     /// Clears every metric.
@@ -212,6 +310,74 @@ mod tests {
         let snap = r.snapshot();
         let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn delta_since_yields_per_interval_values() {
+        let r = Registry::new();
+        r.counter_add("c", 10);
+        r.gauge_set("g", 1.0);
+        r.observe("h", 2.0);
+        r.record_span("s", 100, 100);
+        let first = r.snapshot();
+        r.counter_add("c", 5);
+        r.gauge_set("g", 7.0);
+        r.observe("h", 40.0);
+        r.record_span("s", 300, 200);
+        let delta = r.delta_since(&first);
+        assert_eq!(delta.counter("c"), Some(5), "interval increment, not lifetime total");
+        assert_eq!(delta.gauge("g"), Some(7.0), "gauges keep the latest value");
+        assert_eq!(delta.hist("h").unwrap().count(), 1);
+        assert_eq!(delta.hist("h").unwrap().sum(), 40.0);
+        let s = delta.span("s").unwrap();
+        assert_eq!((s.count, s.total_ns, s.self_ns), (1, 300, 200));
+        assert_eq!(s.durations.count(), 1);
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_all_zero() {
+        let r = Registry::new();
+        r.counter_add("c", 3);
+        r.observe("h", 9.0);
+        r.record_span("s", 10, 10);
+        let snap = r.snapshot();
+        let delta = r.delta_since(&snap);
+        assert!(delta.counters.iter().all(|&(_, v)| v == 0), "{delta:?}");
+        assert!(delta.hists.iter().all(|(_, h)| h.count() == 0), "{delta:?}");
+        assert!(delta.spans.iter().all(|(_, s)| s.count == 0), "{delta:?}");
+        // Delta-of-delta: diffing the zero delta against itself is still
+        // all-zero (idempotent at zero).
+        let dd = delta.delta_since(&delta);
+        assert!(dd.counters.iter().all(|&(_, v)| v == 0), "{dd:?}");
+        assert!(dd.hists.iter().all(|(_, h)| h.count() == 0), "{dd:?}");
+    }
+
+    #[test]
+    fn counter_deltas_never_go_negative_across_reset() {
+        let r = Registry::new();
+        r.counter_add("c", 100);
+        r.observe("h", 50.0);
+        r.observe("h", 60.0);
+        let before = r.snapshot();
+        r.reset();
+        r.counter_add("c", 7);
+        r.observe("h", 3.0);
+        let delta = r.delta_since(&before);
+        // The counter shrank (100 → 7): the delta is the full post-reset
+        // value, never a wrapped/negative number.
+        assert_eq!(delta.counter("c"), Some(7));
+        assert_eq!(delta.hist("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_timestamps_are_monotonic() {
+        let r = Registry::new();
+        let a = r.snapshot();
+        r.counter_add("x", 1);
+        let b = r.snapshot();
+        assert!(b.at_ns >= a.at_ns, "at_ns must never run backwards");
+        // The delta carries the interval-end timestamp.
+        assert_eq!(b.delta_since(&a).at_ns, b.at_ns);
     }
 
     #[test]

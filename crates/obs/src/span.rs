@@ -71,6 +71,10 @@ impl SpanGuard {
             if !crate::enabled() {
                 return SpanGuard { active: None };
             }
+            // The periodic exporter arms itself off the first span any
+            // instrumented workload opens: one relaxed load once
+            // QISIM_METRICS has been found unset.
+            let _ = crate::telemetry::armed();
             let span_id = if crate::trace::armed() {
                 let id = crate::trace::new_span_id();
                 let parent =

@@ -1,0 +1,82 @@
+//! Property-based tests of the histogram quantile estimator and the
+//! delta-snapshot algebra.
+//!
+//! Requires the `proptest` crate, which the offline reference build
+//! cannot fetch; enable with `cargo test --features proptest` on a
+//! machine with registry access (and add the dev-dependency back).
+
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use qisim_obs::{Histogram, Snapshot};
+
+fn histograms() -> impl Strategy<Value = Histogram> {
+    prop::collection::vec(0.0f64..1e12, 1..200).prop_map(|samples| {
+        let mut h = Histogram::new();
+        for s in samples {
+            h.observe(s);
+        }
+        h
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `quantile` is monotone non-decreasing in `q`.
+    #[test]
+    fn quantile_is_monotone_in_q(h in histograms(), a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi), "q{lo} > q{hi}");
+    }
+
+    /// The endpoints are exact: `q=0` is the recorded minimum and `q=1`
+    /// the recorded maximum, not bucket midpoints.
+    #[test]
+    fn quantile_endpoints_are_exact(h in histograms()) {
+        prop_assert_eq!(h.quantile(0.0), h.min());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    /// Every quantile of a non-empty histogram lies within [min, max].
+    #[test]
+    fn quantiles_stay_within_range(h in histograms(), q in 0.0f64..=1.0) {
+        let v = h.quantile(q);
+        prop_assert!(v >= h.min() && v <= h.max(), "q{q} = {v} outside range");
+    }
+
+    /// Delta-of-delta is zero: once an interval has been differenced
+    /// against itself, differencing again changes nothing.
+    #[test]
+    fn delta_of_delta_is_zero(
+        names in prop::collection::vec("[a-z]{1,8}", 1..8),
+        base in 0u64..1_000_000,
+    ) {
+        let mut snap = Snapshot::default();
+        for (i, n) in names.iter().enumerate() {
+            snap.counters.push((format!("{n}{i}"), base + i as u64));
+        }
+        let zero = snap.delta_since(&snap);
+        for (_, v) in &zero.counters {
+            prop_assert_eq!(*v, 0);
+        }
+        let still_zero = zero.delta_since(&zero);
+        for (_, v) in &still_zero.counters {
+            prop_assert_eq!(*v, 0);
+        }
+    }
+
+    /// Counter deltas never go negative, even when the current value is
+    /// below the previous one (a `reset()` happened mid-interval): the
+    /// delta falls back to the post-reset count.
+    #[test]
+    fn counter_deltas_are_never_negative(prev in 0u64..1_000_000, cur in 0u64..1_000_000) {
+        let mut a = Snapshot::default();
+        a.counters.push(("c".into(), prev));
+        let mut b = Snapshot::default();
+        b.counters.push(("c".into(), cur));
+        let d = b.delta_since(&a).counter("c").unwrap();
+        let expect = if cur >= prev { cur - prev } else { cur };
+        prop_assert_eq!(d, expect);
+    }
+}

@@ -50,7 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use qisim_obs::{counter, gauge};
+use qisim_obs::{counter, gauge, observe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runtime thread-count override; 0 means "no override installed".
@@ -155,6 +155,7 @@ fn parallel_map_indices<U: Send, F: Fn(usize) -> U + Sync>(
     // Flight-recorder epoch for queue-to-start latency: tasks measure how
     // long they sat in the queue relative to the pool going live.
     let pool_t0 = qisim_obs::trace::now_ns();
+    let queue_start = std::time::Instant::now();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
@@ -170,6 +171,11 @@ fn parallel_map_indices<U: Send, F: Fn(usize) -> U + Sync>(
                         if i >= n {
                             break;
                         }
+                        // Queue health for the telemetry exporter: how
+                        // deep the backlog was when this task started,
+                        // and how long it waited behind earlier tasks.
+                        gauge!("par.queue_depth", (n - i - 1) as f64);
+                        observe!("par.chunk.wait_ns", queue_start.elapsed().as_nanos() as f64);
                         if qisim_obs::trace::armed() {
                             let queue_ns = qisim_obs::trace::now_ns().saturating_sub(pool_t0);
                             qisim_obs::trace::instant(

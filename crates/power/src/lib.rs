@@ -27,7 +27,9 @@
 
 pub mod memo;
 
-pub use memo::{cache_len, clear_cache, MemoKey};
+pub use memo::{
+    cache_len, cache_stats, clear_cache, set_cache_cap, CacheStats, MemoKey, DEFAULT_CACHE_CAP,
+};
 
 use qisim_hal::fridge::{Fridge, Stage};
 use qisim_hal::wire::InstructionLink;

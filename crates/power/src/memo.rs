@@ -17,9 +17,22 @@
 //! compute the key **once per design** and reuse it across every probe
 //! ([`crate::max_qubits`] and `scalability::sweep` do exactly that).
 //!
-//! Cache pressure is bounded: at [`CACHE_CAP`] entries the map is cleared
-//! (sweeps re-warm it in one pass). Hits, misses, and size are published
-//! as `power.cache.*` metrics through `qisim-obs`.
+//! # Bounded LRU
+//!
+//! The cache is a strict least-recently-used cache bounded at
+//! [`DEFAULT_CACHE_CAP`] entries (override with `QISIM_MEMO_CAP`, read
+//! once per process, or at runtime with [`set_cache_cap`]): a long-lived
+//! service sweeping thousands of designs evicts cold entries one at a
+//! time instead of growing without bound or dropping the whole working
+//! set. Recency is an intrusive doubly-linked list threaded through a
+//! slot arena, so every hit and insert is O(1) and eviction never
+//! reallocates. Caching is transparent — stage powers are pure functions
+//! of the key — so any capacity yields bit-identical reports.
+//!
+//! Health is published through `qisim-obs`: `power.cache.{hits,misses,
+//! evictions}` counters and `power.cache.{len,bytes_est}` gauges feed the
+//! telemetry exporter, and [`cache_stats`] returns the same numbers
+//! directly (independent of whether observability is compiled in).
 
 use crate::PowerReport;
 use qisim_hal::fridge::Fridge;
@@ -28,8 +41,10 @@ use qisim_microarch::QciArch;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 
-/// Entries kept before the cache is wiped and re-warmed.
-pub const CACHE_CAP: usize = 1 << 15;
+/// Default entry capacity: generous enough that every in-tree workload
+/// (bisections, paper sweeps, the experiment suite) fits without a
+/// single eviction; `QISIM_MEMO_CAP` / [`set_cache_cap`] override it.
+pub const DEFAULT_CACHE_CAP: usize = 1 << 15;
 
 /// Fingerprint of one `(architecture, fridge, instruction-link)` triple;
 /// the per-design half of the memo-cache key (the other half is the
@@ -63,14 +78,229 @@ fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
     h
 }
 
-fn cache() -> &'static Mutex<HashMap<(MemoKey, u64), PowerReport>> {
-    static CACHE: OnceLock<Mutex<HashMap<(MemoKey, u64), PowerReport>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// A point-in-time view of the memo cache's health (the same numbers the
+/// `power.cache.*` metrics publish, available without `qisim-obs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache (process lifetime).
+    pub hits: u64,
+    /// Lookups that fell through to a fresh evaluation.
+    pub misses: u64,
+    /// Entries displaced because the cache was at capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Estimated resident bytes (slots plus per-report stage payload).
+    pub bytes_est: usize,
+    /// Current entry capacity.
+    pub cap: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`, or NaN before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+/// One arena slot: the entry plus its intrusive recency links.
+#[derive(Debug)]
+struct Slot {
+    key: (MemoKey, u64),
+    report: PowerReport,
+    /// Toward more-recent (NIL at the head).
+    prev: usize,
+    /// Toward less-recent (NIL at the tail).
+    next: usize,
+}
+
+/// The LRU core: a `HashMap` from key to arena index, a slot arena with
+/// an intrusive doubly-linked recency list (head = most recent, tail =
+/// next to evict), and a free list so eviction recycles slots without
+/// reallocating.
+#[derive(Debug)]
+struct LruCache {
+    map: HashMap<(MemoKey, u64), usize>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    bytes_est: usize,
+}
+
+/// Estimated resident cost of one entry: its slot (key, report header,
+/// links) plus the report's heap-allocated stage rows.
+fn entry_bytes(report: &PowerReport) -> usize {
+    std::mem::size_of::<Slot>() + report.stages.len() * std::mem::size_of::<crate::StagePower>()
+}
+
+impl LruCache {
+    fn new(cap: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            cap: cap.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            bytes_est: 0,
+        }
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].prev = i,
+        }
+        self.head = i;
+    }
+
+    /// Looks up an entry, marking it most-recently-used on a hit.
+    fn get(&mut self, key: (MemoKey, u64)) -> Option<PowerReport> {
+        match self.map.get(&key).copied() {
+            Some(i) => {
+                self.hits += 1;
+                if self.head != i {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+                Some(self.slots[i].report.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least-recently-used
+    /// one first when at capacity.
+    fn insert(&mut self, key: (MemoKey, u64), report: PowerReport) {
+        if let Some(&i) = self.map.get(&key) {
+            self.bytes_est =
+                self.bytes_est + entry_bytes(&report) - entry_bytes(&self.slots[i].report);
+            self.slots[i].report = report;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return;
+        }
+        while self.map.len() >= self.cap {
+            self.evict_tail();
+        }
+        self.bytes_est += entry_bytes(&report);
+        let slot = Slot { key, report, prev: NIL, next: NIL };
+        let i = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = slot;
+                i
+            }
+            None => {
+                self.slots.push(slot);
+                self.slots.len() - 1
+            }
+        };
+        self.map.insert(key, i);
+        self.push_front(i);
+    }
+
+    fn evict_tail(&mut self) {
+        let i = self.tail;
+        if i == NIL {
+            return;
+        }
+        self.unlink(i);
+        self.map.remove(&self.slots[i].key);
+        self.bytes_est = self.bytes_est.saturating_sub(entry_bytes(&self.slots[i].report));
+        self.free.push(i);
+        self.evictions += 1;
+    }
+
+    /// Shrinks (or grows) the capacity, evicting down to it immediately.
+    fn set_cap(&mut self, cap: usize) {
+        self.cap = cap.max(1);
+        while self.map.len() > self.cap {
+            self.evict_tail();
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.bytes_est = 0;
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.map.len(),
+            bytes_est: self.bytes_est,
+            cap: self.cap,
+        }
+    }
+}
+
+/// `QISIM_MEMO_CAP` captured at first use; invalid or unset falls back
+/// to [`DEFAULT_CACHE_CAP`].
+fn env_cap() -> usize {
+    static ENV_CAP: OnceLock<usize> = OnceLock::new();
+    *ENV_CAP.get_or_init(|| {
+        std::env::var("QISIM_MEMO_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(DEFAULT_CACHE_CAP, |cap| cap.max(1))
+    })
+}
+
+fn cache() -> &'static Mutex<LruCache> {
+    static CACHE: OnceLock<Mutex<LruCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(LruCache::new(env_cap())))
+}
+
+fn locked() -> std::sync::MutexGuard<'static, LruCache> {
+    cache().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Publishes the size gauges after a mutation (the hit/miss/eviction
+/// counters are emitted at their call sites so the deltas trace).
+fn publish_size(lru: &LruCache) {
+    qisim_obs::gauge!("power.cache.len", lru.map.len() as f64);
+    qisim_obs::gauge!("power.cache.bytes_est", lru.bytes_est as f64);
 }
 
 /// A cached report, if this `(design, qubit count)` was evaluated before.
+/// A hit marks the entry most-recently-used.
 pub(crate) fn lookup(key: MemoKey, n_qubits: u64) -> Option<PowerReport> {
-    let hit = cache().lock().unwrap_or_else(|e| e.into_inner()).get(&(key, n_qubits)).cloned();
+    let hit = locked().get((key, n_qubits));
     match hit {
         Some(r) => {
             qisim_obs::counter!("power.cache.hits");
@@ -83,25 +313,56 @@ pub(crate) fn lookup(key: MemoKey, n_qubits: u64) -> Option<PowerReport> {
     }
 }
 
-/// Stores a freshly computed report, wiping the map at [`CACHE_CAP`].
+/// Stores a freshly computed report, evicting the least-recently-used
+/// entry when the cache is at capacity.
 pub(crate) fn store(key: MemoKey, n_qubits: u64, report: PowerReport) {
-    let mut map = cache().lock().unwrap_or_else(|e| e.into_inner());
-    if map.len() >= CACHE_CAP {
-        map.clear();
+    let mut lru = locked();
+    let evicted_before = lru.evictions;
+    lru.insert((key, n_qubits), report);
+    let evicted = lru.evictions - evicted_before;
+    publish_size(&lru);
+    drop(lru);
+    if evicted > 0 {
+        qisim_obs::counter!("power.cache.evictions", evicted);
     }
-    map.insert((key, n_qubits), report);
-    qisim_obs::gauge!("power.cache.size", map.len() as f64);
 }
 
-/// Empties the memo cache (benches use this to time cold runs fairly).
+/// Empties the memo cache (benches use this to time cold runs fairly)
+/// and zeroes the `power.cache.{len,bytes_est}` gauges it invalidates;
+/// the lifetime hit/miss/eviction counters are preserved.
 pub fn clear_cache() {
-    cache().lock().unwrap_or_else(|e| e.into_inner()).clear();
-    qisim_obs::gauge!("power.cache.size", 0.0);
+    let mut lru = locked();
+    lru.clear();
+    publish_size(&lru);
 }
 
 /// Number of `(design, qubit count)` reports currently cached.
 pub fn cache_len() -> usize {
-    cache().lock().unwrap_or_else(|e| e.into_inner()).len()
+    locked().map.len()
+}
+
+/// The cache's lifetime hit/miss/eviction counts and current size — the
+/// numbers behind the `power.cache.*` metrics, available even when
+/// observability is compiled out.
+pub fn cache_stats() -> CacheStats {
+    locked().stats()
+}
+
+/// Overrides the entry capacity at runtime: `Some(cap)` bounds the cache
+/// (evicting down immediately), `None` restores the `QISIM_MEMO_CAP` /
+/// [`DEFAULT_CACHE_CAP`] value. Tests use this instead of the
+/// read-once environment variable; capacity never affects results, only
+/// how much is re-evaluated.
+pub fn set_cache_cap(cap: Option<usize>) {
+    let mut lru = locked();
+    let evicted_before = lru.evictions;
+    lru.set_cap(cap.unwrap_or_else(env_cap));
+    let evicted = lru.evictions - evicted_before;
+    publish_size(&lru);
+    drop(lru);
+    if evicted > 0 {
+        qisim_obs::counter!("power.cache.evictions", evicted);
+    }
 }
 
 #[cfg(test)]
@@ -139,5 +400,109 @@ mod tests {
         assert!(cache_len() >= 1);
         clear_cache();
         assert_eq!(cache_len(), 0);
+        assert_eq!(cache_stats().bytes_est, 0, "clear resets the size estimates");
+    }
+
+    // The LRU core is unit-tested on a local instance: the global cache
+    // is shared by concurrently running tests, so eviction-order
+    // assertions would race there.
+
+    fn key(i: u64) -> (MemoKey, u64) {
+        (MemoKey { lo: i, hi: !i }, i)
+    }
+
+    fn report(n: u64) -> PowerReport {
+        PowerReport { n_qubits: n, stages: Vec::new() }
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_first() {
+        let mut lru = LruCache::new(3);
+        for i in 0..3 {
+            lru.insert(key(i), report(i));
+        }
+        // Touch 0: it becomes most-recent, so 1 is now the coldest.
+        assert!(lru.get(key(0)).is_some());
+        lru.insert(key(3), report(3));
+        assert_eq!(lru.map.len(), 3);
+        assert!(lru.get(key(1)).is_none(), "coldest entry evicted");
+        assert!(lru.get(key(0)).is_some(), "recently touched entry kept");
+        assert!(lru.get(key(2)).is_some());
+        assert!(lru.get(key(3)).is_some());
+        assert_eq!(lru.evictions, 1);
+    }
+
+    #[test]
+    fn lru_recycles_slots_and_tracks_bytes() {
+        let mut lru = LruCache::new(2);
+        for i in 0..10 {
+            lru.insert(key(i), report(i));
+        }
+        assert_eq!(lru.map.len(), 2);
+        assert_eq!(lru.slots.len(), 2, "evicted slots are recycled, not leaked");
+        assert_eq!(lru.evictions, 8);
+        assert_eq!(lru.bytes_est, 2 * std::mem::size_of::<Slot>());
+        // Refreshing an existing key neither grows nor evicts.
+        lru.insert(key(9), report(99));
+        assert_eq!(lru.map.len(), 2);
+        assert_eq!(lru.evictions, 8);
+        assert_eq!(lru.get(key(9)).unwrap().n_qubits, 99);
+    }
+
+    #[test]
+    fn lru_shrinking_cap_evicts_down_immediately() {
+        let mut lru = LruCache::new(8);
+        for i in 0..8 {
+            lru.insert(key(i), report(i));
+        }
+        lru.set_cap(2);
+        assert_eq!(lru.map.len(), 2);
+        assert_eq!(lru.evictions, 6);
+        // The two most recent survive.
+        assert!(lru.get(key(6)).is_some());
+        assert!(lru.get(key(7)).is_some());
+        // Degenerate caps clamp to one entry.
+        lru.set_cap(0);
+        assert_eq!(lru.cap, 1);
+        assert_eq!(lru.map.len(), 1);
+    }
+
+    #[test]
+    fn lru_stats_reflect_activity() {
+        let mut lru = LruCache::new(2);
+        lru.insert(key(1), report(1));
+        assert!(lru.get(key(1)).is_some());
+        assert!(lru.get(key(2)).is_none());
+        let s = lru.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.len, s.cap), (1, 1, 0, 1, 2));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        assert!(s.bytes_est > 0);
+    }
+
+    #[test]
+    fn bounded_cache_returns_bit_identical_reports() {
+        // Thrash a capacity-2 cache across 50 distinct points: every
+        // report must equal the direct evaluation bit for bit, hit or
+        // miss or evicted-and-recomputed.
+        let arch = CryoCmosConfig::baseline().build();
+        let fridge = Fridge::standard();
+        let link = InstructionLink::standard();
+        let key = MemoKey::new(&arch, &fridge, &link);
+        let mut lru = LruCache::new(2);
+        for round in 0..2 {
+            for n in (1..=50u64).map(|i| i * 37) {
+                let direct = crate::evaluate_with_link(&arch, &fridge, n, &link);
+                let cached = match lru.get((key, n)) {
+                    Some(r) => r,
+                    None => {
+                        lru.insert((key, n), direct.clone());
+                        direct.clone()
+                    }
+                };
+                assert_eq!(cached, direct, "round {round}, n {n}");
+            }
+        }
+        assert!(lru.evictions > 0, "a capacity-2 cache must have evicted");
+        assert_eq!(lru.map.len(), 2);
     }
 }

@@ -309,7 +309,13 @@ pub fn logical_error_rate<R: Rng>(
     let graph = DecodingGraph::new(lattice, false);
     let packed = PackedLattice::new(lattice);
     let mut scratch = McScratch::new(&packed, &graph);
+    // The whole serial run is one batch; the packed kernel itself stays
+    // untouched (the timer sits outside it).
+    let t0 = qisim_obs::enabled().then(std::time::Instant::now);
     let failures = run_trials_packed(&packed, &graph, p, trials, rng, &mut scratch);
+    if let Some(t0) = t0 {
+        qisim_obs::observe!("surface.montecarlo.trial_batch_ns", t0.elapsed().as_nanos() as f64);
+    }
     let (mc, dec) = scratch.take_stats();
     flush_obs(failures, mc, dec);
     McEstimate { logical_error: failures as f64 / trials as f64, trials, failures }
@@ -376,7 +382,16 @@ pub fn logical_error_rate_par(lattice: &Lattice, p: f64, trials: usize, seed: u6
         }
         let mut rng = Xorshift64Star::stream(seed, i as u64);
         let mut scratch = McScratch::new(&packed, &graph);
+        // Per-chunk latency distribution for the telemetry exporter;
+        // the packed kernel itself stays untouched.
+        let t0 = qisim_obs::enabled().then(std::time::Instant::now);
         let failures = run_trials_packed(&packed, &graph, p, len, &mut rng, &mut scratch);
+        if let Some(t0) = t0 {
+            qisim_obs::observe!(
+                "surface.montecarlo.trial_batch_ns",
+                t0.elapsed().as_nanos() as f64
+            );
+        }
         let (mc, dec) = scratch.take_stats();
         (failures, mc, dec)
     });

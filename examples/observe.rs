@@ -13,12 +13,21 @@
 //!
 //! Run with `cargo run --release --example observe`, or traced:
 //! `QISIM_TRACE=trace.json cargo run --release --example observe`.
+//!
+//! Pass `--watch` to also demo the periodic telemetry exporter: two
+//! flush-bounded intervals over an analysis batch, then the p50/p99 of
+//! every `engine.stage.*` span computed from the second interval's
+//! delta snapshot. With `QISIM_METRICS=<path>[:interval_ms]` set the
+//! exporter uses that spec; otherwise `--watch` starts it
+//! programmatically on `metrics.om`.
 
-use qisim::obs::{self, trace, trace_export};
+use qisim::obs::{self, telemetry, trace, trace_export};
 use qisim::surface::target::Target;
 use qisim::{analyze, sweep, QciDesign};
+use std::time::Duration;
 
 fn main() {
+    let watch = std::env::args().any(|a| a == "--watch");
     obs::reset();
     // Arm the recorder even without QISIM_TRACE so the demo always has a
     // timeline to summarize; with the env var set, finish() below also
@@ -67,5 +76,70 @@ fn main() {
         Ok(Some(path)) => println!("wrote {} (+ .folded)", path.display()),
         Ok(None) => println!("QISIM_TRACE unset; trace artifacts not written"),
         Err(e) => panic!("trace dump failed: {e}"),
+    }
+
+    if watch {
+        watch_intervals(&target);
+    }
+
+    // Stop the exporter (whether QISIM_METRICS armed it or --watch
+    // started it) and validate the final exposition it left behind.
+    match telemetry::shutdown() {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).expect("read metrics exposition");
+            assert!(obs::openmetrics_is_well_formed(&text), "metrics exposition must validate");
+            println!("openmetrics export: well-formed ({}, {} bytes)", path.display(), text.len());
+        }
+        None => println!("QISIM_METRICS unset; telemetry exporter not started"),
+    }
+}
+
+/// The `--watch` demo: two exporter intervals bounded by `flush_now`,
+/// each covering one analysis batch, then per-stage p50/p99 latencies
+/// read out of the *second* interval's delta snapshot — the live-rate
+/// view a scraper would see, not the lifetime aggregate.
+fn watch_intervals(target: &Target) {
+    if !telemetry::armed() {
+        // QISIM_METRICS did not arm the exporter; start it ourselves so
+        // the demo always has a file to scrape.
+        telemetry::start("metrics.om", Duration::from_millis(200));
+    }
+    // A batch of every preset, repeated so both intervals exercise the
+    // full engine pipeline (and the power memo cache) many times.
+    let presets = [
+        QciDesign::room_coax(),
+        QciDesign::room_microstrip(),
+        QciDesign::room_photonic(),
+        QciDesign::cmos_baseline(),
+        QciDesign::cmos_long_term(),
+        QciDesign::rsfq_baseline(),
+        QciDesign::rsfq_near_term(),
+        QciDesign::ersfq_long_term(),
+    ];
+    let designs: Vec<QciDesign> = presets.iter().cycle().take(32).cloned().collect();
+
+    // Interval 1: first batch, then force an export and mark the
+    // interval boundary with a snapshot.
+    let _ = qisim::try_analyze_many(&designs, target);
+    telemetry::flush_now();
+    let mid = obs::snapshot();
+
+    // Interval 2: second batch; its delta against `mid` holds only this
+    // interval's samples.
+    let _ = qisim::try_analyze_many(&designs, target);
+    telemetry::flush_now();
+    let delta = obs::snapshot().delta_since(&mid);
+
+    println!("watch: engine.stage.* latency over the second interval");
+    for (name, stats) in &delta.spans {
+        if !name.starts_with("engine.stage.") || stats.count == 0 {
+            continue;
+        }
+        println!(
+            "  {name}: p50 {:.0} ns / p99 {:.0} ns over {} calls",
+            stats.durations.quantile(0.5),
+            stats.durations.quantile(0.99),
+            stats.count
+        );
     }
 }

@@ -1,0 +1,130 @@
+//! Integration tests for the live-telemetry layer at the facade level:
+//! delta snapshots over real workloads, the OpenMetrics exposition, the
+//! periodic exporter round trip, and the bounded power memo cache's
+//! bit-identity contract under thrash.
+
+use qisim::obs::{self, telemetry};
+use qisim::surface::target::Target;
+use qisim::{analyze, sweep, QciDesign};
+use std::sync::Mutex;
+
+/// The metrics registry, the exporter singleton, and the power memo
+/// cache are all process-global; tests touching them must not
+/// interleave.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn delta_snapshots_isolate_the_second_interval() {
+    let _l = lock();
+    obs::set_enabled(true);
+    obs::reset();
+    if !obs::enabled() {
+        // Compiled with --no-default-features: snapshots stay empty and
+        // deltas of empty snapshots are empty.
+        let empty = obs::snapshot().delta_since(&obs::snapshot());
+        assert!(empty.is_empty());
+        return;
+    }
+    let _ = sweep(&QciDesign::cmos_baseline(), &[64, 128, 256]);
+    let first = obs::snapshot();
+    let _ = sweep(&QciDesign::cmos_baseline(), &[512, 1024]);
+    let second = obs::snapshot();
+
+    let delta = second.delta_since(&first);
+    // Lifetime counter says 5 points; the interval delta says 2.
+    assert_eq!(second.counter("scalability.sweep.points"), Some(5));
+    assert_eq!(delta.counter("scalability.sweep.points"), Some(2));
+    // Interval timestamps are monotone and the delta carries the
+    // interval's end stamp.
+    assert!(second.at_ns >= first.at_ns);
+    assert_eq!(delta.at_ns, second.at_ns);
+    // Delta of identical snapshots is all-zero for every series.
+    let idle = second.delta_since(&second);
+    assert_eq!(idle.counter("scalability.sweep.points"), Some(0));
+    obs::reset();
+}
+
+#[test]
+fn openmetrics_export_of_a_live_run_validates() {
+    let _l = lock();
+    obs::set_enabled(true);
+    obs::reset();
+    let verdict = analyze(&QciDesign::cmos_baseline(), &Target::near_term());
+    assert!(verdict.power_limited_qubits > 0);
+    let snap = obs::snapshot();
+    let text = obs::openmetrics(&snap);
+    assert!(obs::openmetrics_is_well_formed(&text), "{text}");
+    assert!(text.ends_with("# EOF\n"));
+    if !obs::enabled() {
+        return;
+    }
+    // Counter, histogram, and span families all made it out, with
+    // sanitized names.
+    assert!(text.contains("# TYPE power_cache_misses counter"));
+    assert!(text.contains("power_bisection_iters_total"));
+    assert!(text.contains("scalability_analyze_duration_ns_bucket"));
+    assert!(text.contains("le=\"+Inf\""));
+    obs::reset();
+}
+
+#[test]
+fn programmatic_exporter_round_trip_writes_interval_deltas() {
+    let _l = lock();
+    obs::set_enabled(true);
+    obs::reset();
+    let path = std::env::temp_dir().join(format!("qisim_it_metrics_{}.om", std::process::id()));
+    // A huge interval so every write on disk is flush- or
+    // shutdown-driven — no timing dependence.
+    let started = telemetry::start(&path, std::time::Duration::from_secs(3600));
+    if !obs::enabled() {
+        assert!(!started, "exporter must refuse to start when compiled out");
+        assert!(telemetry::shutdown().is_none());
+        return;
+    }
+    assert!(started, "exporter failed to start");
+    assert!(telemetry::armed());
+
+    let _ = analyze(&QciDesign::rsfq_near_term(), &Target::near_term());
+    assert!(telemetry::flush_now());
+    let text = std::fs::read_to_string(&path).expect("exposition after flush");
+    assert!(obs::openmetrics_is_well_formed(&text), "{text}");
+    assert!(text.contains("telemetry_ticks_total"));
+    assert!(text.contains("power_cache_misses_total"));
+
+    let returned = telemetry::shutdown().expect("shutdown returns the path");
+    assert_eq!(returned, path);
+    assert!(!telemetry::armed());
+    // The final (shutdown-driven) write is still well-formed, and the
+    // atomic-rename protocol left no temp file behind.
+    let final_text = std::fs::read_to_string(&path).expect("exposition after shutdown");
+    assert!(obs::openmetrics_is_well_formed(&final_text), "{final_text}");
+    assert!(!path.with_extension("om.tmp").exists());
+    let _ = std::fs::remove_file(&path);
+    obs::reset();
+}
+
+/// The ISSUE acceptance check: at `QISIM_MEMO_CAP=8` (installed here via
+/// the runtime override) a 200-point sweep must evict, stay within
+/// bounds, and produce bit-identical results to the unbounded cache.
+#[test]
+fn bounded_memo_cache_thrash_is_bit_identical() {
+    let _l = lock();
+    let counts: Vec<u64> = (1..=200u64).map(|i| 8 * i).collect();
+
+    qisim::power::set_cache_cap(Some(8));
+    qisim::power::clear_cache();
+    let bounded = sweep(&QciDesign::cmos_baseline(), &counts);
+    let stats = qisim::power::cache_stats();
+    assert!(stats.evictions > 0, "200 distinct points at cap 8 must evict: {stats:?}");
+    assert!(qisim::power::cache_len() <= 8, "cache exceeded its cap");
+
+    qisim::power::set_cache_cap(None);
+    qisim::power::clear_cache();
+    let unbounded = sweep(&QciDesign::cmos_baseline(), &counts);
+    assert_eq!(bounded, unbounded, "cache bounding changed the science");
+    qisim::power::clear_cache();
+}

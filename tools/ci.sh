@@ -22,36 +22,42 @@
 #      and (run under QISIM_TRACE at QISIM_THREADS=2) a Chrome
 #      trace_event timeline that self-validates via trace_is_well_formed,
 #      carries balanced begin/end events, worker lanes, and folded stacks
-#   8. Monte-Carlo bench smoke run: bench_mc --smoke checks the packed
+#   8. telemetry exporter smoke run: the observe example's --watch mode
+#      under QISIM_METRICS + QISIM_THREADS=2 must self-validate its
+#      OpenMetrics exposition (openmetrics_is_well_formed) and leave a
+#      file with TYPE headers, histogram _bucket series, and the memo
+#      cache counters; the determinism suite then re-runs with the
+#      exporter armed to prove scraping never perturbs results
+#   9. Monte-Carlo bench smoke run: bench_mc --smoke checks the packed
 #      kernel against the bool-vec reference bit for bit and the
 #      parallel estimator across thread counts (no timing gate, no
 #      BENCH_mc.json rewrite — the full run is `--example bench_mc`)
-#   9. panic-regression gate: library code must not grow panic!/unwrap/
+#  10. panic-regression gate: library code must not grow panic!/unwrap/
 #      expect sites beyond the per-file budgets in
 #      tools/panic_allowlist.txt (DESIGN.md error-handling policy)
-#  10. paper-suite smoke run: the cheap experiment drivers (Fig. 12/13/17
+#  11. paper-suite smoke run: the cheap experiment drivers (Fig. 12/13/17
 #      + Table 2) must replay their paper numbers through the staged
 #      engine (the full 19-driver suite is `--example paper_suite`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/10] release build + tests =="
+echo "== [1/11] release build + tests =="
 cargo build --release
 cargo test -q --release
 
-echo "== [2/10] tests at QISIM_THREADS=2 =="
+echo "== [2/11] tests at QISIM_THREADS=2 =="
 QISIM_THREADS=2 cargo test -q --release
 
-echo "== [3/10] rustfmt =="
+echo "== [3/11] rustfmt =="
 cargo fmt --check
 
-echo "== [4/10] clippy (deny warnings) =="
+echo "== [4/11] clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
-echo "== [5/10] rustdoc (deny warnings) =="
+echo "== [5/11] rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "== [6/10] kill switches (--no-default-features) =="
+echo "== [6/11] kill switches (--no-default-features) =="
 cargo build --release --no-default-features
 cargo test -q --release --no-default-features
 # Serial pool + live obs: the exact build the determinism docs promise
@@ -59,7 +65,7 @@ cargo test -q --release --no-default-features
 cargo test -q --release -p qisim --no-default-features --features obs \
     --test integration_par
 
-echo "== [7/10] observe + trace smoke run =="
+echo "== [7/11] observe + trace smoke run =="
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 (cd "$out" && QISIM_TRACE="$out/trace.json" QISIM_THREADS=2 cargo run --release --quiet \
@@ -85,13 +91,31 @@ test "$begins" -eq "$ends" || { echo "unbalanced trace: $begins B vs $ends E" >&
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/trace.json" \
     2>/dev/null || echo "note: python3 unavailable, skipped strict JSON parse"
 
-echo "== [8/10] Monte-Carlo bench smoke run =="
+echo "== [8/11] telemetry exporter smoke run =="
+(cd "$out" && QISIM_METRICS="$out/metrics.om:50" QISIM_THREADS=2 cargo run --release --quiet \
+    --manifest-path "$OLDPWD/Cargo.toml" --example observe -- --watch > watch.txt)
+# The example validates its own exposition via openmetrics_is_well_formed
+# before printing this line, and reports per-stage interval latencies.
+grep -q "openmetrics export: well-formed" "$out/watch.txt"
+grep -q "engine.stage.power: p50" "$out/watch.txt"
+# The file on disk carries typed families, histogram series, and the
+# memo-cache counters the bounded LRU publishes.
+grep -q "# TYPE" "$out/metrics.om"
+grep -q "_bucket" "$out/metrics.om"
+grep -q "power_cache_hits" "$out/metrics.om"
+grep -q "# EOF" "$out/metrics.om"
+# Determinism with the exporter armed: scraping must never perturb the
+# science.
+QISIM_METRICS="$out/metrics_det.om:50" cargo test -q --release -p qisim \
+    --test integration_par
+
+echo "== [9/11] Monte-Carlo bench smoke run =="
 cargo run --release --quiet --example bench_mc -- --smoke
 
-echo "== [9/10] panic-regression gate =="
+echo "== [10/11] panic-regression gate =="
 tools/check_panics.sh
 
-echo "== [10/10] paper-suite smoke run =="
+echo "== [11/11] paper-suite smoke run =="
 # Cheap drivers only: Fig. 12/13/17 + Table 2 finish in seconds; the
 # minute-scale Table 1 / Fig. 8 / Fig. 11 runs stay on the full suite
 # (filters are substring matches against the experiment ids).
