@@ -90,9 +90,11 @@ pub fn encode_spec(spec: &DesignSpec) -> String {
 /// [`DesignSpec::build`], so a well-formed file carrying a bad knob
 /// still round-trips and diagnoses at build time.
 pub fn parse_spec(text: &str) -> Result<DesignSpec, QisimError> {
-    let mut lines = content_lines(text, SPEC_HEADER)?;
+    let (header_line, mut lines) = content_lines(text, SPEC_HEADER)?;
     let Some((line_no, key, value)) = lines.next().transpose()? else {
-        return Err(DecodeError::new(0, "missing key `preset`").into());
+        // A header-only document (e.g. `"qisim spec v1\n"`) anchors at
+        // the line where `preset` should have been.
+        return Err(DecodeError::new(header_line + 1, "missing key `preset`").into());
     };
     if key != "preset" {
         return Err(DecodeError::new(line_no, "first key must be `preset`").into());
@@ -223,7 +225,8 @@ pub fn parse_scalability(text: &str) -> Result<Scalability, QisimError> {
     let mut esm_cycle_ns: Option<f64> = None;
     let mut n_stages: Option<usize> = None;
     let mut stages: Vec<qisim_power::StagePower> = Vec::new();
-    for item in content_lines(text, SCALABILITY_HEADER)? {
+    let (_, lines) = content_lines(text, SCALABILITY_HEADER)?;
+    for item in lines {
         let (line_no, key, value) = item?;
         let dup = |set: bool| {
             if set {
@@ -339,18 +342,25 @@ fn parse_stage_row(line_no: usize, value: &str) -> Result<qisim_power::StagePowe
     Ok(row)
 }
 
-/// Checks the header, then yields `(line_no, key, value)` for every
-/// non-empty, non-comment line.
+/// Checks the header, then yields the 1-based header line number plus
+/// `(line_no, key, value)` for every non-empty, non-comment line.
+///
+/// An empty document (no content at all, or only blank/comment lines —
+/// including a lone trailing newline) anchors its error at line 1: there
+/// is no ambiguous "empty success" and no line-0 diagnostic for input a
+/// user can actually point at.
+#[allow(clippy::type_complexity)]
 fn content_lines<'a>(
     text: &'a str,
     header: &'static str,
-) -> Result<impl Iterator<Item = Result<(usize, &'a str, &'a str), DecodeError>>, QisimError> {
+) -> Result<(usize, impl Iterator<Item = Result<(usize, &'a str, &'a str), DecodeError>>), QisimError>
+{
     let mut lines = text.lines().enumerate().filter(|(_, line)| {
         let t = line.trim();
         !t.is_empty() && !t.starts_with('#')
     });
-    match lines.next() {
-        Some((_, line)) if line.trim() == header => {}
+    let header_line = match lines.next() {
+        Some((i, line)) if line.trim() == header => i + 1,
         Some((i, line)) => {
             return Err(DecodeError::new(
                 i + 1,
@@ -358,18 +368,21 @@ fn content_lines<'a>(
             )
             .into());
         }
-        None => return Err(DecodeError::new(0, format!("empty document (no `{header}`)")).into()),
-    }
-    Ok(lines.map(|(i, line)| {
-        let line_no = i + 1;
-        match line.split_once('=') {
-            Some((key, value)) => Ok((line_no, key.trim(), value.trim())),
-            None => Err(DecodeError::new(
-                line_no,
-                format!("expected `key = value`, found `{}`", line.trim()),
-            )),
-        }
-    }))
+        None => return Err(DecodeError::new(1, format!("empty document (no `{header}`)")).into()),
+    };
+    Ok((
+        header_line,
+        lines.map(|(i, line)| {
+            let line_no = i + 1;
+            match line.split_once('=') {
+                Some((key, value)) => Ok((line_no, key.trim(), value.trim())),
+                None => Err(DecodeError::new(
+                    line_no,
+                    format!("expected `key = value`, found `{}`", line.trim()),
+                )),
+            }
+        }),
+    ))
 }
 
 /// Parses any `FromStr` value with a line-anchored diagnostic.
@@ -432,7 +445,32 @@ mod tests {
         let e = err("qisim spec v1\npreset = cmos_baseline\ndrive_bits = 6\ndrive_bits = 7\n");
         assert!(e.reason.contains("duplicate"), "{e}");
         assert_eq!(err("qisim spec v1\npreset = warp_drive\n").line, 2);
-        assert_eq!(err("").line, 0);
+    }
+
+    #[test]
+    fn empty_and_header_only_documents_are_line_anchored_errors() {
+        let err = |text: &str| match parse_spec(text) {
+            Err(QisimError::Decode(e)) => e,
+            other => panic!("expected a decode error, got {other:?}"),
+        };
+        // Nothing at all, a lone newline, and whitespace/comment-only
+        // documents all anchor at line 1 (never the ambiguous line 0).
+        for text in ["", "\n", "   \n", "# just a comment\n", "\n\n# note\n\n"] {
+            let e = err(text);
+            assert_eq!(e.line, 1, "{text:?}");
+            assert!(e.reason.contains("empty document"), "{e}");
+        }
+        // A header with nothing after it anchors where `preset` belongs.
+        let e = err("qisim spec v1\n");
+        assert_eq!(e.line, 2);
+        assert!(e.reason.contains("missing key `preset`"), "{e}");
+        // Leading comments shift the anchor with the header.
+        let e = err("# comment\n\nqisim spec v1\n");
+        assert_eq!(e.line, 4);
+        match parse_scalability("\n") {
+            Err(QisimError::Decode(e)) => assert_eq!(e.line, 1),
+            other => panic!("expected a decode error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -364,6 +364,14 @@ impl DesignSpec {
         Ok(fridge)
     }
 
+    /// Whether this spec carries any per-stage cooling-budget override —
+    /// i.e. whether [`DesignSpec::fridge`] would differ from
+    /// [`Fridge::standard`]. Batch executors use this to group
+    /// standard-fridge specs through `try_analyze_many`.
+    pub fn has_budget_overrides(&self) -> bool {
+        self.budgets_w.iter().any(Option::is_some)
+    }
+
     fn reject_cmos_knobs(&self, design: &QciDesign) -> Result<(), ConfigError> {
         let mismatch = |knob| ConfigError::KnobMismatch { knob, design: design.name() };
         if self.drive_fdm.is_some() {

@@ -1,0 +1,139 @@
+//! Service configuration: queue depth, batch size, and the operator
+//! knobs the `qisim-serve` binary reads from `QISIM_SERVE_*` environment
+//! variables (one table in `docs/SERVING.md` documents them all).
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Default bound on the number of accepted-but-unanswered requests.
+/// Past it the service sheds load with a typed `busy` response instead
+/// of queueing without bound (`QISIM_SERVE_QUEUE` overrides).
+pub const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+/// Default maximum number of requests answered in one
+/// `try_analyze_many` batch (`QISIM_SERVE_BATCH` overrides).
+pub const DEFAULT_BATCH_MAX: usize = 64;
+
+/// Hard cap on one request line, in bytes. A connection that streams a
+/// longer line without a newline gets a typed error response and is
+/// closed — a misbehaving client must not grow server memory unboundedly.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Runtime configuration of the serving loop.
+///
+/// [`ServeConfig::default`] is the paper-workload sweet spot;
+/// [`ServeConfig::from_env`] layers the `QISIM_SERVE_*` operator knobs
+/// on top (each read once, invalid values fall back to the default).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bounded accept queue depth; requests past it are shed with a
+    /// `busy` response ([`DEFAULT_QUEUE_DEPTH`]).
+    pub queue_depth: usize,
+    /// Maximum requests per `try_analyze_many` batch
+    /// ([`DEFAULT_BATCH_MAX`]).
+    pub batch_max: usize,
+    /// Graceful-shutdown signal file: the TCP accept loop polls for this
+    /// path and stops the service once it exists (`None` = no file
+    /// polling; stdin/stdout framing stops at EOF instead).
+    pub stop_file: Option<PathBuf>,
+    /// Directory for per-request Chrome-trace dumps (`trace = 1`
+    /// requests); `None` keeps traces in-memory (the response still
+    /// carries the event count).
+    pub trace_dir: Option<PathBuf>,
+    /// Artificial per-batch delay — a fault-injection knob for
+    /// backpressure tests, benches, and operator drills (`Duration::ZERO`
+    /// in production).
+    pub batch_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_depth: DEFAULT_QUEUE_DEPTH,
+            batch_max: DEFAULT_BATCH_MAX,
+            stop_file: None,
+            trace_dir: None,
+            batch_delay: Duration::ZERO,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The default configuration with every `QISIM_SERVE_*` environment
+    /// override applied: `QISIM_SERVE_QUEUE`, `QISIM_SERVE_BATCH`
+    /// (positive integers), `QISIM_SERVE_STOP`, `QISIM_SERVE_TRACE_DIR`
+    /// (paths), and `QISIM_SERVE_DELAY_MS` (a non-negative integer;
+    /// fault injection, see [`ServeConfig::batch_delay`]).
+    pub fn from_env() -> Self {
+        let mut config = ServeConfig::default();
+        if let Some(n) = env_positive("QISIM_SERVE_QUEUE") {
+            config.queue_depth = n;
+        }
+        if let Some(n) = env_positive("QISIM_SERVE_BATCH") {
+            config.batch_max = n;
+        }
+        config.stop_file = env_path("QISIM_SERVE_STOP");
+        config.trace_dir = env_path("QISIM_SERVE_TRACE_DIR");
+        if let Some(ms) = std::env::var("QISIM_SERVE_DELAY_MS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+        {
+            config.batch_delay = Duration::from_millis(ms);
+        }
+        config
+    }
+}
+
+/// Reads a positive-integer environment variable; `None` for anything
+/// else (unset, zero, negative, garbage).
+fn env_positive(name: &str) -> Option<usize> {
+    match std::env::var(name).ok()?.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// Reads a non-empty path environment variable.
+fn env_path(name: &str) -> Option<PathBuf> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    if raw.is_empty() {
+        None
+    } else {
+        Some(PathBuf::from(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert_eq!(c.queue_depth, DEFAULT_QUEUE_DEPTH);
+        assert_eq!(c.batch_max, DEFAULT_BATCH_MAX);
+        assert_eq!(c.stop_file, None);
+        assert_eq!(c.trace_dir, None);
+        assert_eq!(c.batch_delay, Duration::ZERO);
+    }
+
+    #[test]
+    fn env_parsers_reject_garbage() {
+        // Direct parser checks — the env itself is process-global, so
+        // these go through variables no other test touches.
+        std::env::set_var("QISIM_SERVE_TEST_N", "8");
+        assert_eq!(env_positive("QISIM_SERVE_TEST_N"), Some(8));
+        std::env::set_var("QISIM_SERVE_TEST_N", "0");
+        assert_eq!(env_positive("QISIM_SERVE_TEST_N"), None);
+        std::env::set_var("QISIM_SERVE_TEST_N", "many");
+        assert_eq!(env_positive("QISIM_SERVE_TEST_N"), None);
+        std::env::remove_var("QISIM_SERVE_TEST_N");
+        assert_eq!(env_positive("QISIM_SERVE_TEST_N"), None);
+        std::env::set_var("QISIM_SERVE_TEST_P", "  ");
+        assert_eq!(env_path("QISIM_SERVE_TEST_P"), None);
+        std::env::set_var("QISIM_SERVE_TEST_P", "stop.now");
+        assert_eq!(env_path("QISIM_SERVE_TEST_P"), Some(PathBuf::from("stop.now")));
+        std::env::remove_var("QISIM_SERVE_TEST_P");
+    }
+}

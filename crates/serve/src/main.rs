@@ -1,0 +1,128 @@
+//! The `qisim-serve` binary: the batch analysis service as an operator
+//! runs it. `docs/SERVING.md` is the manual.
+//!
+//! ```text
+//! qisim-serve [--stdio]                          # serve stdin→stdout (default)
+//! qisim-serve --tcp ADDR [--stop-file PATH] ...  # serve TCP until the stop file appears
+//! ```
+//!
+//! Flags layer over the `QISIM_SERVE_*` environment (flag wins):
+//! `--queue N`, `--batch N`, `--stop-file PATH`, `--trace-dir PATH`,
+//! `--delay-ms N`. Counters go to stderr on shutdown; responses are the
+//! only thing written to stdout.
+
+use qisim_serve::{serve_lines, ServeConfig, Server, StatsSnapshot};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: qisim-serve [--stdio | --tcp ADDR] \
+[--queue N] [--batch N] [--stop-file PATH] [--trace-dir PATH] [--delay-ms N]
+    --stdio            serve newline-delimited requests stdin -> stdout (default)
+    --tcp ADDR         listen on ADDR (e.g. 127.0.0.1:7878; port 0 = OS-assigned)
+    --queue N          bounded queue depth before shedding  (env QISIM_SERVE_QUEUE)
+    --batch N          max requests per analysis batch      (env QISIM_SERVE_BATCH)
+    --stop-file PATH   stop gracefully when PATH appears    (env QISIM_SERVE_STOP)
+    --trace-dir PATH   write per-request trace JSON here    (env QISIM_SERVE_TRACE_DIR)
+    --delay-ms N       fault injection: delay each batch    (env QISIM_SERVE_DELAY_MS)
+see docs/SERVING.md for the protocol grammar and the full environment table";
+
+enum Mode {
+    Stdio,
+    Tcp(String),
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let (mode, config) = match parse_args(args.into_iter()) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("qisim-serve: {message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match mode {
+        Mode::Stdio => run_stdio(&config),
+        Mode::Tcp(addr) => run_tcp(&addr, config),
+    };
+    qisim_obs::telemetry::flush_now();
+    match outcome {
+        Ok(stats) => {
+            eprintln!(
+                "qisim-serve: done requests = {} ok = {} errors = {} shed = {}",
+                stats.requests, stats.ok, stats.errors, stats.shed
+            );
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("qisim-serve: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses flags over the `QISIM_SERVE_*` environment defaults.
+fn parse_args(args: impl Iterator<Item = String>) -> Result<(Mode, ServeConfig), String> {
+    let mut config = ServeConfig::from_env();
+    let mut mode = Mode::Stdio;
+    let mut args = args;
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match flag.as_str() {
+            "--stdio" => mode = Mode::Stdio,
+            "--tcp" => mode = Mode::Tcp(value("--tcp")?),
+            "--queue" => config.queue_depth = positive(&flag, &value("--queue")?)?,
+            "--batch" => config.batch_max = positive(&flag, &value("--batch")?)?,
+            "--stop-file" => config.stop_file = Some(PathBuf::from(value("--stop-file")?)),
+            "--trace-dir" => config.trace_dir = Some(PathBuf::from(value("--trace-dir")?)),
+            "--delay-ms" => {
+                let raw = value("--delay-ms")?;
+                let ms = raw.trim().parse::<u64>().map_err(|_| {
+                    format!("`--delay-ms` needs a non-negative integer, got `{raw}`")
+                })?;
+                config.batch_delay = Duration::from_millis(ms);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok((mode, config))
+}
+
+/// Parses a positive-integer flag value.
+fn positive(flag: &str, raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("`{flag}` needs a positive integer, got `{raw}`")),
+    }
+}
+
+/// The stdin/stdout framing: serve until EOF.
+fn run_stdio(config: &ServeConfig) -> Result<StatsSnapshot, String> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_lines(stdin.lock(), stdout.lock(), config)
+        .map_err(|e| format!("stdio transport failed: {e}"))
+}
+
+/// The TCP framing: serve until the stop file appears (or forever —
+/// operators without a stop file stop the process instead).
+fn run_tcp(addr: &str, config: ServeConfig) -> Result<StatsSnapshot, String> {
+    if config.stop_file.is_none() {
+        eprintln!(
+            "qisim-serve: no stop file configured (--stop-file / QISIM_SERVE_STOP); \
+serving until the process is stopped"
+        );
+    }
+    let server = Server::bind(addr, config).map_err(|e| format!("bind {addr} failed: {e}"))?;
+    // The one stdout line in TCP mode: machine-readable bound address,
+    // so wrappers (and tools/ci.sh) can pick up an OS-assigned port.
+    println!("qisim-serve listening = {}", server.addr());
+    server.wait_until_stopping();
+    Ok(server.shutdown())
+}

@@ -1,0 +1,411 @@
+//! The `qisim-serve` wire protocol: one request per line, one response
+//! per line, both built from the [`qisim::codec`] `key = value` grammar.
+//!
+//! # Request lines
+//!
+//! A request is a single newline-terminated line of `key = value` pairs
+//! separated by `;`. Three **control keys** address the service itself
+//! and may appear anywhere on the line:
+//!
+//! | key      | values                    | meaning                              |
+//! |----------|---------------------------|--------------------------------------|
+//! | `id`     | any `;`/newline-free text | opaque token echoed in the response  |
+//! | `target` | `near_term`, `long_term`  | roadmap target (default `near_term`) |
+//! | `trace`  | `0`, `1`                  | per-request flight-recorder capture  |
+//! | `explain`| `0`, `1`                  | embed `Scalability::explain()` text  |
+//!
+//! Every remaining pair is a [`qisim::codec`] **spec document line** —
+//! the same keys `codec::parse_spec` accepts, starting with `preset` —
+//! so a spec file folds onto one request line by joining its content
+//! lines with `; `:
+//!
+//! ```text
+//! id = 7; target = long_term; preset = cmos_baseline; drive_bits = 6
+//! ```
+//!
+//! Keys and values therefore must not contain `;` or newlines; decode
+//! diagnostics count pairs the way the codec counts lines (the header is
+//! line 1, the first spec pair line 2).
+//!
+//! # Response lines
+//!
+//! Exactly one response per request, classified by its first key:
+//!
+//! * `ok = 1; [id = …;] [trace_events = …;] [explain = …;]` followed by
+//!   the **folded** [`qisim::codec::encode_scalability`] document (its
+//!   lines joined with `; `). [`response_report`] unfolds it back into a
+//!   document `codec::parse_scalability` accepts bit-identically.
+//! * `error = <kind>; [id = …;] line = <n>; reason = <text>` — a typed
+//!   per-request failure; `kind` is one of `decode`, `config`, `power`,
+//!   `target`. The process keeps serving.
+//! * `busy = 1; [id = …;] reason = <text>` — the bounded queue was full
+//!   and the request was shed (backpressure, not failure: retry later).
+
+use qisim::codec;
+use qisim::error::{DecodeError, QisimError};
+use qisim::scalability::Scalability;
+use qisim::spec::DesignSpec;
+use qisim::surface::target::Target;
+use std::fmt::Write as _;
+
+/// The pair separator of folded documents and request lines.
+pub const PAIR_SEP: &str = "; ";
+
+/// The roadmap target a request analyzes against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TargetKind {
+    /// The paper's near-term target (default).
+    #[default]
+    NearTerm,
+    /// The paper's long-term (quantum-supremacy) target.
+    LongTerm,
+}
+
+impl TargetKind {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TargetKind::NearTerm => "near_term",
+            TargetKind::LongTerm => "long_term",
+        }
+    }
+
+    /// Inverse of [`TargetKind::label`].
+    pub fn from_label(label: &str) -> Option<TargetKind> {
+        match label {
+            "near_term" => Some(TargetKind::NearTerm),
+            "long_term" => Some(TargetKind::LongTerm),
+            _ => None,
+        }
+    }
+
+    /// The concrete roadmap target.
+    pub fn target(self) -> Target {
+        match self {
+            TargetKind::NearTerm => Target::near_term(),
+            TargetKind::LongTerm => Target::long_term(),
+        }
+    }
+}
+
+/// One parsed request: control keys plus the design spec to analyze.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Opaque client token echoed in the response.
+    pub id: Option<String>,
+    /// Roadmap target to analyze against.
+    pub target: TargetKind,
+    /// Whether to capture a per-request flight-recorder trace.
+    pub trace: bool,
+    /// Whether to embed the `explain()` report in the response.
+    pub explain: bool,
+    /// The design spec (unvalidated; `spec.build()` diagnoses knobs).
+    pub spec: DesignSpec,
+}
+
+impl Request {
+    /// A plain request for one spec against the near-term target.
+    pub fn new(spec: DesignSpec) -> Self {
+        Request { id: None, target: TargetKind::NearTerm, trace: false, explain: false, spec }
+    }
+}
+
+/// Parses one request line (without its trailing newline).
+///
+/// # Errors
+///
+/// Returns [`QisimError::Decode`] for an empty line, a pair without
+/// `=`, an unknown/duplicate control value, or any spec-document
+/// failure ([`codec::parse_spec`]); diagnostics are pair-anchored the
+/// way codec documents are line-anchored.
+pub fn parse_request_line(line: &str) -> Result<Request, QisimError> {
+    let mut id: Option<String> = None;
+    let mut target: Option<TargetKind> = None;
+    let mut trace: Option<bool> = None;
+    let mut explain: Option<bool> = None;
+    let mut spec_doc = String::from(codec::SPEC_HEADER);
+    spec_doc.push('\n');
+    let mut pairs = 0usize;
+    for segment in line.split(';') {
+        let segment = segment.trim();
+        if segment.is_empty() {
+            continue;
+        }
+        pairs += 1;
+        let Some((key, value)) = segment.split_once('=') else {
+            return Err(
+                DecodeError::new(1, format!("expected `key = value`, found `{segment}`")).into()
+            );
+        };
+        let (key, value) = (key.trim(), value.trim());
+        let dup = |set: bool| {
+            if set {
+                Err(DecodeError::new(1, format!("duplicate key `{key}`")))
+            } else {
+                Ok(())
+            }
+        };
+        match key {
+            "id" => {
+                dup(id.is_some())?;
+                if value.is_empty() {
+                    return Err(DecodeError::new(1, "empty `id` value").into());
+                }
+                id = Some(value.to_string());
+            }
+            "target" => {
+                dup(target.is_some())?;
+                target = Some(
+                    TargetKind::from_label(value)
+                        .ok_or_else(|| DecodeError::new(1, format!("unknown target `{value}`")))?,
+                );
+            }
+            "trace" => {
+                dup(trace.is_some())?;
+                trace = Some(parse_flag(key, value)?);
+            }
+            "explain" => {
+                dup(explain.is_some())?;
+                explain = Some(parse_flag(key, value)?);
+            }
+            _ => {
+                // A spec-document line; the codec parses (and rejects)
+                // it with the rest of the document below.
+                let _ = writeln!(spec_doc, "{key} = {value}");
+            }
+        }
+    }
+    if pairs == 0 {
+        return Err(DecodeError::new(1, "empty request line (no `key = value` pairs)").into());
+    }
+    let spec = codec::parse_spec(&spec_doc)?;
+    Ok(Request {
+        id,
+        target: target.unwrap_or_default(),
+        trace: trace.unwrap_or(false),
+        explain: explain.unwrap_or(false),
+        spec,
+    })
+}
+
+/// Parses a `0`/`1` control flag.
+fn parse_flag(key: &str, value: &str) -> Result<bool, DecodeError> {
+    match value {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        _ => Err(DecodeError::new(1, format!("`{key}` must be 0 or 1, found `{value}`"))),
+    }
+}
+
+/// Encodes a [`Request`] as one wire line (no trailing newline): control
+/// keys first, then the spec document folded with [`fold`].
+pub fn encode_request_line(request: &Request) -> String {
+    let mut line = String::new();
+    if let Some(id) = &request.id {
+        let _ = write!(line, "id = {}{PAIR_SEP}", sanitize(id));
+    }
+    if request.target != TargetKind::NearTerm {
+        let _ = write!(line, "target = {}{PAIR_SEP}", request.target.label());
+    }
+    if request.trace {
+        line.push_str("trace = 1");
+        line.push_str(PAIR_SEP);
+    }
+    if request.explain {
+        line.push_str("explain = 1");
+        line.push_str(PAIR_SEP);
+    }
+    // Drop the document header: request lines carry spec pairs directly.
+    let doc = codec::encode_spec(&request.spec);
+    let body = doc.strip_prefix(codec::SPEC_HEADER).unwrap_or(&doc).trim_start_matches('\n');
+    line.push_str(&fold(body));
+    line
+}
+
+/// Folds a multi-line codec document onto one line: content lines joined
+/// with [`PAIR_SEP`] (blank lines dropped). The inverse is [`unfold`].
+pub fn fold(doc: &str) -> String {
+    doc.lines().filter(|l| !l.trim().is_empty()).collect::<Vec<_>>().join(PAIR_SEP)
+}
+
+/// Unfolds a [`fold`]ed document back into newline-separated lines (with
+/// a trailing newline), ready for `codec::parse_spec` /
+/// `codec::parse_scalability`.
+pub fn unfold(line: &str) -> String {
+    let mut doc = String::with_capacity(line.len() + 1);
+    for segment in line.split(';') {
+        let segment = segment.trim();
+        if !segment.is_empty() {
+            doc.push_str(segment);
+            doc.push('\n');
+        }
+    }
+    doc
+}
+
+/// Builds a success response line: `ok = 1`, the echoed id, any extra
+/// pairs (trace/explain results), then the folded report document.
+pub fn ok_response(id: Option<&str>, extras: &[(&str, String)], report: &Scalability) -> String {
+    let mut line = String::from("ok = 1");
+    if let Some(id) = id {
+        let _ = write!(line, "{PAIR_SEP}id = {}", sanitize(id));
+    }
+    for (key, value) in extras {
+        let _ = write!(line, "{PAIR_SEP}{key} = {}", sanitize(value));
+    }
+    let _ = write!(line, "{PAIR_SEP}{}", fold(&codec::encode_scalability(report)));
+    line.push('\n');
+    line
+}
+
+/// Builds a typed error response line from a [`QisimError`].
+pub fn error_response(id: Option<&str>, error: &QisimError) -> String {
+    let (kind, line_no) = match error {
+        QisimError::Decode(e) => ("decode", e.line),
+        QisimError::Config(_) => ("config", 0),
+        QisimError::Power(_) => ("power", 0),
+        QisimError::Target(_) => ("target", 0),
+        _ => ("error", 0),
+    };
+    let mut line = format!("error = {kind}");
+    if let Some(id) = id {
+        let _ = write!(line, "{PAIR_SEP}id = {}", sanitize(id));
+    }
+    let _ = write!(line, "{PAIR_SEP}line = {line_no}");
+    let _ = write!(line, "{PAIR_SEP}reason = {}", sanitize(&error.to_string()));
+    line.push('\n');
+    line
+}
+
+/// Builds a backpressure shed response line.
+pub fn busy_response(id: Option<&str>, reason: &str) -> String {
+    let mut line = String::from("busy = 1");
+    if let Some(id) = id {
+        let _ = write!(line, "{PAIR_SEP}id = {}", sanitize(id));
+    }
+    let _ = write!(line, "{PAIR_SEP}reason = {}", sanitize(reason));
+    line.push('\n');
+    line
+}
+
+/// How a response line classifies (by its first key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// `ok = 1`: the folded report follows.
+    Ok,
+    /// `error = <kind>`: a typed per-request failure.
+    Error,
+    /// `busy = 1`: the request was shed under backpressure.
+    Busy,
+}
+
+/// Classifies a response line; `None` for anything not produced by this
+/// protocol.
+pub fn response_kind(line: &str) -> Option<ResponseKind> {
+    let first = line.split(';').next()?.trim();
+    let key = first.split('=').next()?.trim();
+    match key {
+        "ok" => Some(ResponseKind::Ok),
+        "error" => Some(ResponseKind::Error),
+        "busy" => Some(ResponseKind::Busy),
+        _ => None,
+    }
+}
+
+/// Extracts the folded report from an `ok` response and unfolds it into
+/// a document [`qisim::codec::parse_scalability`] accepts. `None` when
+/// the line carries no report.
+pub fn response_report(line: &str) -> Option<String> {
+    let header_at = line.find(codec::SCALABILITY_HEADER)?;
+    Some(unfold(&line[header_at..]))
+}
+
+/// The value of a `key = value` pair on a wire line (first occurrence).
+pub fn pair_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split(';').find_map(|segment| {
+        let (k, v) = segment.split_once('=')?;
+        (k.trim() == key).then(|| v.trim())
+    })
+}
+
+/// Best-effort extraction of the `id` control key from a raw request
+/// line, so error and `busy` responses can echo the client token even
+/// when the line never parsed into a [`Request`].
+pub fn request_id(line: &str) -> Option<&str> {
+    pair_value(line, "id").filter(|id| !id.is_empty())
+}
+
+/// Replaces the two characters the wire format reserves (`;` and
+/// newlines) so echoed ids and diagnostic texts can never tear a line.
+fn sanitize(text: &str) -> String {
+    text.replace(';', ",").replace(['\n', '\r'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qisim::spec::Preset;
+
+    #[test]
+    fn request_lines_round_trip() {
+        let request = Request {
+            id: Some("client-7".to_string()),
+            target: TargetKind::LongTerm,
+            trace: true,
+            explain: false,
+            spec: DesignSpec::new(Preset::CmosBaseline).drive_bits(6).name("lab run"),
+        };
+        let line = encode_request_line(&request);
+        assert_eq!(parse_request_line(&line).unwrap(), request);
+        // Defaults stay off the wire.
+        let plain = Request::new(DesignSpec::new(Preset::RsfqBaseline));
+        assert_eq!(encode_request_line(&plain), "preset = rsfq_baseline");
+        assert_eq!(parse_request_line("preset = rsfq_baseline").unwrap(), plain);
+    }
+
+    #[test]
+    fn empty_and_malformed_request_lines_are_typed_errors() {
+        for line in ["", "   ", ";", "; ;"] {
+            let err = parse_request_line(line).unwrap_err();
+            let QisimError::Decode(e) = err else { panic!("expected decode error") };
+            assert_eq!(e.line, 1);
+            assert!(e.reason.contains("empty request line"), "{e}");
+        }
+        let err = parse_request_line("preset = cmos_baseline; what even").unwrap_err();
+        assert!(err.to_string().contains("key = value"), "{err}");
+        let err = parse_request_line("target = warp").unwrap_err();
+        assert!(err.to_string().contains("unknown target"), "{err}");
+        let err = parse_request_line("trace = yes; preset = cmos_baseline").unwrap_err();
+        assert!(err.to_string().contains("must be 0 or 1"), "{err}");
+        let err = parse_request_line("id = a; id = b; preset = cmos_baseline").unwrap_err();
+        assert!(err.to_string().contains("duplicate key `id`"), "{err}");
+        // Spec failures keep the codec's diagnostics (pair 1 = doc line 2).
+        let err = parse_request_line("preset = warp_drive").unwrap_err();
+        assert!(err.to_string().contains("unknown preset"), "{err}");
+    }
+
+    #[test]
+    fn fold_and_unfold_are_inverse_on_documents() {
+        let spec = DesignSpec::new(Preset::CmosBaseline).drive_bits(6);
+        let doc = codec::encode_spec(&spec);
+        assert_eq!(unfold(&fold(&doc)), doc);
+    }
+
+    #[test]
+    fn responses_classify_and_carry_pairs() {
+        let busy = busy_response(Some("9"), "queue full (depth 4)");
+        assert_eq!(response_kind(&busy), Some(ResponseKind::Busy));
+        assert_eq!(pair_value(&busy, "id"), Some("9"));
+        assert!(busy.ends_with('\n'));
+        let err = error_response(
+            None,
+            &QisimError::Decode(qisim::error::DecodeError::new(2, "unknown key `x; y`")),
+        );
+        assert_eq!(response_kind(&err), Some(ResponseKind::Error));
+        assert_eq!(pair_value(&err, "line"), Some("2"));
+        // Reserved characters in diagnostics cannot tear the line.
+        assert!(!err.trim_end().contains('\n'));
+        assert!(pair_value(&err, "reason").unwrap().contains("x, y"));
+        assert_eq!(response_kind("garbage"), None);
+    }
+}

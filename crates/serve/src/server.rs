@@ -1,0 +1,612 @@
+//! The serving loops: synchronous stdin/stdout framing
+//! ([`serve_lines`]) and the long-running TCP service ([`Server`]),
+//! both answering through one shared batch executor.
+//!
+//! Every request follows the same path: parse ([`crate::proto`]) →
+//! validate (`DesignSpec::build` / `fridge`) → analyze — standard-fridge
+//! requests are grouped per target and answered through
+//! [`qisim::engine::try_analyze_many`] (one fan-out over the shared
+//! `qisim-par` pool per batch), budget-override and traced requests run
+//! individually through the same staged engine. All paths share the
+//! process-wide `qisim_power::memo` LRU, so a hot working set answers
+//! from cache no matter which client asked first.
+//!
+//! A request can never take the process down: malformed lines, invalid
+//! knobs, and engine failures all become typed `error` responses, and a
+//! full queue becomes a typed `busy` response (shed, counted under
+//! `serve.shed`).
+
+use crate::config::{ServeConfig, MAX_LINE_BYTES};
+use crate::proto::{self, Request};
+use qisim::engine;
+use qisim::error::QisimError;
+use qisim::hal::fridge::Fridge;
+use qisim::scalability::Scalability;
+use qisim::QciDesign;
+use qisim_obs::{counter, gauge, observe};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// How often blocked loops (accept poll, worker wait, connection reads)
+/// re-check the stop flag and the stop file.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Service counters, independent of the observability feature (the
+/// `serve.*` metrics mirror these when `obs` is compiled in).
+#[derive(Debug, Default)]
+struct Stats {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    shed: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Request lines received (including shed and malformed ones).
+    pub requests: u64,
+    /// Successful (`ok`) responses.
+    pub ok: u64,
+    /// Typed `error` responses.
+    pub errors: u64,
+    /// `busy` responses (requests shed under backpressure).
+    pub shed: u64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A parsed, validated request ready for the batch executor.
+struct Prepared {
+    seq: u64,
+    request: Request,
+    design: QciDesign,
+    fridge: Fridge,
+    standard_fridge: bool,
+}
+
+/// Parses and validates one request line into a [`Prepared`] analysis.
+fn prepare(seq: u64, line: &str) -> Result<Prepared, QisimError> {
+    let request = proto::parse_request_line(line.trim_end_matches(['\n', '\r']))?;
+    let design = request.spec.build()?;
+    let fridge = request.spec.fridge()?;
+    let standard_fridge = !request.spec.has_budget_overrides();
+    Ok(Prepared { seq, request, design, fridge, standard_fridge })
+}
+
+/// Analyzes a batch of prepared requests and renders one response line
+/// per request, in batch order.
+///
+/// Standard-fridge, untraced requests are grouped per roadmap target and
+/// answered through one [`engine::try_analyze_many`] call each (the
+/// `qisim-par` fan-out); everything else runs individually through the
+/// same staged engine, so every response is bit-identical to a direct
+/// `try_analyze_spec` of the same request.
+fn answer_batch(config: &ServeConfig, batch: &[Prepared]) -> Vec<String> {
+    counter!("serve.batches");
+    observe!("serve.batch_size", batch.len() as f64);
+    let mut results: Vec<Option<Result<Scalability, QisimError>>> = Vec::new();
+    results.resize_with(batch.len(), || None);
+    for target in [proto::TargetKind::NearTerm, proto::TargetKind::LongTerm] {
+        let group: Vec<usize> = (0..batch.len())
+            .filter(|&i| {
+                let p = &batch[i];
+                p.standard_fridge && !p.request.trace && p.request.target == target
+            })
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        let designs: Vec<QciDesign> = group.iter().map(|&i| batch[i].design).collect();
+        match engine::try_analyze_many(&designs, &target.target()) {
+            Ok(verdicts) => {
+                for (&i, verdict) in group.iter().zip(verdicts) {
+                    results[i] = Some(Ok(verdict));
+                }
+            }
+            // A batch-level failure loses per-request attribution; rerun
+            // the group one by one so each request gets its own verdict
+            // or diagnostic.
+            Err(_) => {
+                for &i in &group {
+                    results[i] = Some(engine::try_analyze(&batch[i].design, &target.target()));
+                }
+            }
+        }
+    }
+    batch
+        .iter()
+        .zip(results)
+        .map(|(prepared, grouped)| {
+            let mut extras: Vec<(&str, String)> = Vec::new();
+            let result = match grouped {
+                Some(result) => result,
+                None if prepared.request.trace => run_traced(config, prepared, &mut extras),
+                // Budget-override requests: same staged engine, custom
+                // refrigerator.
+                None => engine::try_analyze_on(
+                    &prepared.design,
+                    &prepared.request.target.target(),
+                    &prepared.fridge,
+                ),
+            };
+            render_response(prepared, result, extras)
+        })
+        .collect()
+}
+
+/// Renders the response line for one prepared request, stamping the
+/// spec's display name on success (the `try_analyze_spec` contract).
+fn render_response(
+    prepared: &Prepared,
+    result: Result<Scalability, QisimError>,
+    mut extras: Vec<(&str, String)>,
+) -> String {
+    let id = prepared.request.id.as_deref();
+    match result {
+        Ok(mut verdict) => {
+            verdict.design = prepared.request.spec.display_name();
+            if prepared.request.explain {
+                extras.push(("explain", verdict.explain().trim_end().replace('\n', " | ")));
+            }
+            proto::ok_response(id, &extras, &verdict)
+        }
+        Err(error) => proto::error_response(id, &error),
+    }
+}
+
+/// Runs one traced request: arms the process-global flight recorder
+/// around the analysis, drains the session, and reports the captured
+/// event count (plus a Chrome-trace dump when
+/// [`ServeConfig::trace_dir`] is set).
+///
+/// Capture serializes on a module lock — the recorder is process-global
+/// — and is skipped (event count 0) when `QISIM_TRACE` already armed
+/// whole-process tracing, so a per-request opt-in can never truncate an
+/// operator's full-run trace.
+fn run_traced(
+    config: &ServeConfig,
+    prepared: &Prepared,
+    extras: &mut Vec<(&str, String)>,
+) -> Result<Scalability, QisimError> {
+    static TRACE_LOCK: Mutex<()> = Mutex::new(());
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let target = prepared.request.target.target();
+    if qisim_obs::trace::armed() {
+        extras.push(("trace_events", "0".to_string()));
+        return engine::try_analyze_on(&prepared.design, &target, &prepared.fridge);
+    }
+    qisim_obs::trace::arm();
+    qisim_obs::trace::clear();
+    let result = engine::try_analyze_on(&prepared.design, &target, &prepared.fridge);
+    let session = qisim_obs::TraceSession::drain();
+    qisim_obs::trace::disarm();
+    let events: usize = session.threads.iter().map(|t| t.events.len()).sum();
+    extras.push(("trace_events", events.to_string()));
+    if let Some(dir) = &config.trace_dir {
+        let path = dir.join(format!("req-{}.trace.json", prepared.seq));
+        // Best-effort: an unwritable trace dir must not fail the request.
+        if std::fs::create_dir_all(dir).is_ok() {
+            let _ = std::fs::write(path, qisim_obs::trace_export::chrome_trace_json(&session));
+        }
+    }
+    result
+}
+
+/// Serves newline-delimited requests from `input` until EOF — the
+/// stdin/stdout framing. Responses are written (and flushed) in request
+/// order, one line each; EOF is the graceful-shutdown signal.
+///
+/// Each line runs through the same batch executor as the TCP service
+/// (a batch of one), so responses are bit-identical across framings.
+///
+/// # Errors
+///
+/// Returns only transport failures (`input`/`output` I/O errors);
+/// request-level problems become typed `error` response lines.
+pub fn serve_lines(
+    input: impl BufRead,
+    mut output: impl Write,
+    config: &ServeConfig,
+) -> std::io::Result<StatsSnapshot> {
+    let stats = Stats::default();
+    let mut seq = 0u64;
+    for line in input.lines() {
+        let line = line?;
+        seq += 1;
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        counter!("serve.requests");
+        let t0 = Instant::now();
+        let response = match prepare(seq, &line) {
+            Ok(prepared) => {
+                let mut responses = answer_batch(config, &[prepared]);
+                responses.pop().unwrap_or_default()
+            }
+            Err(error) => proto::error_response(proto::request_id(&line), &error),
+        };
+        observe!("serve.request_ns", t0.elapsed().as_nanos() as f64);
+        track_response(&stats, &response);
+        output.write_all(response.as_bytes())?;
+        output.flush()?;
+    }
+    Ok(stats.snapshot())
+}
+
+/// Updates counters from a rendered response line.
+fn track_response(stats: &Stats, response: &str) {
+    match proto::response_kind(response) {
+        Some(proto::ResponseKind::Ok) => {
+            stats.ok.fetch_add(1, Ordering::Relaxed);
+            counter!("serve.responses");
+        }
+        Some(proto::ResponseKind::Busy) => {
+            stats.shed.fetch_add(1, Ordering::Relaxed);
+            counter!("serve.shed");
+        }
+        _ => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            counter!("serve.errors");
+        }
+    }
+}
+
+/// One accepted request waiting for the worker.
+struct Job {
+    seq: u64,
+    line: String,
+    t0: Instant,
+    out: Arc<Mutex<TcpStream>>,
+}
+
+/// State shared between the accept loop, connection readers, and the
+/// batch worker.
+struct Shared {
+    config: ServeConfig,
+    stats: Stats,
+    queue: Mutex<VecDeque<Job>>,
+    work: Condvar,
+    stop: AtomicBool,
+    seq: AtomicU64,
+}
+
+impl Shared {
+    fn lock_queue(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// The long-running TCP service: an accept loop, one reader thread per
+/// connection, and a single batch worker draining a bounded queue
+/// through [`qisim::engine::try_analyze_many`].
+///
+/// Backpressure is explicit: when the queue holds
+/// [`ServeConfig::queue_depth`] requests, new ones are shed immediately
+/// with a `busy` response (`serve.shed`). Shutdown is graceful — via
+/// [`Server::shutdown`], or by creating the configured
+/// [`ServeConfig::stop_file`] — and drains every accepted request before
+/// the worker exits.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("stats", &self.stats.snapshot())
+            .field("stop", &self.stopping())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the service and starts serving. Use port 0 to let the OS
+    /// pick; [`Server::addr`] reports the bound address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/configuration I/O error; a failed bind spawns
+    /// nothing.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            stats: Stats::default(),
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            stop: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+        });
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::default();
+        let accept = std::thread::Builder::new().name("qisim-serve-accept".into()).spawn({
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            move || accept_loop(listener, shared, conns)
+        })?;
+        let worker = std::thread::Builder::new().name("qisim-serve-worker".into()).spawn({
+            let shared = Arc::clone(&shared);
+            move || worker_loop(shared)
+        })?;
+        Ok(Server { addr, shared, accept: Some(accept), worker: Some(worker), conns })
+    }
+
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the service has begun stopping (programmatic
+    /// [`Server::shutdown`] or the stop file appearing).
+    pub fn stopping(&self) -> bool {
+        self.shared.stopping()
+    }
+
+    /// Point-in-time service counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Blocks until the service begins stopping (the stop-file path of
+    /// the `qisim-serve` binary), polling at a small fixed interval.
+    pub fn wait_until_stopping(&self) {
+        while !self.stopping() {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+    }
+
+    /// Stops accepting, drains every accepted request, joins all
+    /// threads, and returns the final counters. Idempotent.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        self.shared.work.notify_all();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> =
+            std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Accepts connections until stopped; also the stop-file poller.
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.stopping() {
+            return;
+        }
+        if let Some(stop_file) = &shared.config.stop_file {
+            if stop_file.exists() {
+                shared.stop.store(true, Ordering::Relaxed);
+                shared.work.notify_all();
+                return;
+            }
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                counter!("serve.connections");
+                if stream.set_nonblocking(false).is_err()
+                    || stream.set_read_timeout(Some(POLL_INTERVAL)).is_err()
+                {
+                    continue;
+                }
+                // Request/response lines are tiny; leaving Nagle on costs
+                // a delayed-ACK round trip (~40 ms) per request.
+                let _ = stream.set_nodelay(true);
+                let spawned = std::thread::Builder::new().name("qisim-serve-conn".into()).spawn({
+                    let shared = Arc::clone(&shared);
+                    move || connection_loop(stream, shared)
+                });
+                if let Ok(handle) = spawned {
+                    conns.lock().unwrap_or_else(|e| e.into_inner()).push(handle);
+                }
+            }
+            // Non-blocking accept: idle poll, re-check stop conditions.
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Reads request lines off one connection, enqueueing each (or shedding
+/// it with a `busy` response when the queue is full) until EOF, a
+/// transport error, an oversized line, or service stop.
+fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let out = Arc::new(Mutex::new(write_half));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Reads accumulate across timeouts (`read_line` appends), so the
+        // stop flag gets checked every POLL_INTERVAL even mid-line.
+        let eof = loop {
+            if shared.stopping() {
+                return;
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => break true,
+                Ok(_) => break false,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if line.len() > MAX_LINE_BYTES {
+                        oversized_line(&shared, &line, &out);
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        };
+        if line.is_empty() {
+            return; // clean EOF
+        }
+        if line.len() > MAX_LINE_BYTES {
+            oversized_line(&shared, &line, &out);
+            return;
+        }
+        enqueue(&shared, &line, &out);
+        if eof {
+            return; // final line without trailing newline
+        }
+    }
+}
+
+/// Answers an oversized request line with a typed error (the connection
+/// is closed by the caller: the rest of the line is unread garbage).
+fn oversized_line(shared: &Shared, line: &str, out: &Arc<Mutex<TcpStream>>) {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    counter!("serve.requests");
+    let error = QisimError::Decode(qisim::error::DecodeError::new(
+        1,
+        format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+    ));
+    let response = proto::error_response(proto::request_id(line), &error);
+    track_response(&shared.stats, &response);
+    write_response(out, &response);
+}
+
+/// Accepts one request line into the bounded queue, or sheds it.
+fn enqueue(shared: &Shared, line: &str, out: &Arc<Mutex<TcpStream>>) {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    counter!("serve.requests");
+    let seq = shared.seq.fetch_add(1, Ordering::Relaxed) + 1;
+    let mut queue = shared.lock_queue();
+    if queue.len() >= shared.config.queue_depth {
+        let depth = queue.len();
+        drop(queue);
+        let response =
+            proto::busy_response(proto::request_id(line), &format!("queue full (depth {depth})"));
+        track_response(&shared.stats, &response);
+        write_response(out, &response);
+        return;
+    }
+    queue.push_back(Job { seq, line: line.to_string(), t0: Instant::now(), out: Arc::clone(out) });
+    let depth = queue.len();
+    drop(queue);
+    counter!("serve.accepted");
+    gauge!("serve.inflight", depth as f64);
+    shared.work.notify_all();
+}
+
+/// The single batch worker: drains the queue in batches of up to
+/// [`ServeConfig::batch_max`], answers each batch through
+/// [`answer_batch`], and keeps draining after a stop request until the
+/// queue is empty (accepted requests are always answered).
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let batch: Vec<Job> = {
+            let mut queue = shared.lock_queue();
+            loop {
+                if !queue.is_empty() {
+                    let n = queue.len().min(shared.config.batch_max);
+                    break queue.drain(..n).collect();
+                }
+                if shared.stopping() {
+                    return;
+                }
+                queue = match shared.work.wait_timeout(queue, POLL_INTERVAL) {
+                    Ok((guard, _)) => guard,
+                    Err(e) => e.into_inner().0,
+                };
+            }
+        };
+        gauge!("serve.inflight", (shared.lock_queue().len() + batch.len()) as f64);
+        if !shared.config.batch_delay.is_zero() {
+            std::thread::sleep(shared.config.batch_delay);
+        }
+        // Parse failures short-circuit; the rest form the batch. All
+        // responses are written back in request order, so a pipelined
+        // connection reads its answers in the order it sent them.
+        let mut slots: Vec<Option<String>> = Vec::new();
+        slots.resize_with(batch.len(), || None);
+        let mut prepared: Vec<Prepared> = Vec::with_capacity(batch.len());
+        let mut prepared_at: Vec<usize> = Vec::with_capacity(batch.len());
+        for (i, job) in batch.iter().enumerate() {
+            match prepare(job.seq, &job.line) {
+                Ok(p) => {
+                    prepared.push(p);
+                    prepared_at.push(i);
+                }
+                Err(error) => {
+                    slots[i] = Some(proto::error_response(proto::request_id(&job.line), &error));
+                }
+            }
+        }
+        let answers = answer_batch(&shared.config, &prepared);
+        for (i, response) in prepared_at.into_iter().zip(answers) {
+            slots[i] = Some(response);
+        }
+        for (job, slot) in batch.iter().zip(slots) {
+            if let Some(response) = slot {
+                finish_job(&shared, job, response);
+            }
+        }
+        gauge!("serve.inflight", shared.lock_queue().len() as f64);
+    }
+}
+
+/// Records latency and counters for one answered job and writes its
+/// response line.
+fn finish_job(shared: &Shared, job: &Job, response: String) {
+    observe!("serve.request_ns", job.t0.elapsed().as_nanos() as f64);
+    track_response(&shared.stats, &response);
+    write_response(&job.out, &response);
+}
+
+/// Writes one response line; client-side failures (a closed socket) are
+/// deliberately ignored — a vanished client must not affect the service.
+fn write_response(out: &Arc<Mutex<TcpStream>>, response: &str) {
+    let mut stream = out.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}

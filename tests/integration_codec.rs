@@ -137,3 +137,33 @@ fn decode_failures_are_line_anchored_decode_errors() {
         Err(QisimError::Decode(_))
     ));
 }
+
+/// Regression: empty input and trailing-newline-only input used to
+/// anchor at the ambiguous line 0 (a "whole document" diagnostic a user
+/// cannot point at in an editor). Both must be typed decode errors
+/// anchored at an actual line.
+#[test]
+fn empty_and_trailing_newline_documents_are_typed_line_anchored_errors() {
+    let decode_err = |text: &str| match codec::parse_spec(text) {
+        Err(QisimError::Decode(e)) => e,
+        other => panic!("expected a decode error for {text:?}, got {other:?}"),
+    };
+    for text in ["", "\n", "\n\n", "  \n", "# only a comment\n"] {
+        let e = decode_err(text);
+        assert_eq!(e.line, 1, "empty document {text:?} must anchor at line 1");
+        assert!(e.reason.contains("empty document"), "{e}");
+    }
+    // A header followed only by its trailing newline: the error points
+    // at line 2, where the mandatory `preset` key belongs.
+    let e = decode_err("qisim spec v1\n");
+    assert_eq!(e.line, 2);
+    assert!(e.reason.contains("missing key `preset`"), "{e}");
+    // Same grammar, same anchoring for report documents.
+    match codec::parse_scalability("") {
+        Err(QisimError::Decode(e)) => {
+            assert_eq!(e.line, 1);
+            assert!(e.reason.contains("empty document"), "{e}");
+        }
+        other => panic!("expected a decode error, got {other:?}"),
+    }
+}

@@ -1,0 +1,239 @@
+//! End-to-end tests of the `qisim-serve` batch analysis service: the
+//! stdin/stdout framing round-trips every paper preset bit-identically
+//! to a direct engine call, malformed requests become typed errors with
+//! the service still alive, concurrent TCP clients get the same bytes a
+//! direct `try_analyze_spec` produces, and a saturated queue sheds with
+//! an observable `busy` response instead of queueing without bound.
+
+use qisim::codec;
+use qisim::engine;
+use qisim::spec::Preset;
+use qisim::surface::target::Target;
+use qisim_serve::{proto, serve_lines, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serializes tests: service counters, the flight recorder, and the
+/// `qisim-obs` registry are process-global.
+static SERVE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    SERVE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The response line the service must produce for a request line —
+/// computed through the direct, single-spec engine path.
+fn expected_response(line: &str) -> String {
+    let request = proto::parse_request_line(line).expect("well-formed request");
+    let verdict = engine::try_analyze_spec(&request.spec, &request.target.target())
+        .expect("analyzable request");
+    proto::ok_response(request.id.as_deref(), &[], &verdict)
+}
+
+#[test]
+fn stdio_round_trips_every_paper_preset_bit_identically() {
+    let _guard = lock();
+    let mut input = String::new();
+    let mut expected = String::new();
+    for target in ["near_term", "long_term"] {
+        for preset in Preset::ALL {
+            let line = format!("target = {target}; preset = {}", preset.id());
+            expected.push_str(&expected_response(&line));
+            input.push_str(&line);
+            input.push('\n');
+        }
+    }
+    let mut output = Vec::new();
+    let stats = serve_lines(Cursor::new(input), &mut output, &ServeConfig::default())
+        .expect("stdio transport");
+    let output = String::from_utf8(output).expect("utf-8 responses");
+    assert_eq!(output, expected, "served responses must be bit-identical to direct analysis");
+    assert_eq!(stats.requests, 2 * Preset::ALL.len() as u64);
+    assert_eq!(stats.ok, stats.requests);
+    assert_eq!(stats.errors, 0);
+    // And the folded report unfolds back into a parseable document
+    // matching the direct verdict.
+    let first = output.lines().next().expect("at least one response");
+    let report = proto::response_report(first).expect("ok response carries a report");
+    let direct = engine::try_analyze_spec(
+        &qisim::spec::DesignSpec::new(Preset::ALL[0]),
+        &Target::near_term(),
+    )
+    .expect("preset");
+    assert_eq!(codec::parse_scalability(&report).expect("unfolded report"), direct);
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_and_the_service_survives() {
+    let _guard = lock();
+    // (request line, expected error kind, reason needle)
+    let cases = [
+        ("", "decode", "empty request line"),
+        ("preset = warp_drive", "decode", "unknown preset"),
+        ("drive_bits = 6", "decode", "preset"),
+        ("target = mars; preset = cmos_baseline", "decode", "unknown target"),
+        ("preset = cmos_baseline; what even", "decode", "key = value"),
+        ("preset = cmos_baseline; drive_fdm = 0", "config", "drive_fdm"),
+        ("id = 9; preset = cmos_baseline; budget.4K = -1", "config", "budget"),
+    ];
+    let mut input = String::new();
+    for (line, _, _) in &cases {
+        input.push_str(line);
+        input.push('\n');
+    }
+    // The service must still answer a good request after every failure.
+    input.push_str("id = alive; preset = cmos_baseline\n");
+    let mut output = Vec::new();
+    let stats = serve_lines(Cursor::new(input), &mut output, &ServeConfig::default())
+        .expect("stdio transport");
+    let output = String::from_utf8(output).expect("utf-8 responses");
+    let responses: Vec<&str> = output.lines().collect();
+    assert_eq!(responses.len(), cases.len() + 1, "one response per request\n{output}");
+    for ((line, kind, needle), response) in cases.iter().zip(&responses) {
+        assert_eq!(
+            proto::response_kind(response),
+            Some(proto::ResponseKind::Error),
+            "{line:?} -> {response}"
+        );
+        assert_eq!(proto::pair_value(response, "error"), Some(*kind), "{line:?} -> {response}");
+        let reason = proto::pair_value(response, "reason").expect("reason pair");
+        assert!(reason.contains(needle), "{line:?} -> {response}");
+    }
+    // The id = 9 error response still echoes the client token.
+    assert_eq!(proto::pair_value(responses[6], "id"), Some("9"));
+    let last = responses.last().expect("final response");
+    assert_eq!(proto::response_kind(last), Some(proto::ResponseKind::Ok));
+    assert_eq!(proto::pair_value(last, "id"), Some("alive"));
+    assert_eq!(stats.errors, cases.len() as u64);
+    assert_eq!(stats.ok, 1);
+}
+
+#[test]
+fn concurrent_tcp_clients_get_bit_identical_ordered_responses() {
+    let _guard = lock();
+    let server =
+        Server::bind("127.0.0.1:0", ServeConfig::default()).expect("bind an OS-assigned port");
+    let addr = server.addr();
+    let preset_ids: Vec<&str> = Preset::ALL.iter().map(|p| p.id()).collect();
+    let mut clients = Vec::new();
+    for client in 0..4 {
+        let preset_ids = preset_ids.clone();
+        clients.push(std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut writer = stream.try_clone().expect("clone stream");
+            let mut reader = BufReader::new(stream);
+            // Pipeline everything, then read everything: responses must
+            // come back in request order with matching ids.
+            let lines: Vec<String> = (0..24)
+                .map(|i| {
+                    let preset = preset_ids[(client + i) % preset_ids.len()];
+                    let target = if i % 3 == 0 { "target = long_term; " } else { "" };
+                    format!("id = c{client}-{i}; {target}preset = {preset}")
+                })
+                .collect();
+            for line in &lines {
+                writeln!(writer, "{line}").expect("send");
+            }
+            for line in &lines {
+                let mut response = String::new();
+                reader.read_line(&mut response).expect("receive");
+                assert_eq!(response, expected_response(line), "for request {line:?}");
+            }
+        }));
+    }
+    for client in clients {
+        client.join().expect("client thread");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 4 * 24);
+    assert_eq!(stats.ok, 4 * 24);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.shed, 0);
+}
+
+#[test]
+fn overload_sheds_with_busy_responses_and_the_service_stays_up() {
+    let _guard = lock();
+    let before_shed = qisim_obs::snapshot().counter("serve.shed").unwrap_or(0);
+    let config = ServeConfig {
+        queue_depth: 1,
+        batch_max: 1,
+        // Fault injection: make each batch slow so a pipelined burst
+        // must overflow the depth-1 queue.
+        batch_delay: Duration::from_millis(25),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", config).expect("bind");
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    const BURST: usize = 16;
+    for i in 0..BURST {
+        writeln!(writer, "id = {i}; preset = cmos_baseline").expect("send");
+    }
+    let mut ok = 0u64;
+    let mut busy = 0u64;
+    for _ in 0..BURST {
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("receive");
+        match proto::response_kind(&response) {
+            Some(proto::ResponseKind::Ok) => ok += 1,
+            Some(proto::ResponseKind::Busy) => {
+                assert!(
+                    proto::pair_value(&response, "reason")
+                        .is_some_and(|r| r.contains("queue full")),
+                    "{response}"
+                );
+                busy += 1;
+            }
+            other => panic!("unexpected response kind {other:?}: {response}"),
+        }
+    }
+    assert_eq!(ok + busy, BURST as u64, "every request is answered");
+    assert!(busy >= 1, "a depth-1 queue under a {BURST}-deep burst must shed");
+    assert!(ok >= 1, "shedding must not starve the queue entirely");
+    // Shed is backpressure, not failure: the service keeps answering.
+    writeln!(writer, "id = after; preset = rsfq_baseline").expect("send");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read after shed burst");
+    assert_eq!(response, expected_response("id = after; preset = rsfq_baseline"));
+    let stats = server.shutdown();
+    assert_eq!(stats.shed, busy);
+    assert_eq!(stats.ok, ok + 1);
+    // The shed path is observable through the serve.shed counter
+    // whenever observability is compiled in and enabled.
+    if qisim_obs::enabled() {
+        let after_shed = qisim_obs::snapshot().counter("serve.shed").unwrap_or(0);
+        assert_eq!(after_shed - before_shed, busy, "serve.shed must count every busy response");
+    }
+}
+
+#[test]
+fn traced_requests_report_event_counts_and_explain_embeds_text() {
+    let _guard = lock();
+    let mut output = Vec::new();
+    serve_lines(
+        Cursor::new("trace = 1; explain = 1; preset = cmos_baseline\n"),
+        &mut output,
+        &ServeConfig::default(),
+    )
+    .expect("stdio transport");
+    let response = String::from_utf8(output).expect("utf-8");
+    assert_eq!(proto::response_kind(&response), Some(proto::ResponseKind::Ok));
+    let events: u64 = proto::pair_value(&response, "trace_events")
+        .expect("traced response carries trace_events")
+        .parse()
+        .expect("numeric event count");
+    // With the obs feature the engine's spans land in the recorder;
+    // with the kill switch the capture is an explicit zero.
+    if qisim_obs::enabled() {
+        assert!(events > 0, "{response}");
+    }
+    let explain = proto::pair_value(&response, "explain").expect("explain pair");
+    assert!(explain.contains("qubits"), "{response}");
+    // The folded report still parses even with extras up front.
+    let report = proto::response_report(&response).expect("report");
+    assert!(codec::parse_scalability(&report).is_ok());
+}

@@ -38,26 +38,32 @@
 #  11. paper-suite smoke run: the cheap experiment drivers (Fig. 12/13/17
 #      + Table 2) must replay their paper numbers through the staged
 #      engine (the full 19-driver suite is `--example paper_suite`)
+#  12. serve smoke run: bench_serve --smoke replays a concurrent request
+#      batch against an in-process qisim-serve TCP server (responses
+#      bit-identical to direct analysis, overload drill sheds, clean
+#      shutdown) and must leave nonzero serve_* counters in the metrics
+#      file; then the release binary itself serves one request over
+#      /dev/tcp and exits 0 via the stop file (docs/SERVING.md)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/11] release build + tests =="
+echo "== [1/12] release build + tests =="
 cargo build --release
 cargo test -q --release
 
-echo "== [2/11] tests at QISIM_THREADS=2 =="
+echo "== [2/12] tests at QISIM_THREADS=2 =="
 QISIM_THREADS=2 cargo test -q --release
 
-echo "== [3/11] rustfmt =="
+echo "== [3/12] rustfmt =="
 cargo fmt --check
 
-echo "== [4/11] clippy (deny warnings) =="
+echo "== [4/12] clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
-echo "== [5/11] rustdoc (deny warnings) =="
+echo "== [5/12] rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "== [6/11] kill switches (--no-default-features) =="
+echo "== [6/12] kill switches (--no-default-features) =="
 cargo build --release --no-default-features
 cargo test -q --release --no-default-features
 # Serial pool + live obs: the exact build the determinism docs promise
@@ -65,7 +71,7 @@ cargo test -q --release --no-default-features
 cargo test -q --release -p qisim --no-default-features --features obs \
     --test integration_par
 
-echo "== [7/11] observe + trace smoke run =="
+echo "== [7/12] observe + trace smoke run =="
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 (cd "$out" && QISIM_TRACE="$out/trace.json" QISIM_THREADS=2 cargo run --release --quiet \
@@ -91,7 +97,7 @@ test "$begins" -eq "$ends" || { echo "unbalanced trace: $begins B vs $ends E" >&
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/trace.json" \
     2>/dev/null || echo "note: python3 unavailable, skipped strict JSON parse"
 
-echo "== [8/11] telemetry exporter smoke run =="
+echo "== [8/12] telemetry exporter smoke run =="
 (cd "$out" && QISIM_METRICS="$out/metrics.om:50" QISIM_THREADS=2 cargo run --release --quiet \
     --manifest-path "$OLDPWD/Cargo.toml" --example observe -- --watch > watch.txt)
 # The example validates its own exposition via openmetrics_is_well_formed
@@ -109,13 +115,13 @@ grep -q "# EOF" "$out/metrics.om"
 QISIM_METRICS="$out/metrics_det.om:50" cargo test -q --release -p qisim \
     --test integration_par
 
-echo "== [9/11] Monte-Carlo bench smoke run =="
+echo "== [9/12] Monte-Carlo bench smoke run =="
 cargo run --release --quiet --example bench_mc -- --smoke
 
-echo "== [10/11] panic-regression gate =="
+echo "== [10/12] panic-regression gate =="
 tools/check_panics.sh
 
-echo "== [11/11] paper-suite smoke run =="
+echo "== [11/12] paper-suite smoke run =="
 # Cheap drivers only: Fig. 12/13/17 + Table 2 finish in seconds; the
 # minute-scale Table 1 / Fig. 8 / Fig. 11 runs stay on the full suite
 # (filters are substring matches against the experiment ids).
@@ -128,5 +134,40 @@ done
 # The headline scalability numbers must replay exactly through the
 # staged engine (zero relative error renders as "-").
 echo "$suite_out" | grep -q "max |rel err|"
+
+echo "== [12/12] serve smoke run =="
+# Long exporter interval: the only write is bench_serve's explicit
+# flush, whose delta then covers the whole run — serve counters must be
+# nonzero in it.
+(cd "$out" && QISIM_METRICS="$out/serve.om:600000" cargo run --release --quiet \
+    --manifest-path "$OLDPWD/Cargo.toml" --example bench_serve -- --smoke > serve.txt)
+grep -q "responses bit-identical to direct try_analyze: true" "$out/serve.txt"
+grep -q "clean shutdown: drained, all threads joined" "$out/serve.txt"
+grep -q "sample response: ok = 1; qisim scalability v1" "$out/serve.txt"
+grep -Eq "^serve_requests_total [1-9]" "$out/serve.om"
+grep -q "serve_request_ns" "$out/serve.om"
+grep -q "# EOF" "$out/serve.om"
+# The binary end to end: answer one request over TCP, then shut down
+# gracefully when the stop file appears (exit code 0 or the gate fails).
+./target/release/qisim-serve --tcp 127.0.0.1:0 --stop-file "$out/stop" \
+    > "$out/serve_bin.txt" 2> "$out/serve_bin.err" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening" "$out/serve_bin.txt" 2>/dev/null && break
+    sleep 0.1
+done
+port="$(sed -n 's/.*listening = [^ ]*:\([0-9][0-9]*\)$/\1/p' "$out/serve_bin.txt")"
+test -n "$port" || { echo "qisim-serve never reported its port" >&2; exit 1; }
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+printf 'id = ci; preset = cmos_baseline\n' >&3
+IFS= read -r response <&3
+exec 3<&- 3>&-
+case "$response" in
+    "ok = 1; id = ci; qisim scalability v1"*) ;;
+    *) echo "malformed serve response: $response" >&2; exit 1;;
+esac
+touch "$out/stop"
+wait "$serve_pid"
+grep -q "done requests = 1 ok = 1" "$out/serve_bin.err"
 
 echo "CI gate passed."
