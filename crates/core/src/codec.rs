@@ -22,7 +22,7 @@
 
 use crate::error::{DecodeError, QisimError};
 use crate::scalability::Scalability;
-use crate::spec::{DesignSpec, Preset};
+use crate::spec::{DesignSpec, Estimator, Preset};
 use qisim_hal::fridge::Stage;
 use qisim_microarch::sfq::{BitgenKind, JpmSharing};
 use qisim_microarch::DecisionKind;
@@ -41,6 +41,9 @@ pub fn encode_spec(spec: &DesignSpec) -> String {
     let _ = writeln!(out, "preset = {}", spec.preset.id());
     if let Some(name) = &spec.name {
         let _ = writeln!(out, "name = {name}");
+    }
+    if let Some(v) = spec.estimator {
+        let _ = writeln!(out, "estimator = {}", v.label());
     }
     if let Some(v) = spec.drive_fdm {
         let _ = writeln!(out, "drive_fdm = {v}");
@@ -116,6 +119,10 @@ pub fn parse_spec(text: &str) -> Result<DesignSpec, QisimError> {
             "name" => {
                 dup(spec.name.is_some())?;
                 spec.name = Some(value.to_string());
+            }
+            "estimator" => {
+                dup(spec.estimator.is_some())?;
+                spec.estimator = Some(parse_label(line_no, key, value, Estimator::from_label)?);
             }
             "drive_fdm" => {
                 dup(spec.drive_fdm.is_some())?;
@@ -419,6 +426,31 @@ mod tests {
         let text = encode_spec(&DesignSpec::new(Preset::CmosBaseline).drive_bits(6));
         assert!(text.contains("drive_bits = 6"), "{text}");
         assert!(!text.contains("drive_fdm"), "{text}");
+    }
+
+    #[test]
+    fn estimator_key_round_trips_and_defaults_stay_byte_identical() {
+        // A default spec never mentions the estimator — pre-knob
+        // documents and encoders stay byte-for-byte identical.
+        let text = encode_spec(&DesignSpec::new(Preset::RsfqBaseline));
+        assert_eq!(text, "qisim spec v1\npreset = rsfq_baseline\n");
+        for e in Estimator::ALL {
+            let spec = DesignSpec::new(Preset::CmosBaseline).estimator(e);
+            let text = encode_spec(&spec);
+            assert!(text.contains(&format!("estimator = {}", e.label())), "{text}");
+            assert_eq!(parse_spec(&text).unwrap(), spec);
+        }
+        // An unknown estimator is a line-anchored typed diagnostic.
+        match parse_spec("qisim spec v1\npreset = cmos_baseline\nestimator = oracle\n") {
+            Err(QisimError::Decode(e)) => {
+                assert_eq!(e.line, 3);
+                assert!(e.reason.contains("unknown estimator `oracle`"), "{e}");
+            }
+            other => panic!("expected a decode error, got {other:?}"),
+        }
+        // Duplicates are rejected like every other key.
+        let text = "qisim spec v1\npreset = cmos_baseline\nestimator = rare\nestimator = rare\n";
+        assert!(parse_spec(text).is_err());
     }
 
     #[test]

@@ -41,7 +41,7 @@
 use crate::config::QciDesign;
 use crate::error::{QisimError, TargetError};
 use crate::scalability::{Scalability, SweepPoint};
-use crate::spec::{validate_design, DesignSpec};
+use crate::spec::{validate_design, DesignSpec, Estimator};
 use qisim_hal::fridge::{Fridge, Stage};
 use qisim_hal::wire::InstructionLink;
 use qisim_microarch::cryo_cmos::EsmProfile;
@@ -49,7 +49,19 @@ use qisim_microarch::QciArch;
 use qisim_obs::{counter, gauge, span};
 use qisim_power::{MemoKey, PowerError, StagePower};
 use qisim_surface::analytic::CALIBRATION;
+use qisim_surface::montecarlo::{logical_error_rate_rare, logical_error_rate_sliced_par};
 use qisim_surface::target::{Target, CODE_DISTANCE};
+use qisim_surface::Lattice;
+
+/// Trial count of the [`Estimator::Sliced`] logical-error stage: 512
+/// whole 64-trial lane words, enough that the empirical rate resolves
+/// error-limited designs while keeping a service request interactive.
+const SLICED_ESTIMATOR_TRIALS: usize = 32_768;
+/// Per-stage trial count of the [`Estimator::Rare`] splitting ladder.
+const RARE_ESTIMATOR_TRIALS: usize = 2_000;
+/// Fixed RNG seed for both Monte-Carlo estimators: verdicts must be
+/// reproducible across calls, batches, and thread counts.
+const ESTIMATOR_SEED: u64 = 0x51_C0DE;
 
 /// One named stage of the Fig. 6 analysis pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -134,6 +146,7 @@ pub struct AnalysisPlan {
     design: QciDesign,
     target: Target,
     fridge: Fridge,
+    estimator: Estimator,
     link: InstructionLink,
     inventory: Option<QciArch>,
     schedule: Option<EsmSchedule>,
@@ -159,12 +172,30 @@ impl AnalysisPlan {
     ///
     /// Same as [`AnalysisPlan::new`].
     pub fn on(design: &QciDesign, target: &Target, fridge: &Fridge) -> Result<Self, QisimError> {
+        AnalysisPlan::with_estimator(design, target, fridge, Estimator::Packed)
+    }
+
+    /// Plans an analysis whose logical-error stage runs the chosen
+    /// [`Estimator`] ([`AnalysisPlan::on`] is the [`Estimator::Packed`]
+    /// shorthand; `Packed` plans are bit-identical to the pre-knob
+    /// pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalysisPlan::new`].
+    pub fn with_estimator(
+        design: &QciDesign,
+        target: &Target,
+        fridge: &Fridge,
+        estimator: Estimator,
+    ) -> Result<Self, QisimError> {
         validate_design(design)?;
         validate_target(target)?;
         Ok(AnalysisPlan {
             design: *design,
             target: *target,
             fridge: fridge.clone(),
+            estimator,
             link: InstructionLink::standard(),
             inventory: None,
             schedule: None,
@@ -242,8 +273,7 @@ impl AnalysisPlan {
             }
             PlanStage::LogicalError => {
                 span!("engine.stage.logical_error");
-                let logical_error =
-                    self.design.physical_budget().logical_error(CODE_DISTANCE, &CALIBRATION);
+                let logical_error = self.estimate_logical_error();
                 let target_error = self.target.logical_error_target();
                 self.logical = Some(LogicalArtifact {
                     logical_error,
@@ -279,6 +309,35 @@ impl AnalysisPlan {
             self.trace_stage_artifact(stage);
         }
         Ok(Some(stage))
+    }
+
+    /// Evaluates the logical error per round at `d = 23` with the plan's
+    /// [`Estimator`].
+    ///
+    /// `Packed` is the calibrated analytic fit (bit-identical to the
+    /// historical pipeline). `Sliced` and `Rare` run the design's
+    /// effective physical error through the fixed-seed Monte-Carlo
+    /// engines; the rate is clamped into each kernel's domain so a
+    /// validated design can never panic the stage.
+    fn estimate_logical_error(&self) -> f64 {
+        let budget = self.design.physical_budget();
+        match self.estimator {
+            Estimator::Packed => budget.logical_error(CODE_DISTANCE, &CALIBRATION),
+            Estimator::Sliced => {
+                counter!("engine.estimator.sliced");
+                let p = budget.effective_error(&CALIBRATION).clamp(0.0, 1.0);
+                let lattice = Lattice::new(CODE_DISTANCE as usize);
+                logical_error_rate_sliced_par(&lattice, p, SLICED_ESTIMATOR_TRIALS, ESTIMATOR_SEED)
+                    .logical_error
+            }
+            Estimator::Rare => {
+                counter!("engine.estimator.rare");
+                let p = budget.effective_error(&CALIBRATION).clamp(f64::MIN_POSITIVE, 1.0 - 1e-12);
+                let lattice = Lattice::new(CODE_DISTANCE as usize);
+                logical_error_rate_rare(&lattice, p, RARE_ESTIMATOR_TRIALS, ESTIMATOR_SEED)
+                    .logical_error
+            }
+        }
     }
 
     /// Emits a flight-recorder instant sizing the artifact a stage just
@@ -387,14 +446,31 @@ pub fn try_analyze_on(
     target: &Target,
     fridge: &Fridge,
 ) -> Result<Scalability, QisimError> {
+    try_analyze_with(design, target, fridge, Estimator::Packed)
+}
+
+/// Fallible analysis with an explicit logical-error [`Estimator`]
+/// (the general form behind [`try_analyze_on`]; `Packed` verdicts are
+/// bit-identical to the pre-knob pipeline).
+///
+/// # Errors
+///
+/// Same as [`try_analyze`].
+pub fn try_analyze_with(
+    design: &QciDesign,
+    target: &Target,
+    fridge: &Fridge,
+    estimator: Estimator,
+) -> Result<Scalability, QisimError> {
     span!("scalability.analyze");
     counter!("scalability.analyze.calls");
-    AnalysisPlan::on(design, target, fridge)?.run()
+    AnalysisPlan::with_estimator(design, target, fridge, estimator)?.run()
 }
 
 /// Analyzes a validated [`DesignSpec`]: builds the design and the
-/// (possibly budget-overridden) refrigerator, runs the staged pipeline,
-/// and stamps the spec's display name on the verdict.
+/// (possibly budget-overridden) refrigerator, runs the staged pipeline
+/// with the spec's chosen [`Estimator`], and stamps the spec's display
+/// name on the verdict.
 ///
 /// # Errors
 ///
@@ -402,7 +478,7 @@ pub fn try_analyze_on(
 pub fn try_analyze_spec(spec: &DesignSpec, target: &Target) -> Result<Scalability, QisimError> {
     let design = spec.build()?;
     let fridge = spec.fridge()?;
-    let mut verdict = try_analyze_on(&design, target, &fridge)?;
+    let mut verdict = try_analyze_with(&design, target, &fridge, spec.chosen_estimator())?;
     verdict.design = spec.display_name();
     Ok(verdict)
 }
@@ -548,6 +624,53 @@ mod tests {
     fn try_sweep_rejects_zero_counts() {
         let err = try_sweep(&QciDesign::cmos_baseline(), &[64, 0, 128]).unwrap_err();
         assert!(matches!(err, QisimError::Power(PowerError::NoQubits)), "{err:?}");
+    }
+
+    #[test]
+    fn estimators_route_the_logical_error_stage() {
+        let design = QciDesign::cmos_baseline();
+        let t = Target::near_term();
+        let fridge = Fridge::standard();
+        // Packed is the default and stays bit-identical to the
+        // historical entry points.
+        let packed = try_analyze_with(&design, &t, &fridge, Estimator::Packed).unwrap();
+        assert_eq!(packed, try_analyze_on(&design, &t, &fridge).unwrap());
+        assert_eq!(packed, try_analyze(&design, &t).unwrap());
+        // The Monte-Carlo estimators replace only the logical-error
+        // number; the power side of the verdict is untouched.
+        for est in [Estimator::Sliced, Estimator::Rare] {
+            let mc = try_analyze_with(&design, &t, &fridge, est).unwrap();
+            assert_eq!(mc.power_limited_qubits, packed.power_limited_qubits);
+            assert_eq!(mc.stages, packed.stages);
+            assert!((0.0..=1.0).contains(&mc.logical_error), "{est:?}: {}", mc.logical_error);
+            // Fixed seed: the verdict is reproducible call to call.
+            assert_eq!(mc, try_analyze_with(&design, &t, &fridge, est).unwrap(), "{est:?}");
+        }
+        // The baseline's operating point is deep below threshold, so the
+        // finite sliced batch sees no failures while the splitting
+        // ladder still resolves a nonzero tail estimate.
+        let sliced = try_analyze_with(&design, &t, &fridge, Estimator::Sliced).unwrap();
+        assert_eq!(sliced.logical_error, 0.0);
+        let rare = try_analyze_with(&design, &t, &fridge, Estimator::Rare).unwrap();
+        assert!(rare.logical_error > 0.0 && rare.logical_error < 1e-6, "{}", rare.logical_error);
+        assert!(rare.error_ok);
+    }
+
+    #[test]
+    fn spec_estimator_threads_through_try_analyze_spec() {
+        use crate::spec::Preset;
+        let t = Target::near_term();
+        let spec = DesignSpec::new(Preset::CmosBaseline).estimator(Estimator::Sliced);
+        let via_spec = try_analyze_spec(&spec, &t).unwrap();
+        let direct = try_analyze_with(
+            &QciDesign::cmos_baseline(),
+            &t,
+            &Fridge::standard(),
+            Estimator::Sliced,
+        )
+        .unwrap();
+        assert_eq!(via_spec.logical_error, direct.logical_error);
+        assert_eq!(via_spec.power_limited_qubits, direct.power_limited_qubits);
     }
 
     #[test]

@@ -138,6 +138,31 @@ impl Scalability {
                 );
             }
         }
+        // Monte-Carlo estimator counters (process-wide): present only
+        // after a sliced or rare-event estimation ran, mirroring the
+        // conditional cache block above.
+        if let Some(trials) = snap.counter("surface.sliced.trials") {
+            let words = snap.counter("surface.sliced.words").unwrap_or(0);
+            let fallback = snap.counter("surface.sliced.fallback_trials").unwrap_or(0);
+            if trials > 0 {
+                let _ = writeln!(
+                    out,
+                    "  sliced MC engine: {trials} trials across {words} lattice words, \
+                     {fallback} decoder fallbacks ({:.1}% resolved word-wide, process-wide)",
+                    100.0 * (trials.saturating_sub(fallback)) as f64 / trials as f64,
+                );
+            }
+        }
+        if let Some(trials) = snap.counter("surface.rare.trials") {
+            let weights = snap.counter("surface.rare.stage_weights").unwrap_or(0);
+            if trials > 0 {
+                let _ = writeln!(
+                    out,
+                    "  rare-event sampler: {trials} importance-sampled trials, \
+                     {weights} ladder stages carrying weight (process-wide)",
+                );
+            }
+        }
         out
     }
 }
@@ -311,6 +336,28 @@ mod tests {
             assert!(text.contains("hit rate"), "{text}");
         } else {
             assert!(!text.contains("power memo cache"), "{text}");
+        }
+    }
+
+    #[test]
+    fn explain_reports_the_estimator_counters_once_they_exist() {
+        use crate::engine::try_analyze_with;
+        use crate::spec::Estimator;
+        let t = Target::near_term();
+        let d = QciDesign::cmos_baseline();
+        // Run both estimators so their process-wide counters exist
+        // before explain() renders.
+        try_analyze_with(&d, &t, &Fridge::standard(), Estimator::Sliced).unwrap();
+        let rare = try_analyze_with(&d, &t, &Fridge::standard(), Estimator::Rare).unwrap();
+        let text = rare.explain();
+        if qisim_obs::enabled() {
+            assert!(text.contains("sliced MC engine"), "{text}");
+            assert!(text.contains("resolved word-wide"), "{text}");
+            assert!(text.contains("rare-event sampler"), "{text}");
+            assert!(text.contains("ladder stages carrying weight"), "{text}");
+        } else {
+            assert!(!text.contains("sliced MC engine"), "{text}");
+            assert!(!text.contains("rare-event sampler"), "{text}");
         }
     }
 

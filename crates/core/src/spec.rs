@@ -131,6 +131,46 @@ impl Preset {
     }
 }
 
+/// How the engine's logical-error stage evaluates a design point.
+///
+/// The estimator is an *analysis* knob, not a technology knob: it is
+/// valid on every preset, defaults to [`Estimator::Packed`], and never
+/// changes the built [`QciDesign`] — only which error model the
+/// pipeline's `LogicalError` stage runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Estimator {
+    /// The calibrated analytic model (the paper's Eq. 1 fit) — the
+    /// historical default, bit-identical to every pre-knob verdict.
+    Packed,
+    /// The bit-sliced Monte-Carlo engine
+    /// (`qisim_surface::montecarlo::sliced`): an empirical estimate from
+    /// a fixed-seed trial batch, 64 trials per machine word.
+    Sliced,
+    /// The multilevel-splitting rare-event sampler
+    /// (`qisim_surface::montecarlo::rare`): importance-sampled trials
+    /// reweighted down to the operating point, for deep-tail rates.
+    Rare,
+}
+
+impl Estimator {
+    /// All estimators, default first.
+    pub const ALL: [Estimator; 3] = [Estimator::Packed, Estimator::Sliced, Estimator::Rare];
+
+    /// Stable text-codec identifier.
+    pub fn label(self) -> &'static str {
+        match self {
+            Estimator::Packed => "packed",
+            Estimator::Sliced => "sliced",
+            Estimator::Rare => "rare",
+        }
+    }
+
+    /// Inverse of [`Estimator::label`]; `None` for unknown identifiers.
+    pub fn from_label(label: &str) -> Option<Estimator> {
+        Estimator::ALL.into_iter().find(|e| e.label() == label)
+    }
+}
+
 /// A validated, serializable design specification: a [`Preset`] plus
 /// knob overrides plus optional refrigerator-budget overrides.
 ///
@@ -141,6 +181,7 @@ impl Preset {
 pub struct DesignSpec {
     pub(crate) preset: Preset,
     pub(crate) name: Option<String>,
+    pub(crate) estimator: Option<Estimator>,
     // CMOS knobs.
     pub(crate) drive_fdm: Option<u32>,
     pub(crate) drive_bits: Option<u32>,
@@ -164,6 +205,7 @@ impl DesignSpec {
         DesignSpec {
             preset,
             name: None,
+            estimator: None,
             drive_fdm: None,
             drive_bits: None,
             decision: None,
@@ -187,6 +229,19 @@ impl DesignSpec {
     pub fn name(mut self, name: impl Into<String>) -> Self {
         self.name = Some(name.into());
         self
+    }
+
+    /// Selects the logical-error estimator (valid on every preset; the
+    /// default is [`Estimator::Packed`], the analytic model).
+    pub fn estimator(mut self, estimator: Estimator) -> Self {
+        self.estimator = Some(estimator);
+        self
+    }
+
+    /// The logical-error estimator this spec analyzes with:
+    /// [`Estimator::Packed`] unless overridden.
+    pub fn chosen_estimator(&self) -> Estimator {
+        self.estimator.unwrap_or(Estimator::Packed)
     }
 
     /// Overrides the CMOS drive FDM degree (validated against
@@ -580,6 +635,31 @@ mod tests {
         assert!(validate_design(&bad).is_err());
         assert!(validate_design(&QciDesign::rsfq_baseline()).is_ok());
         assert!(validate_design(&QciDesign::room_photonic()).is_ok());
+    }
+
+    #[test]
+    fn estimator_labels_round_trip_and_default_to_packed() {
+        for e in Estimator::ALL {
+            assert_eq!(Estimator::from_label(e.label()), Some(e));
+        }
+        assert_eq!(Estimator::from_label("oracle"), None);
+        assert_eq!(DesignSpec::new(Preset::CmosBaseline).chosen_estimator(), Estimator::Packed);
+        let spec = DesignSpec::new(Preset::CmosBaseline).estimator(Estimator::Rare);
+        assert_eq!(spec.chosen_estimator(), Estimator::Rare);
+    }
+
+    #[test]
+    fn estimator_is_valid_on_every_preset() {
+        // The estimator is an analysis knob: unlike drive_bits or bs it
+        // must never trip the technology-mismatch checks.
+        for preset in Preset::ALL {
+            for e in Estimator::ALL {
+                let spec = DesignSpec::new(preset).estimator(e);
+                assert!(spec.build().is_ok(), "{preset:?} + {e:?}");
+                // ...and it never changes the built design itself.
+                assert_eq!(spec.build().unwrap(), DesignSpec::new(preset).build().unwrap());
+            }
+        }
     }
 
     #[test]

@@ -127,6 +127,42 @@ pub fn par_map<T: Sync, U: Send, F: Fn(&T) -> U + Sync>(items: &[T], f: F) -> Ve
     par_map_indices(items.len(), |i| f(&items[i]))
 }
 
+/// [`par_map_indices`] over fixed-size chunks of the range `0..n`: task
+/// `i` receives `(i, start, len)` where `start = i·chunk` and `len` is
+/// `chunk` except for the final remainder chunk. The chunk grid depends
+/// only on `(n, chunk)` — never on the thread count — so callers that
+/// derive per-chunk state (an RNG stream, a scratch arena) from the chunk
+/// index get bit-identical aggregates at any parallelism.
+///
+/// The bit-sliced Monte-Carlo engine drives this with `chunk` a multiple
+/// of 64, so every parallel work unit is a whole number of 64-trial
+/// lane words.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use qisim_par::par_map_chunked;
+///
+/// let spans = par_map_chunked(10, 4, |i, start, len| (i, start, len));
+/// assert_eq!(spans, vec![(0, 0, 4), (1, 4, 4), (2, 8, 2)]);
+/// assert_eq!(par_map_chunked(0, 4, |i, _, _| i), Vec::<usize>::new());
+/// ```
+pub fn par_map_chunked<U: Send, F: Fn(usize, usize, usize) -> U + Sync>(
+    n: usize,
+    chunk: usize,
+    f: F,
+) -> Vec<U> {
+    assert!(chunk > 0, "chunk size must be positive");
+    par_map_indices(n.div_ceil(chunk), |i| {
+        let start = i * chunk;
+        f(i, start, chunk.min(n - start))
+    })
+}
+
 /// [`par_map`] over the index range `0..n`: the chunked-Monte-Carlo /
 /// design-grid building block (the caller derives per-task state, such as
 /// an RNG stream, from the index alone).
@@ -264,6 +300,32 @@ mod tests {
             assert_eq!(row.0, i);
         }
         set_threads(None);
+    }
+
+    #[test]
+    fn chunked_grid_covers_the_range_exactly_once() {
+        let _l = lock();
+        for (n, chunk) in [(0usize, 64usize), (63, 64), (64, 64), (65, 64), (257, 64), (256, 256)] {
+            for threads in [1usize, 3] {
+                set_threads(Some(threads));
+                let spans = par_map_chunked(n, chunk, |i, start, len| (i, start, len));
+                let mut covered = 0usize;
+                for (i, &(idx, start, len)) in spans.iter().enumerate() {
+                    assert_eq!(idx, i);
+                    assert_eq!(start, i * chunk);
+                    assert!(len >= 1 && len <= chunk);
+                    covered += len;
+                }
+                assert_eq!(covered, n, "n={n} chunk={chunk} threads={threads}");
+            }
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_is_rejected() {
+        let _ = par_map_chunked(8, 0, |i, _, _| i);
     }
 
     #[test]

@@ -29,6 +29,16 @@ pub trait Rng {
         1.0 - self.gen_f64()
     }
 
+    /// The raw 53-bit mantissa behind one uniform draw: [`Self::gen_f64`]
+    /// is exactly `mantissa · 2⁻⁵³` and [`Self::gen_open01`] exactly
+    /// `1 − mantissa · 2⁻⁵³` (both exact in `f64`), so integer
+    /// comparisons on the mantissa can stand in for float comparisons on
+    /// the uniform, draw for draw. Consumes one `u64`, like `gen_f64`.
+    #[inline]
+    fn gen_mantissa53(&mut self) -> u64 {
+        self.next_u64() >> 11
+    }
+
     /// A uniform bool.
     #[inline]
     fn gen_bool(&mut self) -> bool {
@@ -169,6 +179,25 @@ impl Xorshift64Star {
     pub fn stream(seed: u64, stream: u64) -> Self {
         Self::seed_from_u64(seed.wrapping_add(stream.wrapping_mul(GOLDEN_GAMMA)))
     }
+
+    /// 64 consecutive [`Self::stream`]s starting at `first_stream`: one
+    /// generator per *lane* of a bit-sliced 64-trial word. Lane `i` is
+    /// exactly `stream(seed, first_stream + i)`, so a bit-sliced kernel
+    /// and 64 independent scalar runs fed these streams consume the same
+    /// randomness draw for draw — the reference-equivalence contract of
+    /// the sliced Monte-Carlo engine.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qisim_quantum::rng::Xorshift64Star;
+    ///
+    /// let lanes = Xorshift64Star::streams64(42, 128);
+    /// assert_eq!(lanes[3], Xorshift64Star::stream(42, 131));
+    /// ```
+    pub fn streams64(seed: u64, first_stream: u64) -> [Self; 64] {
+        std::array::from_fn(|i| Self::stream(seed, first_stream.wrapping_add(i as u64)))
+    }
 }
 
 impl Rng for Xorshift64Star {
@@ -222,12 +251,28 @@ pub struct Geometric {
 impl Geometric {
     /// Builds a sampler for success probability `p`.
     ///
+    /// Valid at **any** `p` strictly between 0 and 1, including subnormal
+    /// `p`: when `p` is so small that `1 − p` rounds to `1.0` (so the
+    /// naive `ln(1 − p)` would collapse to zero and every gap to 0), the
+    /// slope is recomputed through [`f64::ln_1p`], and [`Self::sample`]
+    /// saturates at `u64::MAX` — "past the end of any run" — instead of
+    /// overflowing or flipping everything. For every `p` where the naive
+    /// logarithm is nonzero the stored slope (and therefore the sampled
+    /// gap sequence) is bit-identical to what it has always been.
+    ///
     /// # Panics
     ///
-    /// Panics unless `0 < p < 1` (the degenerate rates need no sampler).
+    /// Panics unless `0 < p < 1` (the degenerate rates `p = 0` — nothing
+    /// ever succeeds — and `p = 1` — everything succeeds — need no
+    /// sampler and are the caller's fast path). NaN fails the range check
+    /// and panics too.
     pub fn new(p: f64) -> Self {
         assert!(p > 0.0 && p < 1.0, "geometric sampler needs 0 < p < 1, got {p}");
-        Geometric { inv_ln_q: 1.0 / (1.0 - p).ln() }
+        let ln_q = (1.0 - p).ln();
+        // Subnormal/tiny p underflows `1 - p` to exactly 1.0; ln_1p keeps
+        // the slope finite (≈ −1/p) so gaps saturate instead of zeroing.
+        let inv_ln_q = if ln_q == 0.0 { 1.0 / (-p).ln_1p() } else { 1.0 / ln_q };
+        Geometric { inv_ln_q }
     }
 
     /// The number of failures before the next success (possibly 0).
@@ -240,6 +285,120 @@ impl Geometric {
         // U in (0, 1] keeps ln finite; U = 1 maps to gap 0.
         (rng.gen_open01().ln() * self.inv_ln_q) as u64
     }
+
+    /// Batched skip over a run of `n` Bernoulli trials: feeds every
+    /// success position (strictly ascending, in `0..n`) to `place` and
+    /// returns whether anything was placed.
+    ///
+    /// One [`Self::sample`] draw per success plus one terminating draw —
+    /// never one per trial — and the saturating position arithmetic means
+    /// the walk can neither overflow nor spin, even at subnormal `p`
+    /// where every gap is `u64::MAX`. Both the scalar and the bit-sliced
+    /// Monte-Carlo kernels place errors through this one loop, so their
+    /// RNG draw sequences agree by construction.
+    #[inline]
+    pub fn positions<R: Rng, F: FnMut(usize)>(&self, n: usize, rng: &mut R, mut place: F) -> bool {
+        let mut pos = self.sample(rng);
+        let any = pos < n as u64;
+        while pos < n as u64 {
+            place(pos as usize);
+            // Saturating: a gap of u64::MAX means "past the end".
+            pos = pos.saturating_add(1).saturating_add(self.sample(rng));
+        }
+        any
+    }
+
+    /// A conservative first-draw threshold for
+    /// [`Self::positions_fast_empty`] over a run of `n` trials: every
+    /// uniform draw `U` at or below it provably makes the first gap
+    /// `≥ n`, so an all-survive run needs no logarithm at all.
+    pub fn empty_run_threshold(&self, n: usize) -> f64 {
+        // The first gap ln(U)·inv_ln_q is decreasing in U and crosses n
+        // at U = qⁿ = exp(n·ln q). The relative margin of 1e-6 dwarfs
+        // the few-ulp rounding of recip/exp/ln (≲ n·2⁻⁵⁰), so the
+        // shortcut can never disagree with the exact walk — draws inside
+        // the margin merely take the exact path.
+        ((n as f64) * self.inv_ln_q.recip()).exp() * (1.0 - 1e-6)
+    }
+
+    /// [`Self::empty_run_threshold`] in raw-mantissa space: a draw whose
+    /// [`Rng::gen_mantissa53`] value is **at least** this gate provably
+    /// survives all `n` trials. `gen_open01` is exactly `1 − m·2⁻⁵³`, so
+    /// `m ≥ gate ⟹ U ≤ threshold`; the trailing `+1` eats the `ceil`
+    /// rounding, erring — like the threshold's margin — toward sending
+    /// borderline draws down the exact path. A gate above `2⁵³ − 1`
+    /// (unreachable by any mantissa) simply disables the shortcut.
+    pub fn empty_run_gate(&self, n: usize) -> u64 {
+        let scale = (1u64 << 53) as f64;
+        (((1.0 - self.empty_run_threshold(n)) * scale).ceil() as u64).saturating_add(1)
+    }
+
+    /// [`Self::positions`] with a fast path for gap-clears-the-run
+    /// draws: any draw at or below `empty_threshold` (from
+    /// [`Self::empty_run_threshold`] for the **same** `n`) provably has
+    /// gap `≥ n`, so the first one resolves "no error anywhere" and a
+    /// continuation one resolves "past the end of the run" — both
+    /// without a `ln`. (For continuation draws the bound is loose —
+    /// `n` exceeds whatever remains of the run — but loose in the
+    /// direction that only sends borderline draws down the exact path.)
+    ///
+    /// Draw-for-draw identical to `positions` — it consumes the same
+    /// uniforms from `rng` and feeds `place` the same positions — which
+    /// is what lets the bit-sliced Monte-Carlo kernel use it while
+    /// staying bit-equal to the scalar reference. In the supremacy
+    /// regime (`n·p ≪ 1`) almost every run resolves on one comparison.
+    #[inline]
+    pub fn positions_fast_empty<R: Rng, F: FnMut(usize)>(
+        &self,
+        n: usize,
+        empty_threshold: f64,
+        rng: &mut R,
+        place: F,
+    ) -> bool {
+        let u = rng.gen_open01();
+        if u <= empty_threshold {
+            return false;
+        }
+        self.positions_from_first(n, u, empty_threshold, rng, place)
+    }
+
+    /// The tail of [`Self::positions_fast_empty`] once the first uniform
+    /// is already in hand (say, drawn via [`Rng::gen_mantissa53`] and
+    /// screened against [`Self::empty_run_gate`]): identical placements,
+    /// and identical draws from `rng` from here on. `first_u` must be
+    /// the exact `gen_open01` value of the consumed draw — see
+    /// [`open01_from_mantissa53`] — and `empty_threshold` must come from
+    /// [`Self::empty_run_threshold`] for the same `n`.
+    #[inline]
+    pub fn positions_from_first<R: Rng, F: FnMut(usize)>(
+        &self,
+        n: usize,
+        first_u: f64,
+        empty_threshold: f64,
+        rng: &mut R,
+        mut place: F,
+    ) -> bool {
+        let mut pos = (first_u.ln() * self.inv_ln_q) as u64;
+        let any = pos < n as u64;
+        while pos < n as u64 {
+            place(pos as usize);
+            let next = rng.gen_open01();
+            if next <= empty_threshold {
+                // Gap ≥ n ⇒ past the end of whatever remains.
+                break;
+            }
+            pos = pos.saturating_add(1).saturating_add((next.ln() * self.inv_ln_q) as u64);
+        }
+        any
+    }
+}
+
+/// Reconstructs, bit for bit, the `(0, 1]` uniform [`Rng::gen_open01`]
+/// would have produced for the draw behind a [`Rng::gen_mantissa53`]
+/// value (both arms of the identity are exact in `f64`).
+#[inline]
+pub fn open01_from_mantissa53(mantissa: u64) -> f64 {
+    1.0 - mantissa as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 #[cfg(test)]
@@ -353,6 +512,48 @@ mod tests {
     }
 
     #[test]
+    fn positions_fast_empty_stays_in_draw_lockstep_with_positions() {
+        // Same placements, same return, same RNG state after every run —
+        // across rates where the fast path almost always fires (tiny p),
+        // sometimes fires, and almost never fires (large p).
+        for p in [1e-9, 1e-3, 0.02, 0.3, 0.9] {
+            let geo = Geometric::new(p);
+            for n in [1usize, 13, 85, 1000] {
+                let threshold = geo.empty_run_threshold(n);
+                let gate = geo.empty_run_gate(n);
+                assert!((0.0..1.0).contains(&threshold), "p={p} n={n}: {threshold}");
+                let mut slow = Xorshift64Star::seed_from_u64(0xFA57 ^ n as u64);
+                let mut fast = slow.clone();
+                let mut gated = slow.clone();
+                for round in 0..500 {
+                    let mut placed_slow = Vec::new();
+                    let mut placed_fast = Vec::new();
+                    let mut placed_gated = Vec::new();
+                    let any_slow = geo.positions(n, &mut slow, |q| placed_slow.push(q));
+                    let any_fast =
+                        geo.positions_fast_empty(n, threshold, &mut fast, |q| placed_fast.push(q));
+                    // The raw-mantissa route the bit-sliced kernel takes.
+                    let m = gated.gen_mantissa53();
+                    let any_gated = m < gate
+                        && geo.positions_from_first(
+                            n,
+                            open01_from_mantissa53(m),
+                            threshold,
+                            &mut gated,
+                            |q| placed_gated.push(q),
+                        );
+                    assert_eq!(any_slow, any_fast, "p={p} n={n} round={round}");
+                    assert_eq!(any_slow, any_gated, "p={p} n={n} round={round}");
+                    assert_eq!(placed_slow, placed_fast, "p={p} n={n} round={round}");
+                    assert_eq!(placed_slow, placed_gated, "p={p} n={n} round={round}");
+                    assert_eq!(slow, fast, "rng states diverged at p={p} n={n} round={round}");
+                    assert_eq!(slow, gated, "gated rng diverged at p={p} n={n} round={round}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn geometric_matches_bernoulli_scan_in_distribution() {
         // Inverting the geometric CDF must reproduce the per-trial
         // Bernoulli law: compare the mean gap against (1-p)/p.
@@ -386,6 +587,93 @@ mod tests {
     #[should_panic(expected = "0 < p < 1")]
     fn geometric_rejects_degenerate_rates() {
         let _ = Geometric::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < p < 1")]
+    fn geometric_rejects_certain_success() {
+        let _ = Geometric::new(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < p < 1")]
+    fn geometric_rejects_nan() {
+        let _ = Geometric::new(f64::NAN);
+    }
+
+    #[test]
+    fn geometric_subnormal_p_saturates_instead_of_zeroing() {
+        // 1 − p rounds to exactly 1.0 for these, so the naive ln would be
+        // 0 and every gap would collapse to 0 (flipping *every* trial).
+        // The hardened slope must instead make gaps astronomically long.
+        for p in [f64::MIN_POSITIVE * 0.5, f64::MIN_POSITIVE, 1e-300, 1e-20, 2f64.powi(-54)] {
+            let geo = Geometric::new(p);
+            let mut rng = Xorshift64Star::seed_from_u64(13);
+            for _ in 0..1000 {
+                let gap = geo.sample(&mut rng);
+                // Mean gap is 1/p ≥ 1e20; seeing anything below 2^40 in a
+                // thousand draws would be a ~1e-8 fluke per draw.
+                assert!(gap > 1 << 40, "p={p:e}: gap {gap} is absurdly short");
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_positions_never_spin_at_subnormal_p() {
+        // The batched walk must terminate promptly (one or two draws)
+        // even when every gap saturates at u64::MAX.
+        let geo = Geometric::new(f64::MIN_POSITIVE);
+        let mut rng = Xorshift64Star::seed_from_u64(17);
+        for _ in 0..100 {
+            let mut placed = Vec::new();
+            let any = geo.positions(usize::MAX, &mut rng, |q| placed.push(q));
+            assert!(!any && placed.is_empty(), "subnormal p placed {placed:?}");
+        }
+    }
+
+    #[test]
+    fn geometric_positions_matches_the_manual_skip_loop() {
+        // `positions` must reproduce the historical inline loop draw for
+        // draw — the scalar kernels' bit-identity depends on it.
+        for (p, n) in [(0.01f64, 500usize), (0.3, 64), (0.9, 10)] {
+            let geo = Geometric::new(p);
+            let mut a = Xorshift64Star::seed_from_u64(p.to_bits() ^ n as u64);
+            let mut b = a.clone();
+            let mut got = Vec::new();
+            let any = geo.positions(n, &mut a, |q| got.push(q));
+            let mut want = Vec::new();
+            let mut pos = geo.sample(&mut b);
+            let want_any = pos < n as u64;
+            while pos < n as u64 {
+                want.push(pos as usize);
+                pos = pos.saturating_add(1).saturating_add(geo.sample(&mut b));
+            }
+            assert_eq!(got, want, "p={p} n={n}");
+            assert_eq!(any, want_any);
+            assert_eq!(a.next_u64(), b.next_u64(), "draw counts diverged");
+            assert!(got.windows(2).all(|w| w[0] < w[1]), "positions must ascend");
+        }
+    }
+
+    #[test]
+    fn geometric_slope_is_unchanged_for_normal_rates() {
+        // The ln_1p fallback must only engage where the naive logarithm
+        // degenerates; everywhere else the sampler is bit-identical to
+        // the original formula.
+        for p in [1e-10, 1e-3, 0.01, 0.1, 0.5, 0.999] {
+            assert_eq!(Geometric::new(p), Geometric { inv_ln_q: 1.0 / (1.0 - p).ln() }, "p={p}");
+        }
+    }
+
+    #[test]
+    fn streams64_matches_individual_streams() {
+        let lanes = Xorshift64Star::streams64(99, 1000);
+        for (i, lane) in lanes.iter().enumerate() {
+            assert_eq!(*lane, Xorshift64Star::stream(99, 1000 + i as u64), "lane {i}");
+        }
+        // Wrap-around of the stream index is defined (wrapping add).
+        let tail = Xorshift64Star::streams64(99, u64::MAX);
+        assert_eq!(tail[1], Xorshift64Star::stream(99, 0));
     }
 
     #[test]

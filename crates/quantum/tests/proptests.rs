@@ -9,6 +9,7 @@
 use proptest::prelude::*;
 use qisim_quantum::fidelity::{average_gate_fidelity, gate_error, state_fidelity};
 use qisim_quantum::integrate::{normalize, propagator, schrodinger_evolve};
+use qisim_quantum::rng::{Geometric, Rng, Xorshift64Star};
 use qisim_quantum::transmon::{CoupledTransmons, Transmon};
 use qisim_quantum::{CMatrix, Statevector, C64};
 
@@ -155,5 +156,42 @@ proptest! {
     fn coupled_hamiltonian_hermitian(delta in -1.0f64..1.0) {
         let pair = CoupledTransmons::standard();
         prop_assert!(pair.hamiltonian(delta).is_hermitian(1e-12));
+    }
+
+    /// Geometric-skip placement matches per-qubit Bernoulli placement in
+    /// distribution: over many runs, the two samplers' mean placed-count
+    /// per run must agree within combined Monte-Carlo error, and every
+    /// placed position must be in range and strictly ascending.
+    #[test]
+    fn geometric_skip_matches_bernoulli_scan(
+        p in 0.005f64..0.4,
+        n in 10usize..200,
+        seed in 0u64..1_000,
+    ) {
+        let geo = Geometric::new(p);
+        let runs = 600usize;
+        let mut skip_total = 0usize;
+        let mut rng = Xorshift64Star::stream(seed, 1);
+        for _ in 0..runs {
+            let mut placed = Vec::new();
+            let any = geo.positions(n, &mut rng, |q| placed.push(q));
+            prop_assert!(placed.iter().all(|&q| q < n), "{placed:?} out of range {n}");
+            prop_assert!(placed.windows(2).all(|w| w[0] < w[1]), "must strictly ascend");
+            prop_assert_eq!(any, !placed.is_empty());
+            skip_total += placed.len();
+        }
+        let mut scan_total = 0usize;
+        let mut rng = Xorshift64Star::stream(seed, 2);
+        for _ in 0..runs {
+            scan_total += (0..n).filter(|_| rng.gen_f64() < p).count();
+        }
+        let mean_skip = skip_total as f64 / runs as f64;
+        let mean_scan = scan_total as f64 / runs as f64;
+        // Var of one run's count is n·p·(1−p); both estimators carry it.
+        let sigma = (2.0 * n as f64 * p * (1.0 - p) / runs as f64).sqrt();
+        prop_assert!(
+            (mean_skip - mean_scan).abs() < 6.0 * sigma.max(1e-6),
+            "skip mean {mean_skip} vs scan mean {mean_scan} (n={n}, p={p})"
+        );
     }
 }

@@ -4,10 +4,11 @@
 //!
 //! Every request follows the same path: parse ([`crate::proto`]) →
 //! validate (`DesignSpec::build` / `fridge`) → analyze — standard-fridge
-//! requests are grouped per target and answered through
-//! [`qisim::engine::try_analyze_many`] (one fan-out over the shared
-//! `qisim-par` pool per batch), budget-override and traced requests run
-//! individually through the same staged engine. All paths share the
+//! requests using the default `packed` estimator are grouped per target
+//! and answered through [`qisim::engine::try_analyze_many`] (one fan-out
+//! over the shared `qisim-par` pool per batch); budget-override, traced,
+//! and Monte-Carlo-estimator (`estimator = sliced` / `rare`) requests
+//! run individually through the same staged engine. All paths share the
 //! process-wide `qisim_power::memo` LRU, so a hot working set answers
 //! from cache no matter which client asked first.
 //!
@@ -22,6 +23,7 @@ use qisim::engine;
 use qisim::error::QisimError;
 use qisim::hal::fridge::Fridge;
 use qisim::scalability::Scalability;
+use qisim::spec::Estimator;
 use qisim::QciDesign;
 use qisim_obs::{counter, gauge, observe};
 use std::collections::VecDeque;
@@ -76,6 +78,7 @@ struct Prepared {
     design: QciDesign,
     fridge: Fridge,
     standard_fridge: bool,
+    estimator: Estimator,
 }
 
 /// Parses and validates one request line into a [`Prepared`] analysis.
@@ -84,17 +87,20 @@ fn prepare(seq: u64, line: &str) -> Result<Prepared, QisimError> {
     let design = request.spec.build()?;
     let fridge = request.spec.fridge()?;
     let standard_fridge = !request.spec.has_budget_overrides();
-    Ok(Prepared { seq, request, design, fridge, standard_fridge })
+    let estimator = request.spec.chosen_estimator();
+    Ok(Prepared { seq, request, design, fridge, standard_fridge, estimator })
 }
 
 /// Analyzes a batch of prepared requests and renders one response line
 /// per request, in batch order.
 ///
-/// Standard-fridge, untraced requests are grouped per roadmap target and
-/// answered through one [`engine::try_analyze_many`] call each (the
-/// `qisim-par` fan-out); everything else runs individually through the
-/// same staged engine, so every response is bit-identical to a direct
-/// `try_analyze_spec` of the same request.
+/// Standard-fridge, untraced, `packed`-estimator requests are grouped
+/// per roadmap target and answered through one
+/// [`engine::try_analyze_many`] call each (the `qisim-par` fan-out);
+/// everything else — budget overrides, traced requests, and the
+/// Monte-Carlo estimators (which parallelize internally) — runs
+/// individually through the same staged engine, so every response is
+/// bit-identical to a direct `try_analyze_spec` of the same request.
 fn answer_batch(config: &ServeConfig, batch: &[Prepared]) -> Vec<String> {
     counter!("serve.batches");
     observe!("serve.batch_size", batch.len() as f64);
@@ -104,7 +110,10 @@ fn answer_batch(config: &ServeConfig, batch: &[Prepared]) -> Vec<String> {
         let group: Vec<usize> = (0..batch.len())
             .filter(|&i| {
                 let p = &batch[i];
-                p.standard_fridge && !p.request.trace && p.request.target == target
+                p.standard_fridge
+                    && !p.request.trace
+                    && p.estimator == Estimator::Packed
+                    && p.request.target == target
             })
             .collect();
         if group.is_empty() {
@@ -135,12 +144,13 @@ fn answer_batch(config: &ServeConfig, batch: &[Prepared]) -> Vec<String> {
             let result = match grouped {
                 Some(result) => result,
                 None if prepared.request.trace => run_traced(config, prepared, &mut extras),
-                // Budget-override requests: same staged engine, custom
-                // refrigerator.
-                None => engine::try_analyze_on(
+                // Budget-override and Monte-Carlo-estimator requests:
+                // same staged engine, custom refrigerator/estimator.
+                None => engine::try_analyze_with(
                     &prepared.design,
                     &prepared.request.target.target(),
                     &prepared.fridge,
+                    prepared.estimator,
                 ),
             };
             render_response(prepared, result, extras)
@@ -187,11 +197,17 @@ fn run_traced(
     let target = prepared.request.target.target();
     if qisim_obs::trace::armed() {
         extras.push(("trace_events", "0".to_string()));
-        return engine::try_analyze_on(&prepared.design, &target, &prepared.fridge);
+        return engine::try_analyze_with(
+            &prepared.design,
+            &target,
+            &prepared.fridge,
+            prepared.estimator,
+        );
     }
     qisim_obs::trace::arm();
     qisim_obs::trace::clear();
-    let result = engine::try_analyze_on(&prepared.design, &target, &prepared.fridge);
+    let result =
+        engine::try_analyze_with(&prepared.design, &target, &prepared.fridge, prepared.estimator);
     let session = qisim_obs::TraceSession::drain();
     qisim_obs::trace::disarm();
     let events: usize = session.threads.iter().map(|t| t.events.len()).sum();

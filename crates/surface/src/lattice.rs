@@ -167,8 +167,16 @@ pub struct PackedLattice {
     /// Flattened per-check support masks: check `i` owns
     /// `z_support[i·qubit_words .. (i+1)·qubit_words]`.
     z_support: Vec<u64>,
+    /// CSR twin of `z_support` for the bit-sliced kernel: check `i`'s
+    /// support qubit *indices* are `z_support_idx[z_support_off[i] ..
+    /// z_support_off[i+1]]` (2 or 4 entries per check).
+    z_support_idx: Vec<usize>,
+    /// Per-check offsets into `z_support_idx` (`n_z_checks + 1` entries).
+    z_support_off: Vec<usize>,
     /// Logical-`Z̄` support mask (the top row).
     logical_z_mask: Vec<u64>,
+    /// Logical-`Z̄` support qubit indices (the top row, ascending).
+    logical_z_idx: Vec<usize>,
 }
 
 impl PackedLattice {
@@ -179,14 +187,20 @@ impl PackedLattice {
         let n_z_checks = lattice.z_checks.len();
         let syndrome_words = n_z_checks.div_ceil(64).max(1);
         let mut z_support = vec![0u64; n_z_checks * qubit_words];
+        let mut z_support_idx = Vec::new();
+        let mut z_support_off = Vec::with_capacity(n_z_checks + 1);
+        z_support_off.push(0);
         for (i, chk) in lattice.z_checks.iter().enumerate() {
             let mask = &mut z_support[i * qubit_words..(i + 1) * qubit_words];
             for &q in &chk.support {
                 Self::set_bit(mask, q);
+                z_support_idx.push(q);
             }
+            z_support_off.push(z_support_idx.len());
         }
         let mut logical_z_mask = vec![0u64; qubit_words];
-        for q in lattice.logical_z() {
+        let logical_z_idx = lattice.logical_z();
+        for &q in &logical_z_idx {
             Self::set_bit(&mut logical_z_mask, q);
         }
         PackedLattice {
@@ -195,7 +209,10 @@ impl PackedLattice {
             n_z_checks,
             syndrome_words,
             z_support,
+            z_support_idx,
+            z_support_off,
             logical_z_mask,
+            logical_z_idx,
         }
     }
 
@@ -285,6 +302,127 @@ impl PackedLattice {
             acc ^= w & m;
         }
         acc.count_ones() & 1 == 1
+    }
+
+    // --- Bit-sliced (trial-transposed) layout -------------------------
+    //
+    // The packed layout above stores one *trial* per bitset: bit `q` of a
+    // trial's words is data qubit `q`. The **sliced** layout transposes
+    // that: one `u64` word per data qubit, where bit `l` of word `q` is
+    // qubit `q`'s error flag in *lane* (trial) `l` of a 64-trial block.
+    // A weight-k Z-check syndrome is then k word-XORs for 64 trials at
+    // once, and the zero-syndrome early exit becomes a single OR-fold.
+
+    /// Words in one bit-sliced 64-trial error block (`d²`: one word per
+    /// data qubit).
+    pub fn sliced_words(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Words in one bit-sliced 64-trial syndrome block (one word per
+    /// Z-check).
+    pub fn sliced_syndrome_words(&self) -> usize {
+        self.n_z_checks
+    }
+
+    /// Scatters one packed per-trial error bitset into lane `lane` of a
+    /// sliced block: bit `q` of `packed` becomes bit `lane` of
+    /// `sliced[q]`. Lanes are OR-merged, so the caller zeroes the block
+    /// once and scatters up to 64 trials into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane ≥ 64`; debug-asserts the slice sizes.
+    #[inline]
+    pub fn scatter_lane(&self, packed: &[u64], lane: usize, sliced: &mut [u64]) {
+        assert!(lane < 64, "a sliced block holds 64 lanes, got lane {lane}");
+        debug_assert_eq!(packed.len(), self.qubit_words);
+        debug_assert_eq!(sliced.len(), self.n_qubits);
+        for (q, word) in sliced.iter_mut().enumerate() {
+            *word |= (packed[q >> 6] >> (q & 63) & 1) << lane;
+        }
+    }
+
+    /// Gathers lane `lane` of a sliced block back into the packed
+    /// per-trial layout (the exact inverse of [`Self::scatter_lane`]):
+    /// bit `lane` of `sliced[q]` becomes bit `q` of `packed`. Overwrites
+    /// `packed` entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane ≥ 64`; debug-asserts the slice sizes.
+    #[inline]
+    pub fn gather_lane(&self, sliced: &[u64], lane: usize, packed: &mut [u64]) {
+        assert!(lane < 64, "a sliced block holds 64 lanes, got lane {lane}");
+        debug_assert_eq!(packed.len(), self.qubit_words);
+        debug_assert_eq!(sliced.len(), self.n_qubits);
+        packed.fill(0);
+        for (q, word) in sliced.iter().enumerate() {
+            packed[q >> 6] |= (word >> lane & 1) << (q & 63);
+        }
+    }
+
+    /// Word-wise Z-syndromes of a sliced 64-trial error block: check
+    /// `i`'s syndrome word is the XOR of its support qubits' words (2 or
+    /// 4 XORs for 64 trials at once), written to `sliced_syndrome[i]`.
+    /// Returns the OR-fold of all syndrome words — bit `l` is set iff
+    /// lane `l` tripped at least one check (the per-lane zero-syndrome
+    /// early-exit mask).
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the slice sizes.
+    #[inline]
+    pub fn z_syndrome_sliced(&self, sliced_errs: &[u64], sliced_syndrome: &mut [u64]) -> u64 {
+        debug_assert_eq!(sliced_errs.len(), self.n_qubits);
+        debug_assert_eq!(sliced_syndrome.len(), self.n_z_checks);
+        let mut any = 0u64;
+        for (i, out) in sliced_syndrome.iter_mut().enumerate() {
+            let mut acc = 0u64;
+            for &q in &self.z_support_idx[self.z_support_off[i]..self.z_support_off[i + 1]] {
+                acc ^= sliced_errs[q];
+            }
+            *out = acc;
+            any |= acc;
+        }
+        any
+    }
+
+    /// Gathers lane `lane` of a sliced syndrome block into the packed
+    /// per-trial syndrome layout [`Self::z_syndrome_into`] produces (bit
+    /// `i` = check `i`). Overwrites `syndrome` entirely, so a fallback
+    /// lane can go straight to the scalar decoder without re-extracting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane ≥ 64`; debug-asserts the slice sizes.
+    #[inline]
+    pub fn gather_syndrome_lane(&self, sliced_syndrome: &[u64], lane: usize, syndrome: &mut [u64]) {
+        assert!(lane < 64, "a sliced block holds 64 lanes, got lane {lane}");
+        debug_assert_eq!(sliced_syndrome.len(), self.n_z_checks);
+        debug_assert_eq!(syndrome.len(), self.syndrome_words);
+        syndrome.fill(0);
+        for (i, word) in sliced_syndrome.iter().enumerate() {
+            syndrome[i >> 6] |= (word >> lane & 1) << (i & 63);
+        }
+    }
+
+    /// Per-lane logical-`X̄` verdicts of a sliced 64-trial error block:
+    /// bit `l` of the result is set iff lane `l`'s pattern has odd
+    /// overlap with the logical-`Z̄` membrane — `d` word-XORs for 64
+    /// failure checks at once.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the slice size.
+    #[inline]
+    pub fn logical_x_lanes(&self, sliced_errs: &[u64]) -> u64 {
+        debug_assert_eq!(sliced_errs.len(), self.n_qubits);
+        let mut acc = 0u64;
+        for &q in &self.logical_z_idx {
+            acc ^= sliced_errs[q];
+        }
+        acc
     }
 }
 
@@ -381,6 +519,99 @@ mod tests {
         PackedLattice::flip_bit(&mut w, 70);
         assert!(!PackedLattice::get_bit(&w, 70));
         assert_eq!(PackedLattice::pack(&[false, true, false]), vec![0b10]);
+    }
+
+    /// Deterministic packed error patterns for the transpose tests.
+    fn pseudo_random_trials(packed: &PackedLattice, count: usize, mut state: u64) -> Vec<Vec<u64>> {
+        (0..count)
+            .map(|_| {
+                let mut errs = vec![0u64; packed.qubit_words()];
+                for q in 0..packed.data_qubits() {
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if state >> 61 == 0 {
+                        PackedLattice::set_bit(&mut errs, q);
+                    }
+                }
+                errs
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scatter_then_gather_roundtrips_64_trials() {
+        for d in [3usize, 5, 9] {
+            let packed = PackedLattice::new(&Lattice::new(d));
+            let trials = pseudo_random_trials(&packed, 64, 0xABCD ^ d as u64);
+            let mut sliced = vec![0u64; packed.sliced_words()];
+            for (lane, errs) in trials.iter().enumerate() {
+                packed.scatter_lane(errs, lane, &mut sliced);
+            }
+            let mut back = vec![0u64; packed.qubit_words()];
+            for (lane, errs) in trials.iter().enumerate() {
+                packed.gather_lane(&sliced, lane, &mut back);
+                assert_eq!(&back, errs, "d={d} lane={lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_syndrome_matches_packed_per_lane() {
+        for d in [3usize, 5, 7, 9] {
+            let l = Lattice::new(d);
+            let packed = PackedLattice::new(&l);
+            let trials = pseudo_random_trials(&packed, 64, 0x5EED ^ d as u64);
+            let mut sliced = vec![0u64; packed.sliced_words()];
+            for (lane, errs) in trials.iter().enumerate() {
+                packed.scatter_lane(errs, lane, &mut sliced);
+            }
+            let mut sliced_syn = vec![0u64; packed.sliced_syndrome_words()];
+            let any_mask = packed.z_syndrome_sliced(&sliced, &mut sliced_syn);
+            let logical_mask = packed.logical_x_lanes(&sliced);
+            let mut syn = vec![0u64; packed.syndrome_words()];
+            let mut gathered = vec![0u64; packed.syndrome_words()];
+            for (lane, errs) in trials.iter().enumerate() {
+                let any = packed.z_syndrome_into(errs, &mut syn);
+                assert_eq!(any_mask >> lane & 1 != 0, any, "d={d} lane={lane}");
+                packed.gather_syndrome_lane(&sliced_syn, lane, &mut gathered);
+                assert_eq!(gathered, syn, "d={d} lane={lane}");
+                assert_eq!(
+                    logical_mask >> lane & 1 != 0,
+                    packed.is_logical_x(errs),
+                    "d={d} lane={lane}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unused_lanes_stay_silent() {
+        // A partially filled block (the trials-remainder case): lanes
+        // never scattered into must report no errors, no syndrome, and
+        // no logical flip.
+        let packed = PackedLattice::new(&Lattice::new(5));
+        let trials = pseudo_random_trials(&packed, 3, 0x77);
+        let mut sliced = vec![0u64; packed.sliced_words()];
+        for (lane, errs) in trials.iter().enumerate() {
+            packed.scatter_lane(errs, lane, &mut sliced);
+        }
+        let mut sliced_syn = vec![0u64; packed.sliced_syndrome_words()];
+        let any_mask = packed.z_syndrome_sliced(&sliced, &mut sliced_syn);
+        let high_lanes = !0u64 << 3;
+        assert_eq!(any_mask & high_lanes, 0);
+        assert_eq!(packed.logical_x_lanes(&sliced) & high_lanes, 0);
+        let mut back = vec![0u64; packed.qubit_words()];
+        packed.gather_lane(&sliced, 63, &mut back);
+        assert!(back.iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "64 lanes")]
+    fn scatter_rejects_out_of_range_lane() {
+        let packed = PackedLattice::new(&Lattice::new(3));
+        let errs = vec![0u64; packed.qubit_words()];
+        let mut sliced = vec![0u64; packed.sliced_words()];
+        packed.scatter_lane(&errs, 64, &mut sliced);
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //! one uniform draw per qubit, allocate-per-trial decoding — the
 //! `BENCH_mc.json` "before" timing baseline).
 
+pub mod rare;
+pub mod sliced;
+
+pub use rare::{logical_error_rate_rare, RareEstimate};
+pub use sliced::{logical_error_rate_sliced, logical_error_rate_sliced_par, SlicedStats};
+
 use crate::decoder::{decode_into, decode_reference, DecodeStats, DecoderScratch, DecodingGraph};
 use crate::lattice::{Lattice, PackedLattice};
 use qisim_quantum::rng::{Geometric, Rng, Xorshift64Star};
@@ -100,16 +106,9 @@ impl ErrorSampler {
                 }
                 n > 0
             }
-            ErrorSampler::Skip(geo) => {
-                let mut pos = geo.sample(rng);
-                let any = pos < n as u64;
-                while pos < n as u64 {
-                    place(pos as usize);
-                    // Saturating: a gap of u64::MAX means "past the end".
-                    pos = pos.saturating_add(1).saturating_add(geo.sample(rng));
-                }
-                any
-            }
+            // One draw per flipped qubit; the saturating walk in
+            // `Geometric::positions` can neither overflow nor spin.
+            ErrorSampler::Skip(geo) => geo.positions(n, rng, place),
         }
     }
 }

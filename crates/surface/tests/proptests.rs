@@ -89,6 +89,55 @@ proptest! {
         prop_assert_eq!(fast, oracle, "failure counts diverge at d={} p={}", d, p);
     }
 
+    /// The trial-transpose adapters are exact inverses: scattering 64
+    /// arbitrary packed error patterns into a sliced block and gathering
+    /// each lane back reproduces every pattern bit for bit, and the
+    /// sliced word-wide syndrome/logical verdicts match the per-trial
+    /// packed ones on every lane.
+    #[test]
+    fn scatter_gather_roundtrips_64_packed_lattices(
+        d_idx in 0usize..3,
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 1),
+            64,
+        ),
+    ) {
+        let d = [3usize, 5, 9][d_idx];
+        let lattice = Lattice::new(d);
+        let packed = PackedLattice::new(&lattice);
+        // Expand each arbitrary u64 seed into an arbitrary packed trial.
+        let trials: Vec<Vec<u64>> = patterns
+            .iter()
+            .map(|seed| {
+                let mut state = seed[0] | 1;
+                let mut errs = vec![0u64; packed.qubit_words()];
+                for q in 0..packed.data_qubits() {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if state >> 63 != 0 {
+                        PackedLattice::set_bit(&mut errs, q);
+                    }
+                }
+                errs
+            })
+            .collect();
+        let mut sliced = vec![0u64; packed.sliced_words()];
+        for (lane, errs) in trials.iter().enumerate() {
+            packed.scatter_lane(errs, lane, &mut sliced);
+        }
+        let mut sliced_syn = vec![0u64; packed.sliced_syndrome_words()];
+        let any_mask = packed.z_syndrome_sliced(&sliced, &mut sliced_syn);
+        let logical_mask = packed.logical_x_lanes(&sliced);
+        let mut back = vec![0u64; packed.qubit_words()];
+        let mut syn = vec![0u64; packed.syndrome_words()];
+        for (lane, errs) in trials.iter().enumerate() {
+            packed.gather_lane(&sliced, lane, &mut back);
+            prop_assert_eq!(&back, errs, "round-trip diverged at d={} lane={}", d, lane);
+            let any = packed.z_syndrome_into(errs, &mut syn);
+            prop_assert_eq!(any_mask >> lane & 1 != 0, any);
+            prop_assert_eq!(logical_mask >> lane & 1 != 0, packed.is_logical_x(errs));
+        }
+    }
+
     /// Syndromes are linear: syndrome(a ⊕ b) = syndrome(a) ⊕ syndrome(b).
     #[test]
     fn syndromes_are_linear(a in errors_strategy(5), b in errors_strategy(5)) {

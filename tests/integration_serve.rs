@@ -66,6 +66,57 @@ fn stdio_round_trips_every_paper_preset_bit_identically() {
 }
 
 #[test]
+fn estimator_requests_round_trip_each_engine_bit_identically() {
+    let _guard = lock();
+    // One round trip per estimator value, each bit-identical to the
+    // direct try_analyze_spec path (the Monte-Carlo estimators bypass
+    // the grouped try_analyze_many fan-out inside the service).
+    let mut input = String::new();
+    let mut expected = String::new();
+    for estimator in ["packed", "sliced", "rare"] {
+        let line = format!("id = {estimator}; preset = cmos_baseline; estimator = {estimator}");
+        expected.push_str(&expected_response(&line));
+        input.push_str(&line);
+        input.push('\n');
+    }
+    let mut output = Vec::new();
+    let stats = serve_lines(Cursor::new(input), &mut output, &ServeConfig::default())
+        .expect("stdio transport");
+    let output = String::from_utf8(output).expect("utf-8 responses");
+    assert_eq!(output, expected, "estimator responses must match direct analysis");
+    assert_eq!(stats.ok, 3);
+    assert_eq!(stats.errors, 0);
+    // The three estimators genuinely diverge on the logical-error line:
+    // the analytic fit, the finite sliced batch, and the splitting
+    // ladder each report their own number.
+    let errors: Vec<&str> = output
+        .lines()
+        .map(|l| proto::pair_value(l, "logical_error").expect("logical_error pair"))
+        .collect();
+    assert_eq!(errors.len(), 3);
+    assert_ne!(errors[0], errors[1], "packed vs sliced: {errors:?}");
+    assert_ne!(errors[0], errors[2], "packed vs rare: {errors:?}");
+    // An unknown estimator is a typed decode error, not a dead service.
+    let mut output = Vec::new();
+    let stats = serve_lines(
+        Cursor::new("id = bad; preset = cmos_baseline; estimator = bogus\n"),
+        &mut output,
+        &ServeConfig::default(),
+    )
+    .expect("stdio transport");
+    let response = String::from_utf8(output).expect("utf-8");
+    assert_eq!(proto::response_kind(&response), Some(proto::ResponseKind::Error));
+    assert_eq!(proto::pair_value(&response, "error"), Some("decode"));
+    assert_eq!(proto::pair_value(&response, "id"), Some("bad"));
+    assert!(
+        proto::pair_value(&response, "reason")
+            .is_some_and(|r| r.contains("unknown estimator `bogus`")),
+        "{response}"
+    );
+    assert_eq!(stats.errors, 1);
+}
+
+#[test]
 fn malformed_requests_get_typed_errors_and_the_service_survives() {
     let _guard = lock();
     // (request line, expected error kind, reason needle)

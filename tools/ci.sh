@@ -29,8 +29,12 @@
 #      cache counters; the determinism suite then re-runs with the
 #      exporter armed to prove scraping never perturbs results
 #   9. Monte-Carlo bench smoke run: bench_mc --smoke checks the packed
-#      kernel against the bool-vec reference bit for bit and the
-#      parallel estimator across thread counts (no timing gate, no
+#      kernel against the bool-vec reference bit for bit, the parallel
+#      estimators (packed AND bit-sliced) across thread counts, the
+#      sliced engine's failure counts against 64 per-trial reference
+#      runs on a d x p grid, the rare-event splitting estimator's 95%
+#      CI against the exact small-p expansion, and the >=4x d=7
+#      sliced-vs-packed speedup floor (re-timed at smoke scale; no
 #      BENCH_mc.json rewrite — the full run is `--example bench_mc`)
 #  10. panic-regression gate: library code must not grow panic!/unwrap/
 #      expect sites beyond the per-file budgets in
