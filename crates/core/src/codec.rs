@@ -21,9 +21,10 @@
 //! ```
 
 use crate::error::{DecodeError, QisimError};
-use crate::scalability::Scalability;
+use crate::scalability::{Scalability, ScaleOut, ScaleOutBinding};
 use crate::spec::{DesignSpec, Estimator, Preset};
 use qisim_hal::fridge::Stage;
+use qisim_hal::topology::LinkKind;
 use qisim_microarch::sfq::{BitgenKind, JpmSharing};
 use qisim_microarch::DecisionKind;
 use std::fmt::Write as _;
@@ -79,6 +80,18 @@ pub fn encode_spec(spec: &DesignSpec) -> String {
         if let Some(w) = spec.budgets_w[i] {
             let _ = writeln!(out, "budget.{} = {w}", stage.label());
         }
+    }
+    if let Some(v) = spec.fridges {
+        let _ = writeln!(out, "fridges = {v}");
+    }
+    if let Some(v) = spec.link {
+        let _ = writeln!(out, "link = {}", v.label());
+    }
+    if let Some(v) = spec.links_per_fridge {
+        let _ = writeln!(out, "links_per_fridge = {v}");
+    }
+    if let Some(v) = spec.shared_controllers {
+        let _ = writeln!(out, "shared_controllers = {v}");
     }
     out
 }
@@ -164,6 +177,22 @@ pub fn parse_spec(text: &str) -> Result<DesignSpec, QisimError> {
                 dup(spec.fast_driving.is_some())?;
                 spec.fast_driving = Some(parse_num(line_no, key, value)?);
             }
+            "fridges" => {
+                dup(spec.fridges.is_some())?;
+                spec.fridges = Some(parse_num(line_no, key, value)?);
+            }
+            "link" => {
+                dup(spec.link.is_some())?;
+                spec.link = Some(parse_label(line_no, key, value, LinkKind::from_label)?);
+            }
+            "links_per_fridge" => {
+                dup(spec.links_per_fridge.is_some())?;
+                spec.links_per_fridge = Some(parse_num(line_no, key, value)?);
+            }
+            "shared_controllers" => {
+                dup(spec.shared_controllers.is_some())?;
+                spec.shared_controllers = Some(parse_num(line_no, key, value)?);
+            }
             _ => {
                 let Some(label) = key.strip_prefix("budget.") else {
                     return Err(DecodeError::new(line_no, format!("unknown key `{key}`")).into());
@@ -212,6 +241,34 @@ pub fn encode_scalability(report: &Scalability) -> String {
             s.budget_w,
         );
     }
+    // Scale-out block: only multi-fridge verdicts carry one, so every
+    // pre-scale-out document stays byte-identical.
+    if let Some(so) = &report.scale_out {
+        let _ = writeln!(out, "scaleout.fridges = {}", so.fridges);
+        let _ = writeln!(out, "scaleout.link = {}", so.link.label());
+        let _ = writeln!(out, "scaleout.links_per_fridge = {}", so.links_per_fridge);
+        let _ = writeln!(out, "scaleout.shared_controllers = {}", so.shared_controllers);
+        let _ = writeln!(out, "scaleout.per_fridge_qubits = {}", so.per_fridge_qubits);
+        let _ = writeln!(out, "scaleout.target_qubits = {}", so.target_qubits);
+        match so.fridges_to_target {
+            Some(n) => {
+                let _ = writeln!(out, "scaleout.fridges_to_target = {n}");
+            }
+            None => {
+                let _ = writeln!(out, "scaleout.fridges_to_target = -");
+            }
+        }
+        match so.binding {
+            Some(b) => {
+                let _ = writeln!(out, "scaleout.binding = {}", b.label());
+            }
+            None => {
+                let _ = writeln!(out, "scaleout.binding = -");
+            }
+        }
+        let [a, b, c, d, e] = so.interconnect_w;
+        let _ = writeln!(out, "scaleout.interconnect_w = {a} {b} {c} {d} {e}");
+    }
     out
 }
 
@@ -232,6 +289,15 @@ pub fn parse_scalability(text: &str) -> Result<Scalability, QisimError> {
     let mut esm_cycle_ns: Option<f64> = None;
     let mut n_stages: Option<usize> = None;
     let mut stages: Vec<qisim_power::StagePower> = Vec::new();
+    let mut so_fridges: Option<u32> = None;
+    let mut so_link: Option<LinkKind> = None;
+    let mut so_links_per_fridge: Option<u32> = None;
+    let mut so_shared_controllers: Option<bool> = None;
+    let mut so_per_fridge_qubits: Option<u64> = None;
+    let mut so_target_qubits: Option<u64> = None;
+    let mut so_fridges_to_target: Option<Option<u64>> = None;
+    let mut so_binding: Option<Option<ScaleOutBinding>> = None;
+    let mut so_interconnect_w: Option<[f64; 5]> = None;
     let (_, lines) = content_lines(text, SCALABILITY_HEADER)?;
     for item in lines {
         let (line_no, key, value) = item?;
@@ -281,6 +347,66 @@ pub fn parse_scalability(text: &str) -> Result<Scalability, QisimError> {
                 dup(n_stages.is_some())?;
                 n_stages = Some(parse_num(line_no, key, value)?);
             }
+            "scaleout.fridges" => {
+                dup(so_fridges.is_some())?;
+                so_fridges = Some(parse_num(line_no, key, value)?);
+            }
+            "scaleout.link" => {
+                dup(so_link.is_some())?;
+                so_link = Some(parse_label(line_no, key, value, LinkKind::from_label)?);
+            }
+            "scaleout.links_per_fridge" => {
+                dup(so_links_per_fridge.is_some())?;
+                so_links_per_fridge = Some(parse_num(line_no, key, value)?);
+            }
+            "scaleout.shared_controllers" => {
+                dup(so_shared_controllers.is_some())?;
+                so_shared_controllers = Some(parse_num(line_no, key, value)?);
+            }
+            "scaleout.per_fridge_qubits" => {
+                dup(so_per_fridge_qubits.is_some())?;
+                so_per_fridge_qubits = Some(parse_num(line_no, key, value)?);
+            }
+            "scaleout.target_qubits" => {
+                dup(so_target_qubits.is_some())?;
+                so_target_qubits = Some(parse_num(line_no, key, value)?);
+            }
+            "scaleout.fridges_to_target" => {
+                dup(so_fridges_to_target.is_some())?;
+                so_fridges_to_target =
+                    Some(if value == "-" { None } else { Some(parse_num(line_no, key, value)?) });
+            }
+            "scaleout.binding" => {
+                dup(so_binding.is_some())?;
+                so_binding = Some(if value == "-" {
+                    None
+                } else {
+                    Some(parse_label(line_no, key, value, ScaleOutBinding::from_label)?)
+                });
+            }
+            "scaleout.interconnect_w" => {
+                dup(so_interconnect_w.is_some())?;
+                let mut watts = [0.0; 5];
+                let mut fields = value.split_whitespace();
+                for w in &mut watts {
+                    let Some(field) = fields.next() else {
+                        return Err(DecodeError::new(
+                            line_no,
+                            "scaleout.interconnect_w needs 5 stage fields",
+                        )
+                        .into());
+                    };
+                    *w = parse_num(line_no, key, field)?;
+                }
+                if fields.next().is_some() {
+                    return Err(DecodeError::new(
+                        line_no,
+                        "trailing fields in scaleout.interconnect_w",
+                    )
+                    .into());
+                }
+                so_interconnect_w = Some(watts);
+            }
             _ => {
                 let Some(idx) = key.strip_prefix("stage.") else {
                     return Err(DecodeError::new(line_no, format!("unknown key `{key}`")).into());
@@ -308,6 +434,32 @@ pub fn parse_scalability(text: &str) -> Result<Scalability, QisimError> {
         )
         .into());
     }
+    // The scale-out block is all-or-nothing: absent entirely for classic
+    // verdicts, and every key required once any `scaleout.*` appears.
+    let any_scaleout = so_fridges.is_some()
+        || so_link.is_some()
+        || so_links_per_fridge.is_some()
+        || so_shared_controllers.is_some()
+        || so_per_fridge_qubits.is_some()
+        || so_target_qubits.is_some()
+        || so_fridges_to_target.is_some()
+        || so_binding.is_some()
+        || so_interconnect_w.is_some();
+    let scale_out = if any_scaleout {
+        Some(ScaleOut {
+            fridges: required(so_fridges, "scaleout.fridges")?,
+            link: required(so_link, "scaleout.link")?,
+            links_per_fridge: required(so_links_per_fridge, "scaleout.links_per_fridge")?,
+            shared_controllers: required(so_shared_controllers, "scaleout.shared_controllers")?,
+            per_fridge_qubits: required(so_per_fridge_qubits, "scaleout.per_fridge_qubits")?,
+            interconnect_w: required(so_interconnect_w, "scaleout.interconnect_w")?,
+            target_qubits: required(so_target_qubits, "scaleout.target_qubits")?,
+            fridges_to_target: required(so_fridges_to_target, "scaleout.fridges_to_target")?,
+            binding: required(so_binding, "scaleout.binding")?,
+        })
+    } else {
+        None
+    };
     Ok(Scalability {
         design: required(design, "design")?,
         power_limited_qubits: required(power_limited_qubits, "power_limited_qubits")?,
@@ -317,6 +469,7 @@ pub fn parse_scalability(text: &str) -> Result<Scalability, QisimError> {
         target_error: required(target_error, "target_error")?,
         error_ok: required(error_ok, "error_ok")?,
         esm_cycle_ns: required(esm_cycle_ns, "esm_cycle_ns")?,
+        scale_out,
     })
 }
 
@@ -530,14 +683,119 @@ mod tests {
             target_error: 1.11e-11,
             error_ok: true,
             esm_cycle_ns: 1437.5,
+            scale_out: None,
         };
         let text = encode_scalability(&report);
         assert_eq!(parse_scalability(&text).unwrap(), report);
+        // A classic verdict never mentions the scale-out block.
+        assert!(!text.contains("scaleout."), "{text}");
         // A report with no binding stage uses the `-` sentinel.
         let unbound = Scalability { binding_stage: None, ..report };
         let text = encode_scalability(&unbound);
         assert!(text.contains("binding_stage = -"), "{text}");
         assert_eq!(parse_scalability(&text).unwrap(), unbound);
+    }
+
+    #[test]
+    fn spec_topology_keys_round_trip() {
+        use crate::spec::{DesignSpec, Preset};
+        let spec = DesignSpec::new(Preset::CmosBaseline)
+            .fridges(4)
+            .link(LinkKind::Photonic)
+            .links_per_fridge(8)
+            .shared_controllers(false);
+        let text = encode_spec(&spec);
+        assert!(text.contains("fridges = 4"), "{text}");
+        assert!(text.contains("link = photonic"), "{text}");
+        assert!(text.contains("links_per_fridge = 8"), "{text}");
+        assert!(text.contains("shared_controllers = false"), "{text}");
+        assert_eq!(parse_spec(&text).unwrap(), spec);
+        // Specs without topology overrides never mention the keys.
+        let plain = encode_spec(&DesignSpec::new(Preset::CmosBaseline));
+        for key in ["fridges", "link", "links_per_fridge", "shared_controllers"] {
+            assert!(!plain.contains(key), "{plain}");
+        }
+        // An unknown link is a line-anchored typed diagnostic.
+        match parse_spec("qisim spec v1\npreset = cmos_baseline\nlink = warp\n") {
+            Err(QisimError::Decode(e)) => {
+                assert_eq!(e.line, 3);
+                assert!(e.reason.contains("unknown link `warp`"), "{e}");
+            }
+            other => panic!("expected a decode error, got {other:?}"),
+        }
+        // Duplicates are rejected like every other key.
+        let text = "qisim spec v1\npreset = cmos_baseline\nfridges = 2\nfridges = 3\n";
+        assert!(parse_spec(text).is_err());
+    }
+
+    #[test]
+    fn scaleout_block_round_trips_and_is_all_or_nothing() {
+        use crate::scalability::{ScaleOut, ScaleOutBinding};
+        let base = Scalability {
+            design: "cluster".to_string(),
+            power_limited_qubits: 4000,
+            binding_stage: Some(Stage::Mk20),
+            stages: Vec::new(),
+            logical_error: 1e-12,
+            target_error: 1e-11,
+            error_ok: true,
+            esm_cycle_ns: 1437.5,
+            scale_out: Some(ScaleOut {
+                fridges: 4,
+                link: LinkKind::Photonic,
+                links_per_fridge: 2,
+                shared_controllers: true,
+                per_fridge_qubits: 1000,
+                interconnect_w: [0.0, 1.25e-3, 0.0, 0.0, 1.58e-6],
+                target_qubits: 9216,
+                fridges_to_target: Some(10),
+                binding: Some(ScaleOutBinding::Link(Stage::Mk20)),
+            }),
+        };
+        let text = encode_scalability(&base);
+        assert!(text.contains("scaleout.binding = link:20mK"), "{text}");
+        assert_eq!(parse_scalability(&text).unwrap(), base);
+        // Sentinels: an unreachable target and no binding constraint.
+        let unbound = Scalability {
+            scale_out: base.scale_out.clone().map(|so| ScaleOut {
+                fridges_to_target: None,
+                binding: None,
+                ..so
+            }),
+            ..base.clone()
+        };
+        let text = encode_scalability(&unbound);
+        assert!(text.contains("scaleout.fridges_to_target = -"), "{text}");
+        assert!(text.contains("scaleout.binding = -"), "{text}");
+        assert_eq!(parse_scalability(&text).unwrap(), unbound);
+        // The StageBudget flavour round-trips too.
+        let stagebound = Scalability {
+            scale_out: base.scale_out.clone().map(|so| ScaleOut {
+                binding: Some(ScaleOutBinding::StageBudget(Stage::K4)),
+                ..so
+            }),
+            ..base.clone()
+        };
+        let text = encode_scalability(&stagebound);
+        assert!(text.contains("scaleout.binding = stage:4K"), "{text}");
+        assert_eq!(parse_scalability(&text).unwrap(), stagebound);
+        // A partial block is a typed diagnostic, not a silent None.
+        let text = encode_scalability(&base);
+        let partial: String =
+            text.lines().filter(|l| !l.starts_with("scaleout.link")).collect::<Vec<_>>().join("\n");
+        match parse_scalability(&partial) {
+            Err(QisimError::Decode(e)) => {
+                assert!(e.reason.contains("scaleout.link"), "{e}");
+            }
+            other => panic!("expected a decode error, got {other:?}"),
+        }
+        // A malformed interconnect row is line-anchored.
+        let short = text.replace(
+            "scaleout.interconnect_w = 0 0.00125 0 0 0.00000158",
+            "scaleout.interconnect_w = 0 1",
+        );
+        assert_ne!(short, text, "replacement must hit the encoded row");
+        assert!(parse_scalability(&short).is_err());
     }
 
     #[test]
@@ -551,6 +809,7 @@ mod tests {
             target_error: 0.0,
             error_ok: true,
             esm_cycle_ns: 1.0,
+            scale_out: None,
         };
         let good = encode_scalability(&report);
         assert_eq!(parse_scalability(&good).unwrap(), report);

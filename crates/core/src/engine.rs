@@ -40,9 +40,10 @@
 
 use crate::config::QciDesign;
 use crate::error::{QisimError, TargetError};
-use crate::scalability::{Scalability, SweepPoint};
+use crate::scalability::{Scalability, ScaleOut, ScaleOutBinding, SweepPoint};
 use crate::spec::{validate_design, DesignSpec, Estimator};
 use qisim_hal::fridge::{Fridge, Stage};
+use qisim_hal::topology::FridgeTopology;
 use qisim_hal::wire::InstructionLink;
 use qisim_microarch::cryo_cmos::EsmProfile;
 use qisim_microarch::QciArch;
@@ -145,12 +146,13 @@ pub struct LogicalArtifact {
 pub struct AnalysisPlan {
     design: QciDesign,
     target: Target,
-    fridge: Fridge,
+    topology: FridgeTopology,
     estimator: Estimator,
     link: InstructionLink,
     inventory: Option<QciArch>,
     schedule: Option<EsmSchedule>,
     power: Option<PowerArtifact>,
+    scale_out: Option<ScaleOut>,
     logical: Option<LogicalArtifact>,
     verdict: Option<Scalability>,
 }
@@ -189,17 +191,38 @@ impl AnalysisPlan {
         fridge: &Fridge,
         estimator: Estimator,
     ) -> Result<Self, QisimError> {
+        let topology = FridgeTopology::standard().with_fridge(fridge.clone());
+        AnalysisPlan::with_topology(design, target, &topology, estimator)
+    }
+
+    /// Plans an analysis across a whole [`FridgeTopology`] — the general
+    /// form behind every other constructor. A single-fridge topology
+    /// runs the classic pipeline bit-for-bit; with N > 1 fridges the
+    /// power stage shards per fridge, folds interconnect heat into the
+    /// stage budgets, and the verdict gains a
+    /// [`crate::scalability::ScaleOut`] block.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AnalysisPlan::new`].
+    pub fn with_topology(
+        design: &QciDesign,
+        target: &Target,
+        topology: &FridgeTopology,
+        estimator: Estimator,
+    ) -> Result<Self, QisimError> {
         validate_design(design)?;
         validate_target(target)?;
         Ok(AnalysisPlan {
             design: *design,
             target: *target,
-            fridge: fridge.clone(),
+            topology: topology.clone(),
             estimator,
             link: InstructionLink::standard(),
             inventory: None,
             schedule: None,
             power: None,
+            scale_out: None,
             logical: None,
             verdict: None,
         })
@@ -208,6 +231,11 @@ impl AnalysisPlan {
     /// The design under analysis.
     pub fn design(&self) -> &QciDesign {
         &self.design
+    }
+
+    /// The fridge topology under analysis.
+    pub fn topology(&self) -> &FridgeTopology {
+        &self.topology
     }
 
     /// The target analyzed against.
@@ -258,18 +286,11 @@ impl AnalysisPlan {
             }
             PlanStage::Power => {
                 span!("engine.stage.power");
-                let design = self.design;
-                let arch = self.inventory.get_or_insert_with(|| design.arch());
-                let (n, binding) =
-                    qisim_power::try_max_qubits_with_link(arch, &self.fridge, &self.link)?;
-                // The bisection's landing probe is in the memo cache;
-                // replay it for the per-stage attribution.
-                let key = MemoKey::new(arch, &self.fridge, &self.link);
-                let stages =
-                    qisim_power::try_evaluate_memo(key, arch, &self.fridge, n.max(1), &self.link)?
-                        .stages;
-                self.power =
-                    Some(PowerArtifact { power_limited_qubits: n, binding_stage: binding, stages });
+                if self.topology.is_single() {
+                    self.run_power_single()?;
+                } else {
+                    self.run_power_sharded()?;
+                }
             }
             PlanStage::LogicalError => {
                 span!("engine.stage.logical_error");
@@ -297,6 +318,7 @@ impl AnalysisPlan {
                         target_error: logical.target_error,
                         error_ok: logical.error_ok,
                         esm_cycle_ns: schedule.cycle_ns,
+                        scale_out: self.scale_out.clone(),
                     });
                 } else {
                     // next_stage() only yields Verdict once every
@@ -309,6 +331,130 @@ impl AnalysisPlan {
             self.trace_stage_artifact(stage);
         }
         Ok(Some(stage))
+    }
+
+    /// The classic single-fridge power stage: bisect the power-limited
+    /// scale and replay the landing probe from the memo cache for the
+    /// per-stage attribution. This path is bit-identical to the
+    /// pre-topology pipeline (the N=1 identity gate in
+    /// `tests/integration_engine.rs` pins it).
+    fn run_power_single(&mut self) -> Result<(), QisimError> {
+        let design = self.design;
+        let arch = self.inventory.get_or_insert_with(|| design.arch());
+        let fridge = self.topology.fridge();
+        let (n, binding) = qisim_power::try_max_qubits_with_link(arch, fridge, &self.link)?;
+        // The bisection's landing probe is in the memo cache;
+        // replay it for the per-stage attribution.
+        let key = MemoKey::new(arch, fridge, &self.link);
+        let stages =
+            qisim_power::try_evaluate_memo(key, arch, fridge, n.max(1), &self.link)?.stages;
+        self.power =
+            Some(PowerArtifact { power_limited_qubits: n, binding_stage: binding, stages });
+        Ok(())
+    }
+
+    /// The multi-fridge power stage: derate each fridge's budgets by the
+    /// interconnect heat, bisect the per-fridge scale on one shard per
+    /// fridge (parallel on the [`qisim_par`] pool, folded in fridge
+    /// order so the result is thread-count independent), and aggregate
+    /// the cluster verdict plus its [`ScaleOut`] attribution.
+    fn run_power_sharded(&mut self) -> Result<(), QisimError> {
+        let design = self.design;
+        let arch: &QciArch = self.inventory.get_or_insert_with(|| design.arch());
+        let fridges = self.topology.fridges();
+        counter!("engine.fridge.shards", fridges as u64);
+        let (per_fridge, binding) = match self.topology.effective_fridge() {
+            Some(eff) => {
+                // One shard per fridge. Fridges in the cluster are
+                // identical, so every shard lands on the same probe —
+                // the first one does the bisection, the rest replay it
+                // from the memo cache; the fold walks shards in fridge
+                // order (first error wins deterministically).
+                let link = &self.link;
+                let shards = qisim_par::par_map_indices(fridges as usize, |i| {
+                    if qisim_obs::trace::armed() {
+                        qisim_obs::trace::instant("engine.fridge.shard", &[("fridge", i as f64)]);
+                    }
+                    qisim_power::try_max_qubits_with_link(arch, &eff, link)
+                });
+                let mut landing = None;
+                for shard in shards {
+                    let shard = shard?;
+                    landing.get_or_insert(shard);
+                }
+                landing.unwrap_or((0, None))
+            }
+            // The interconnect eats some stage's budget whole: zero
+            // qubits per fridge, and the worst-loaded stage (total_cmp
+            // ordering inside worst_link_stage) names the culprit.
+            None => (0, self.topology.worst_link_stage()),
+        };
+        // Attribute per-stage watts at the per-fridge yield against the
+        // *real* budgets; the interconnect share is itemized separately
+        // in the ScaleOut block.
+        let fridge = self.topology.fridge();
+        let key = MemoKey::new(arch, fridge, &self.link);
+        let stages =
+            qisim_power::try_evaluate_memo(key, arch, fridge, per_fridge.max(1), &self.link)?
+                .stages;
+        let mut interconnect_w = [0.0; 5];
+        for (i, &stage) in Stage::ALL.iter().enumerate() {
+            interconnect_w[i] = self.topology.interconnect_w(stage);
+        }
+        let binding = binding.map(|stage| {
+            // At the binding stage: if the links leak at least as much
+            // heat as the design itself dissipates there, the link is
+            // what crowds out scale; otherwise the stage budget binds on
+            // the design's own footprint. total_cmp keeps the
+            // classification NaN-safe.
+            let own_w = stages.iter().find(|s| s.stage == stage).map_or(0.0, StagePower::total_w);
+            let idx = Stage::ALL.iter().position(|s| *s == stage).unwrap_or(0);
+            if interconnect_w[idx].total_cmp(&own_w).is_ge() {
+                ScaleOutBinding::Link(stage)
+            } else {
+                ScaleOutBinding::StageBudget(stage)
+            }
+        });
+        let target_qubits = self.target.physical_qubits() as u64;
+        let fridges_to_target =
+            (per_fridge > 0).then(|| target_qubits.div_ceil(per_fridge)).map(|n| n.max(1));
+        self.publish_topology_gauges(per_fridge, &interconnect_w);
+        self.scale_out = Some(ScaleOut {
+            fridges,
+            link: self.topology.link(),
+            links_per_fridge: self.topology.links_per_fridge(),
+            shared_controllers: self.topology.shared_controllers(),
+            per_fridge_qubits: per_fridge,
+            interconnect_w,
+            target_qubits,
+            fridges_to_target,
+            binding,
+        });
+        self.power = Some(PowerArtifact {
+            power_limited_qubits: per_fridge * fridges as u64,
+            binding_stage: binding.map(ScaleOutBinding::stage),
+            stages,
+        });
+        Ok(())
+    }
+
+    /// Publishes the `topology.*` / `engine.fridge.*` gauges for a
+    /// sharded power stage (telemetry exporter and flight recorder both
+    /// read these).
+    fn publish_topology_gauges(&self, per_fridge: u64, interconnect_w: &[f64; 5]) {
+        if !qisim_obs::enabled() {
+            return;
+        }
+        gauge!("topology.fridges", self.topology.fridges() as f64);
+        gauge!("topology.links_per_fridge", self.topology.links_per_fridge() as f64);
+        gauge!(
+            "topology.shared_controllers",
+            if self.topology.shared_controllers() { 1.0 } else { 0.0 }
+        );
+        gauge!("engine.fridge.qubits", per_fridge as f64);
+        for (i, &stage) in Stage::ALL.iter().enumerate() {
+            gauge!(format!("topology.interconnect.{}_w", stage.label()), interconnect_w[i]);
+        }
     }
 
     /// Evaluates the logical error per round at `d = 23` with the plan's
@@ -467,18 +613,38 @@ pub fn try_analyze_with(
     AnalysisPlan::with_estimator(design, target, fridge, estimator)?.run()
 }
 
+/// Fallible analysis across a whole [`FridgeTopology`]: the scale-out
+/// entry point. A single-fridge topology is bit-identical to
+/// [`try_analyze_with`] on its fridge; with N > 1 fridges the verdict
+/// carries a [`crate::scalability::ScaleOut`] block and
+/// `power_limited_qubits` is the cluster total.
+///
+/// # Errors
+///
+/// Same as [`try_analyze`].
+pub fn try_analyze_topology(
+    design: &QciDesign,
+    target: &Target,
+    topology: &FridgeTopology,
+    estimator: Estimator,
+) -> Result<Scalability, QisimError> {
+    span!("scalability.analyze");
+    counter!("scalability.analyze.calls");
+    AnalysisPlan::with_topology(design, target, topology, estimator)?.run()
+}
+
 /// Analyzes a validated [`DesignSpec`]: builds the design and the
-/// (possibly budget-overridden) refrigerator, runs the staged pipeline
-/// with the spec's chosen [`Estimator`], and stamps the spec's display
-/// name on the verdict.
+/// (possibly budget-overridden, possibly multi-fridge) topology, runs
+/// the staged pipeline with the spec's chosen [`Estimator`], and stamps
+/// the spec's display name on the verdict.
 ///
 /// # Errors
 ///
 /// Returns the spec's validation diagnostics or any stage failure.
 pub fn try_analyze_spec(spec: &DesignSpec, target: &Target) -> Result<Scalability, QisimError> {
     let design = spec.build()?;
-    let fridge = spec.fridge()?;
-    let mut verdict = try_analyze_with(&design, target, &fridge, spec.chosen_estimator())?;
+    let topology = spec.topology()?;
+    let mut verdict = try_analyze_topology(&design, target, &topology, spec.chosen_estimator())?;
     verdict.design = spec.display_name();
     Ok(verdict)
 }

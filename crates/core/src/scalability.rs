@@ -12,6 +12,7 @@
 use crate::config::QciDesign;
 use crate::engine;
 use qisim_hal::fridge::{Fridge, Stage};
+use qisim_hal::topology::LinkKind;
 use qisim_power::StagePower;
 use qisim_surface::target::Target;
 use std::fmt::Write as _;
@@ -36,6 +37,80 @@ pub struct Scalability {
     pub error_ok: bool,
     /// ESM round time in ns.
     pub esm_cycle_ns: f64,
+    /// Multi-fridge scale-out verdict: `None` for the classic
+    /// single-fridge analysis (every pre-scale-out report stays
+    /// byte-identical), `Some` when the topology has more than one
+    /// fridge.
+    pub scale_out: Option<ScaleOut>,
+}
+
+/// What binds a multi-fridge cluster first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaleOutBinding {
+    /// A refrigerator stage's budget binds on the design's own
+    /// dissipation — more interconnect won't help, the fridge itself is
+    /// full.
+    StageBudget(Stage),
+    /// The inter-fridge links' heat at this stage is what crowds out the
+    /// design — a lighter link technology or fewer links buys scale.
+    Link(Stage),
+}
+
+impl ScaleOutBinding {
+    /// Stable text-codec identifier (`stage:<label>` / `link:<label>`).
+    pub fn label(self) -> String {
+        match self {
+            ScaleOutBinding::StageBudget(s) => format!("stage:{}", s.label()),
+            ScaleOutBinding::Link(s) => format!("link:{}", s.label()),
+        }
+    }
+
+    /// Inverse of [`ScaleOutBinding::label`]; `None` for unknown text.
+    pub fn from_label(label: &str) -> Option<ScaleOutBinding> {
+        let (kind, stage) = label.split_once(':')?;
+        let stage = Stage::from_label(stage)?;
+        match kind {
+            "stage" => Some(ScaleOutBinding::StageBudget(stage)),
+            "link" => Some(ScaleOutBinding::Link(stage)),
+            _ => None,
+        }
+    }
+
+    /// The refrigerator stage where the constraint lives.
+    pub fn stage(self) -> Stage {
+        match self {
+            ScaleOutBinding::StageBudget(s) | ScaleOutBinding::Link(s) => s,
+        }
+    }
+}
+
+/// The datacenter-scale half of a [`Scalability`] verdict: how a design
+/// tiles across N fridges, what the interconnect costs, and how many
+/// fridges the requested target takes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleOut {
+    /// Fridge count analyzed.
+    pub fridges: u32,
+    /// Inter-fridge link technology.
+    pub link: LinkKind,
+    /// Inter-fridge links terminating in each fridge.
+    pub links_per_fridge: u32,
+    /// Whether one room-temperature controller rack serves the cluster.
+    pub shared_controllers: bool,
+    /// Qubits each fridge supports after interconnect heat is folded
+    /// into its stage budgets.
+    pub per_fridge_qubits: u64,
+    /// Interconnect heat folded into each fridge's stages, in watts
+    /// (warm → cold, indexed like [`Stage::ALL`]).
+    pub interconnect_w: [f64; 5],
+    /// The target's provisioned physical-qubit count.
+    pub target_qubits: u64,
+    /// Fridges needed to reach `target_qubits` at this per-fridge yield;
+    /// `None` when the interconnect eats a stage whole and the
+    /// per-fridge yield is zero (no fridge count reaches the target).
+    pub fridges_to_target: Option<u64>,
+    /// What binds first at the per-fridge scale.
+    pub binding: Option<ScaleOutBinding>,
 }
 
 impl Scalability {
@@ -99,8 +174,72 @@ impl Scalability {
                 self.logical_error, self.target_error, self.esm_cycle_ns
             );
         }
+        if let Some(so) = &self.scale_out {
+            let _ = writeln!(
+                out,
+                "  scale-out: {} fridges x {} qubits/fridge over {} {} link(s)/fridge \
+                 (controllers {})",
+                so.fridges,
+                so.per_fridge_qubits,
+                so.links_per_fridge,
+                so.link,
+                if so.shared_controllers { "shared" } else { "dedicated" },
+            );
+            match so.binding {
+                Some(ScaleOutBinding::StageBudget(stage)) => {
+                    let _ = writeln!(
+                        out,
+                        "    binding constraint: the {stage} stage budget (the design's own \
+                         dissipation tops out each fridge)",
+                    );
+                }
+                Some(ScaleOutBinding::Link(stage)) => {
+                    let _ = writeln!(
+                        out,
+                        "    binding constraint: interconnect link heat at the {stage} stage \
+                         (lighter links or fewer of them buy scale)",
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "    binding constraint: none identified");
+                }
+            }
+            let interconnect: Vec<String> = Stage::ALL
+                .iter()
+                .zip(so.interconnect_w.iter())
+                .filter(|(_, w)| **w > 0.0)
+                .map(|(s, w)| format!("{} {:.2e} W", s.label(), w))
+                .collect();
+            if !interconnect.is_empty() {
+                let _ =
+                    writeln!(out, "    interconnect heat per fridge: {}", interconnect.join(", "));
+            }
+            match so.fridges_to_target {
+                Some(n) => {
+                    let _ = writeln!(
+                        out,
+                        "    fridges to reach the {}-qubit target: {n}",
+                        so.target_qubits
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "    the {}-qubit target is unreachable at any fridge count \
+                         (interconnect heat consumes a stage budget)",
+                        so.target_qubits
+                    );
+                }
+            }
+        }
         if !self.stages.is_empty() {
-            let _ = writeln!(out, "  per-stage power at n = {}:", self.power_limited_qubits.max(1));
+            // Multi-fridge verdicts attribute watts per fridge at the
+            // per-fridge yield; classic verdicts at the machine scale.
+            let (scope, n) = match &self.scale_out {
+                Some(so) => (" (per fridge)", so.per_fridge_qubits.max(1)),
+                None => ("", self.power_limited_qubits.max(1)),
+            };
+            let _ = writeln!(out, "  per-stage power{scope} at n = {n}:");
             for s in &self.stages {
                 let _ = writeln!(
                     out,

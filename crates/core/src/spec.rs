@@ -38,6 +38,7 @@ use crate::config::QciDesign;
 use crate::error::{ConfigError, QisimError};
 use crate::opts::Opt;
 use qisim_hal::fridge::{Fridge, Stage};
+use qisim_hal::topology::{FridgeTopology, LinkKind};
 use qisim_microarch::cryo_cmos::{CryoCmosConfig, MULTI_ROUND_READOUT_NS};
 use qisim_microarch::sfq::{BitgenKind, JpmSharing, SfqConfig};
 use qisim_microarch::DecisionKind;
@@ -52,6 +53,12 @@ pub const DAC_BITS_RANGE: (u32, u32) = (1, 16);
 /// Validated range of the SFQ broadcast parallelism (`bs`). The paper
 /// explores 8 (baseline) down to 1 (Opt-5).
 pub const BS_RANGE: (u32, u32) = (1, 8);
+/// Validated range of the scale-out fridge count (`fridges`). A kilofridge
+/// datacenter is far beyond any published floor plan.
+pub const FRIDGES_RANGE: (u32, u32) = (1, 1024);
+/// Validated range of inter-fridge links terminating in each fridge
+/// (`links_per_fridge`). 64 cables is already a full feedthrough flange.
+pub const LINKS_RANGE: (u32, u32) = (1, 64);
 
 /// The nine paper preset designs (Figs. 12, 13, 17): every spec starts
 /// from one of these and applies knob overrides on top.
@@ -196,6 +203,11 @@ pub struct DesignSpec {
     pub(crate) fast_driving: Option<bool>,
     // Refrigerator budget overrides, indexed like `Stage::ALL`.
     pub(crate) budgets_w: [Option<f64>; 5],
+    // Scale-out topology knobs (None = the single-fridge default).
+    pub(crate) fridges: Option<u32>,
+    pub(crate) link: Option<LinkKind>,
+    pub(crate) links_per_fridge: Option<u32>,
+    pub(crate) shared_controllers: Option<bool>,
 }
 
 impl DesignSpec {
@@ -217,6 +229,10 @@ impl DesignSpec {
             sharing: None,
             fast_driving: None,
             budgets_w: [None; 5],
+            fridges: None,
+            link: None,
+            links_per_fridge: None,
+            shared_controllers: None,
         }
     }
 
@@ -315,6 +331,33 @@ impl DesignSpec {
         self
     }
 
+    /// Overrides the scale-out fridge count (validated against
+    /// [`FRIDGES_RANGE`]; 1 is the classic single-fridge pipeline).
+    pub fn fridges(mut self, fridges: u32) -> Self {
+        self.fridges = Some(fridges);
+        self
+    }
+
+    /// Overrides the inter-fridge link technology.
+    pub fn link(mut self, link: LinkKind) -> Self {
+        self.link = Some(link);
+        self
+    }
+
+    /// Overrides how many inter-fridge links terminate in each fridge
+    /// (validated against [`LINKS_RANGE`]).
+    pub fn links_per_fridge(mut self, links: u32) -> Self {
+        self.links_per_fridge = Some(links);
+        self
+    }
+
+    /// Overrides whether one room-temperature controller rack is shared
+    /// across the cluster.
+    pub fn shared_controllers(mut self, shared: bool) -> Self {
+        self.shared_controllers = Some(shared);
+        self
+    }
+
     /// Records the knob overrides of one paper optimization (the spec
     /// counterpart of [`crate::opts::apply`]). Technology mismatches —
     /// an SFQ optimization on a CMOS preset — surface at
@@ -364,6 +407,12 @@ impl DesignSpec {
                     return Err(ConfigError::Budget { stage, value: w }.into());
                 }
             }
+        }
+        if let Some(n) = self.fridges {
+            check_range("fridges", n, FRIDGES_RANGE)?;
+        }
+        if let Some(links) = self.links_per_fridge {
+            check_range("links_per_fridge", links, LINKS_RANGE)?;
         }
         let base = self.preset.design();
         let design = match base {
@@ -425,6 +474,47 @@ impl DesignSpec {
     /// standard-fridge specs through `try_analyze_many`.
     pub fn has_budget_overrides(&self) -> bool {
         self.budgets_w.iter().any(Option::is_some)
+    }
+
+    /// The scale-out topology this spec analyzes on: the standard
+    /// single-fridge topology with the recorded fridge-count / link /
+    /// controller overrides applied, around the (possibly
+    /// budget-overridden) refrigerator of [`DesignSpec::fridge`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] for a fridge or link count
+    /// outside [`FRIDGES_RANGE`] / [`LINKS_RANGE`], or
+    /// [`ConfigError::Budget`] for an invalid budget override.
+    pub fn topology(&self) -> Result<FridgeTopology, QisimError> {
+        if let Some(n) = self.fridges {
+            check_range("fridges", n, FRIDGES_RANGE)?;
+        }
+        if let Some(links) = self.links_per_fridge {
+            check_range("links_per_fridge", links, LINKS_RANGE)?;
+        }
+        let mut topology = FridgeTopology::standard().with_fridge(self.fridge()?);
+        if let Some(n) = self.fridges {
+            topology = topology.with_fridges(n);
+        }
+        if let Some(link) = self.link {
+            topology = topology.with_link(link);
+        }
+        if let Some(links) = self.links_per_fridge {
+            topology = topology.with_links_per_fridge(links);
+        }
+        if let Some(shared) = self.shared_controllers {
+            topology = topology.with_shared_controllers(shared);
+        }
+        Ok(topology)
+    }
+
+    /// Whether this spec asks for a genuine multi-fridge analysis
+    /// (`fridges > 1`). Single-fridge specs — even ones that set link
+    /// knobs — take the classic pipeline bit-for-bit, so batch executors
+    /// keep grouping them through `try_analyze_many`.
+    pub fn has_scale_out(&self) -> bool {
+        self.fridges.is_some_and(|n| n > 1)
     }
 
     fn reject_cmos_knobs(&self, design: &QciDesign) -> Result<(), ConfigError> {
@@ -659,6 +749,55 @@ mod tests {
                 // ...and it never changes the built design itself.
                 assert_eq!(spec.build().unwrap(), DesignSpec::new(preset).build().unwrap());
             }
+        }
+    }
+
+    #[test]
+    fn topology_knobs_validate_and_compose_with_budgets() {
+        let spec = DesignSpec::new(Preset::CmosBaseline)
+            .fridges(4)
+            .link(LinkKind::Photonic)
+            .links_per_fridge(8)
+            .shared_controllers(false)
+            .budget(Stage::K4, 3.0);
+        let t = spec.topology().unwrap();
+        assert_eq!(t.fridges(), 4);
+        assert_eq!(t.link(), LinkKind::Photonic);
+        assert_eq!(t.links_per_fridge(), 8);
+        assert!(!t.shared_controllers());
+        // Budget overrides ride along on every fridge in the cluster.
+        assert_eq!(t.fridge().budget_w(Stage::K4), 3.0);
+        assert!(spec.has_scale_out());
+        assert!(spec.build().is_ok(), "topology knobs are technology-neutral");
+
+        // Defaults: the degenerate single-fridge topology.
+        let plain = DesignSpec::new(Preset::CmosBaseline);
+        assert_eq!(plain.topology().unwrap(), FridgeTopology::standard());
+        assert!(!plain.has_scale_out());
+        assert!(!DesignSpec::new(Preset::CmosBaseline).fridges(1).has_scale_out());
+
+        // Out-of-range counts are typed diagnostics at build and topology.
+        for bad in [
+            DesignSpec::new(Preset::CmosBaseline).fridges(0),
+            DesignSpec::new(Preset::CmosBaseline).fridges(1025),
+            DesignSpec::new(Preset::CmosBaseline).links_per_fridge(0),
+            DesignSpec::new(Preset::CmosBaseline).links_per_fridge(65),
+        ] {
+            assert!(matches!(
+                bad.topology().unwrap_err(),
+                QisimError::Config(ConfigError::OutOfRange { .. })
+            ));
+            assert!(bad.build().is_err());
+        }
+    }
+
+    #[test]
+    fn topology_knobs_are_valid_on_every_preset() {
+        for preset in Preset::ALL {
+            let spec = DesignSpec::new(preset).fridges(4).link(LinkKind::CryoCoax);
+            assert!(spec.build().is_ok(), "{preset:?}");
+            // Topology never changes the built design itself.
+            assert_eq!(spec.build().unwrap(), DesignSpec::new(preset).build().unwrap());
         }
     }
 

@@ -8,11 +8,27 @@
 
 use proptest::prelude::*;
 use qisim::config::cmos_1q_error_for_bits;
-use qisim::{analyze_on, QciDesign};
+use qisim::spec::{DesignSpec, Preset};
+use qisim::{analyze_on, codec, QciDesign};
 use qisim_hal::fridge::{Fridge, Stage};
+use qisim_hal::topology::LinkKind;
 use qisim_microarch::cryo_cmos::CryoCmosConfig;
 use qisim_microarch::DecisionKind;
 use qisim_surface::target::Target;
+
+fn presets() -> impl Strategy<Value = Preset> {
+    prop_oneof![
+        Just(Preset::RoomCoax),
+        Just(Preset::CmosBaseline),
+        Just(Preset::CmosNearTerm),
+        Just(Preset::RsfqBaseline),
+        Just(Preset::RsfqNearTerm),
+    ]
+}
+
+fn links() -> impl Strategy<Value = LinkKind> {
+    prop_oneof![Just(LinkKind::RoomCoax), Just(LinkKind::CryoCoax), Just(LinkKind::Photonic)]
+}
 
 fn designs() -> impl Strategy<Value = QciDesign> {
     prop_oneof![
@@ -85,6 +101,35 @@ proptest! {
         let s_slow = analyze_on(&QciDesign::CryoCmos(slow), &t, &f);
         prop_assert!(s_slow.logical_error >= s_base.logical_error);
         prop_assert!(s_slow.esm_cycle_ns >= s_base.esm_cycle_ns);
+    }
+
+    /// Any valid fridge topology survives the spec codec byte-for-byte:
+    /// encode → parse → encode is a fixed point, the parsed spec builds
+    /// the same [`qisim_hal::topology::FridgeTopology`], and the
+    /// scale-out flag tracks the fridge count.
+    #[test]
+    fn fridge_topology_codec_round_trips(
+        preset in presets(),
+        fridges in 1u32..=1024,
+        link in links(),
+        links_per_fridge in 1u32..=64,
+        shared in any::<bool>(),
+    ) {
+        let spec = DesignSpec::new(preset)
+            .fridges(fridges)
+            .link(link)
+            .links_per_fridge(links_per_fridge)
+            .shared_controllers(shared);
+        let text = codec::encode_spec(&spec);
+        let parsed = codec::parse_spec(&text).expect("encoded spec must parse");
+        prop_assert_eq!(&parsed, &spec);
+        prop_assert_eq!(codec::encode_spec(&parsed), text, "encode must be a fixed point");
+        let topology = parsed.topology().expect("valid knobs must build a topology");
+        prop_assert_eq!(topology.fridges(), fridges);
+        prop_assert_eq!(topology.link(), link);
+        prop_assert_eq!(topology.links_per_fridge(), links_per_fridge);
+        prop_assert_eq!(topology.shared_controllers(), shared);
+        prop_assert_eq!(parsed.has_scale_out(), fridges > 1);
     }
 
     /// FDM degree trades power for error: higher FDM never lengthens the

@@ -139,9 +139,34 @@ impl Fridge {
         power_w <= self.budget_w(stage)
     }
 
-    /// Utilization fraction (power / budget) of a stage.
+    /// Utilization fraction (power / budget) of a stage. A zero (or
+    /// negative) budget is infinitely over-subscribed by any load, so
+    /// this returns [`f64::INFINITY`] rather than NaN — binding-stage
+    /// selections sort it with `total_cmp` instead of tripping on it.
     pub fn utilization(&self, stage: Stage, power_w: f64) -> f64 {
-        power_w / self.budget_w(stage)
+        let budget = self.budget_w(stage);
+        if budget <= 0.0 {
+            return f64::INFINITY;
+        }
+        power_w / budget
+    }
+
+    /// Builds a fridge from explicit per-stage budgets (ordered warm to
+    /// cold, matching [`Stage::ALL`]). The non-panicking counterpart of
+    /// [`Fridge::with_budget`] for derived budgets — e.g. a topology's
+    /// interconnect-derated fridge: `None` when any budget is
+    /// non-positive or non-finite.
+    pub fn from_budgets(budgets_w: [f64; 5]) -> Option<Fridge> {
+        if budgets_w.iter().all(|w| w.is_finite() && *w > 0.0) {
+            Some(Fridge { budgets_w })
+        } else {
+            None
+        }
+    }
+
+    /// Per-stage budgets in watts, ordered warm to cold ([`Stage::ALL`]).
+    pub fn budgets_w(&self) -> [f64; 5] {
+        self.budgets_w
     }
 }
 
@@ -183,6 +208,28 @@ mod tests {
         let f = Fridge::standard().with_budget(Stage::Mk20, 40e-6);
         assert!(f.fits(Stage::Mk20, 30e-6));
         assert!((f.utilization(Stage::Mk20, 20e-6) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_budget_utilization_is_infinite_not_nan() {
+        let f = Fridge { budgets_w: [0.0; 5] };
+        for s in Stage::ALL {
+            assert_eq!(f.utilization(s, 1e-6), f64::INFINITY);
+            assert!(!f.utilization(s, 0.0).is_nan());
+        }
+        // An infinite utilization sorts above every finite one under
+        // total_cmp, so binding-stage selection stays deterministic.
+        let util = f.utilization(Stage::Mk20, 0.0);
+        assert_eq!(util.total_cmp(&1e9), std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn from_budgets_rejects_non_positive_and_non_finite() {
+        assert_eq!(Fridge::from_budgets(Fridge::standard().budgets_w()), Some(Fridge::standard()));
+        assert_eq!(Fridge::from_budgets([1.0, 1.0, 0.0, 1.0, 1.0]), None);
+        assert_eq!(Fridge::from_budgets([1.0, -2.0, 1.0, 1.0, 1.0]), None);
+        assert_eq!(Fridge::from_budgets([1.0, f64::NAN, 1.0, 1.0, 1.0]), None);
+        assert_eq!(Fridge::from_budgets([1.0, f64::INFINITY, 1.0, 1.0, 1.0]), None);
     }
 
     #[test]

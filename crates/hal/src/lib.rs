@@ -15,6 +15,8 @@
 //! * [`wire`] — per-cable passive/active heat loads for every interconnect
 //!   of Table 2, plus the digital 300K→4K instruction link;
 //! * [`fridge`] — dilution-refrigerator stages and cooling budgets;
+//! * [`topology`] — multi-fridge scale-out: N-fridge clusters with typed
+//!   inter-fridge links and shared room-temperature controllers;
 //! * [`analog`] — published analog front-end block powers;
 //! * [`units`] — SI constants and formatting.
 //!
@@ -38,10 +40,12 @@ pub mod analog;
 pub mod cmos;
 pub mod fridge;
 pub mod sfq;
+pub mod topology;
 pub mod units;
 pub mod wire;
 
 pub use cmos::{CmosNode, CmosTech, CmosTemp};
 pub use fridge::{Fridge, Stage};
 pub use sfq::{SfqCell, SfqFamily, SfqStage, SfqTech};
+pub use topology::{FridgeTopology, LinkKind};
 pub use wire::{InstructionLink, WireKind};

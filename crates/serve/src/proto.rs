@@ -17,10 +17,14 @@
 //! Every remaining pair is a [`qisim::codec`] **spec document line** —
 //! the same keys `codec::parse_spec` accepts, starting with `preset` —
 //! so a spec file folds onto one request line by joining its content
-//! lines with `; `:
+//! lines with `; `. That includes the per-stage budget overrides
+//! (`budget.<stage>`) and the scale-out topology knobs (`fridges`,
+//! `link`, `links_per_fridge`, `shared_controllers`); an unknown stage
+//! label or link kind is a typed `decode` error:
 //!
 //! ```text
 //! id = 7; target = long_term; preset = cmos_baseline; drive_bits = 6
+//! id = 8; preset = cmos_near_term; fridges = 4; link = photonic
 //! ```
 //!
 //! Keys and values therefore must not contain `;` or newlines; decode

@@ -3,14 +3,16 @@
 //! both answering through one shared batch executor.
 //!
 //! Every request follows the same path: parse ([`crate::proto`]) →
-//! validate (`DesignSpec::build` / `fridge`) → analyze — standard-fridge
-//! requests using the default `packed` estimator are grouped per target
-//! and answered through [`qisim::engine::try_analyze_many`] (one fan-out
-//! over the shared `qisim-par` pool per batch); budget-override, traced,
-//! and Monte-Carlo-estimator (`estimator = sliced` / `rare`) requests
-//! run individually through the same staged engine. All paths share the
-//! process-wide `qisim_power::memo` LRU, so a hot working set answers
-//! from cache no matter which client asked first.
+//! validate (`DesignSpec::build` / `topology`) → analyze —
+//! standard-fridge, single-fridge requests using the default `packed`
+//! estimator are grouped per target and answered through
+//! [`qisim::engine::try_analyze_many`] (one fan-out over the shared
+//! `qisim-par` pool per batch); budget-override, multi-fridge
+//! (`fridges = N`), traced, and Monte-Carlo-estimator (`estimator =
+//! sliced` / `rare`) requests run individually through the same staged
+//! engine. All paths share the process-wide `qisim_power::memo` LRU, so
+//! a hot working set answers from cache no matter which client asked
+//! first.
 //!
 //! A request can never take the process down: malformed lines, invalid
 //! knobs, and engine failures all become typed `error` responses, and a
@@ -21,7 +23,7 @@ use crate::config::{ServeConfig, MAX_LINE_BYTES};
 use crate::proto::{self, Request};
 use qisim::engine;
 use qisim::error::QisimError;
-use qisim::hal::fridge::Fridge;
+use qisim::hal::topology::FridgeTopology;
 use qisim::scalability::Scalability;
 use qisim::spec::Estimator;
 use qisim::QciDesign;
@@ -76,8 +78,10 @@ struct Prepared {
     seq: u64,
     request: Request,
     design: QciDesign,
-    fridge: Fridge,
-    standard_fridge: bool,
+    topology: FridgeTopology,
+    /// Standard fridge, single-fridge topology: eligible for the
+    /// `try_analyze_many` fast path.
+    groupable: bool,
     estimator: Estimator,
 }
 
@@ -85,22 +89,23 @@ struct Prepared {
 fn prepare(seq: u64, line: &str) -> Result<Prepared, QisimError> {
     let request = proto::parse_request_line(line.trim_end_matches(['\n', '\r']))?;
     let design = request.spec.build()?;
-    let fridge = request.spec.fridge()?;
-    let standard_fridge = !request.spec.has_budget_overrides();
+    let topology = request.spec.topology()?;
+    let groupable = !request.spec.has_budget_overrides() && !request.spec.has_scale_out();
     let estimator = request.spec.chosen_estimator();
-    Ok(Prepared { seq, request, design, fridge, standard_fridge, estimator })
+    Ok(Prepared { seq, request, design, topology, groupable, estimator })
 }
 
 /// Analyzes a batch of prepared requests and renders one response line
 /// per request, in batch order.
 ///
-/// Standard-fridge, untraced, `packed`-estimator requests are grouped
-/// per roadmap target and answered through one
+/// Standard-fridge, single-fridge, untraced, `packed`-estimator requests
+/// are grouped per roadmap target and answered through one
 /// [`engine::try_analyze_many`] call each (the `qisim-par` fan-out);
-/// everything else — budget overrides, traced requests, and the
-/// Monte-Carlo estimators (which parallelize internally) — runs
-/// individually through the same staged engine, so every response is
-/// bit-identical to a direct `try_analyze_spec` of the same request.
+/// everything else — budget overrides, multi-fridge topologies, traced
+/// requests, and the Monte-Carlo estimators (which parallelize
+/// internally) — runs individually through the same staged engine, so
+/// every response is bit-identical to a direct `try_analyze_spec` of the
+/// same request.
 fn answer_batch(config: &ServeConfig, batch: &[Prepared]) -> Vec<String> {
     counter!("serve.batches");
     observe!("serve.batch_size", batch.len() as f64);
@@ -110,7 +115,7 @@ fn answer_batch(config: &ServeConfig, batch: &[Prepared]) -> Vec<String> {
         let group: Vec<usize> = (0..batch.len())
             .filter(|&i| {
                 let p = &batch[i];
-                p.standard_fridge
+                p.groupable
                     && !p.request.trace
                     && p.estimator == Estimator::Packed
                     && p.request.target == target
@@ -144,12 +149,12 @@ fn answer_batch(config: &ServeConfig, batch: &[Prepared]) -> Vec<String> {
             let result = match grouped {
                 Some(result) => result,
                 None if prepared.request.trace => run_traced(config, prepared, &mut extras),
-                // Budget-override and Monte-Carlo-estimator requests:
-                // same staged engine, custom refrigerator/estimator.
-                None => engine::try_analyze_with(
+                // Budget-override, scale-out, and Monte-Carlo-estimator
+                // requests: same staged engine, custom topology/estimator.
+                None => engine::try_analyze_topology(
                     &prepared.design,
                     &prepared.request.target.target(),
-                    &prepared.fridge,
+                    &prepared.topology,
                     prepared.estimator,
                 ),
             };
@@ -197,17 +202,21 @@ fn run_traced(
     let target = prepared.request.target.target();
     if qisim_obs::trace::armed() {
         extras.push(("trace_events", "0".to_string()));
-        return engine::try_analyze_with(
+        return engine::try_analyze_topology(
             &prepared.design,
             &target,
-            &prepared.fridge,
+            &prepared.topology,
             prepared.estimator,
         );
     }
     qisim_obs::trace::arm();
     qisim_obs::trace::clear();
-    let result =
-        engine::try_analyze_with(&prepared.design, &target, &prepared.fridge, prepared.estimator);
+    let result = engine::try_analyze_topology(
+        &prepared.design,
+        &target,
+        &prepared.topology,
+        prepared.estimator,
+    );
     let session = qisim_obs::TraceSession::drain();
     qisim_obs::trace::disarm();
     let events: usize = session.threads.iter().map(|t| t.events.len()).sum();

@@ -36,6 +36,7 @@ fn legacy_analyze_on(design: &QciDesign, target: &Target, fridge: &Fridge) -> Sc
         target_error,
         error_ok: logical_error <= target_error,
         esm_cycle_ns: design.esm_cycle_ns(),
+        scale_out: None,
     }
 }
 
@@ -257,6 +258,191 @@ fn randomized_near_valid_knob_grid_never_panics() {
     }
     assert!(oks > 0, "the grid must hit some valid points ({oks} ok / {errs} err)");
     assert!(errs > 0, "the grid must hit some invalid points ({oks} ok / {errs} err)");
+}
+
+/// N=1 identity gate (the scale-out analogue of the legacy-vs-staged
+/// gate above): a single-fridge topology must be **bit-identical** to
+/// the classic pipeline for every preset and target — both through
+/// `with_topology` directly and through a spec carrying `fridges = 1`.
+#[test]
+fn single_fridge_topology_is_bit_identical_for_every_preset_and_target() {
+    use qisim::hal::topology::{FridgeTopology, LinkKind};
+    for target in [Target::near_term(), Target::long_term()] {
+        for design in paper_designs() {
+            let classic = engine::try_analyze(&design, &target).expect("paper design");
+            // Even with link knobs configured, one fridge has no peers:
+            // the classic path runs verbatim.
+            for topology in [
+                FridgeTopology::standard(),
+                FridgeTopology::standard().with_link(LinkKind::Photonic).with_links_per_fridge(64),
+            ] {
+                let topo = engine::try_analyze_topology(
+                    &design,
+                    &target,
+                    &topology,
+                    qisim::spec::Estimator::Packed,
+                )
+                .expect("paper design");
+                assert_eq!(topo, classic, "{} vs {}", classic.design, target.name);
+                assert_eq!(topo.scale_out, None);
+            }
+        }
+    }
+    // Spec route: `fridges = 1` (with or without link knobs) is the
+    // classic verdict for every preset.
+    for preset in Preset::ALL {
+        let t = Target::near_term();
+        let classic = engine::try_analyze_spec(&DesignSpec::new(preset), &t).expect("preset");
+        let via_spec = engine::try_analyze_spec(
+            &DesignSpec::new(preset).fridges(1).link(LinkKind::CryoCoax),
+            &t,
+        )
+        .expect("preset");
+        assert_eq!(via_spec, classic, "{preset:?}");
+    }
+}
+
+/// N>1 semantics: the cluster total is fridges x per-fridge yield, the
+/// verdict carries a fully-populated scale-out block, and explain()
+/// names the binding constraint end to end.
+#[test]
+fn multi_fridge_analysis_aggregates_and_attributes() {
+    use qisim::hal::topology::{FridgeTopology, LinkKind};
+    use qisim::scalability::ScaleOutBinding;
+    use qisim::spec::Estimator;
+    let t = Target::near_term();
+    let design = QciDesign::cmos_baseline();
+    let single = engine::try_analyze(&design, &t).expect("paper design");
+    let topology = FridgeTopology::standard().with_fridges(4).with_link(LinkKind::CryoCoax);
+    let clustered =
+        engine::try_analyze_topology(&design, &t, &topology, Estimator::Packed).expect("cluster");
+    let so = clustered.scale_out.as_ref().expect("multi-fridge verdicts carry scale-out");
+    assert_eq!(so.fridges, 4);
+    assert_eq!(so.link, LinkKind::CryoCoax);
+    assert_eq!(clustered.power_limited_qubits, 4 * so.per_fridge_qubits);
+    // Interconnect heat derates each fridge below the solo yield, but a
+    // 4-fridge cluster still beats one fridge overall.
+    assert!(so.per_fridge_qubits <= single.power_limited_qubits);
+    assert!(so.per_fridge_qubits > 0, "cryo-coax links must leave budget");
+    assert!(clustered.power_limited_qubits > single.power_limited_qubits);
+    // The cryo-coax bundle leaks at 4K (and only where Table 2 says).
+    assert!(so.interconnect_w[1] > 0.0, "4K interconnect heat");
+    assert_eq!(so.interconnect_w[0], 0.0, "superconducting coax is free at 50K");
+    // Fridges-to-target is the ceiling division of the target scale.
+    let tq = so.target_qubits;
+    assert_eq!(tq, qisim::surface::target::Target::near_term().physical_qubits() as u64);
+    assert_eq!(so.fridges_to_target, Some(tq.div_ceil(so.per_fridge_qubits).max(1)));
+    // The binding constraint names a stage either way...
+    let binding = so.binding.expect("a binding constraint");
+    // ...and for a CMOS design over light cryo links it is the design's
+    // own 4K dissipation, not the interconnect.
+    assert_eq!(binding, ScaleOutBinding::StageBudget(Stage::K4));
+    assert_eq!(clustered.binding_stage, Some(binding.stage()));
+    let text = clustered.explain();
+    assert!(text.contains("scale-out: 4 fridges"), "{text}");
+    assert!(text.contains("qubits/fridge"), "{text}");
+    assert!(text.contains("binding constraint"), "{text}");
+    assert!(text.contains("fridges to reach"), "{text}");
+}
+
+/// A link bundle that eats a stage whole: zero qubits per fridge, the
+/// interconnect link is the named binding constraint, and no fridge
+/// count reaches the target.
+#[test]
+fn interconnect_can_bind_a_starved_stage() {
+    use qisim::scalability::ScaleOutBinding;
+    use qisim::spec::Estimator;
+    let t = Target::near_term();
+    // 64 photonic links against a 1 uW mixing-chamber budget: the
+    // photodetectors alone (~790 nW each) bury the stage.
+    let spec = DesignSpec::new(Preset::CmosBaseline)
+        .fridges(4)
+        .link(qisim::hal::topology::LinkKind::Photonic)
+        .links_per_fridge(64)
+        .budget(Stage::Mk20, 1e-6);
+    let design = spec.build().expect("valid design");
+    let topology = spec.topology().expect("valid topology");
+    let verdict =
+        engine::try_analyze_topology(&design, &t, &topology, Estimator::Packed).expect("cluster");
+    let so = verdict.scale_out.as_ref().expect("scale-out block");
+    assert_eq!(so.per_fridge_qubits, 0);
+    assert_eq!(verdict.power_limited_qubits, 0);
+    assert_eq!(so.fridges_to_target, None);
+    assert_eq!(so.binding, Some(ScaleOutBinding::Link(Stage::Mk20)));
+    let text = verdict.explain();
+    assert!(text.contains("interconnect link heat at the 20mK stage"), "{text}");
+    assert!(text.contains("unreachable at any fridge count"), "{text}");
+}
+
+/// Sharded aggregation is deterministic: the verdict is bit-identical
+/// at every thread count, and bigger clusters scale linearly.
+#[test]
+fn sharded_power_stage_is_thread_count_independent() {
+    use qisim::hal::topology::FridgeTopology;
+    use qisim::spec::Estimator;
+    let t = Target::near_term();
+    let design = QciDesign::rsfq_near_term();
+    let topology = FridgeTopology::standard().with_fridges(6);
+    let baseline =
+        engine::try_analyze_topology(&design, &t, &topology, Estimator::Packed).expect("cluster");
+    for threads in [1usize, 2, 4] {
+        qisim::par::set_threads(Some(threads));
+        let v = engine::try_analyze_topology(&design, &t, &topology, Estimator::Packed)
+            .expect("cluster");
+        assert_eq!(v, baseline, "{threads} threads");
+    }
+    qisim::par::set_threads(None);
+    // Linear tiling: 12 fridges carry exactly twice the 6-fridge total.
+    let doubled = engine::try_analyze_topology(
+        &design,
+        &t,
+        &topology.clone().with_fridges(12),
+        Estimator::Packed,
+    )
+    .expect("cluster");
+    assert_eq!(doubled.power_limited_qubits, 2 * baseline.power_limited_qubits);
+}
+
+/// Seeded randomized topologies round-trip the codec losslessly and
+/// never panic the engine (the always-on sibling of the `proptest`
+/// suite).
+#[test]
+fn randomized_topologies_round_trip_and_never_panic() {
+    use qisim::hal::topology::LinkKind;
+    let mut rng = Xorshift64Star::seed_from_u64(0x70_0b_01_09);
+    let t = Target::near_term();
+    for i in 0..120 {
+        let preset = Preset::ALL[(rng.next_u64() % 9) as usize];
+        let mut spec = DesignSpec::new(preset);
+        if rng.gen_f64() < 0.9 {
+            spec = spec.fridges((rng.next_u64() % 9 + 1) as u32);
+        }
+        if rng.gen_f64() < 0.7 {
+            spec = spec.link(LinkKind::ALL[(rng.next_u64() % 3) as usize]);
+        }
+        if rng.gen_f64() < 0.7 {
+            spec = spec.links_per_fridge((rng.next_u64() % 64 + 1) as u32);
+        }
+        if rng.gen_f64() < 0.5 {
+            spec = spec.shared_controllers(rng.next_u64().is_multiple_of(2));
+        }
+        if rng.gen_f64() < 0.3 {
+            let stage = Stage::ALL[(rng.next_u64() % 5) as usize];
+            spec = spec.budget(stage, rng.gen_f64() * 2.0 + 1e-7);
+        }
+        // Codec round-trip is lossless for every valid topology spec.
+        let text = qisim::codec::encode_spec(&spec);
+        assert_eq!(qisim::codec::parse_spec(&text).expect("round-trip"), spec, "case {i}");
+        // The verdict itself round-trips with its scale-out block.
+        match engine::try_analyze_spec(&spec, &t) {
+            Ok(v) => {
+                assert_eq!(v.scale_out.is_some(), spec.has_scale_out(), "case {i}");
+                let doc = qisim::codec::encode_scalability(&v);
+                assert_eq!(qisim::codec::parse_scalability(&doc).expect("verdict"), v, "case {i}");
+            }
+            Err(e) => assert!(!e.to_string().is_empty(), "case {i}"),
+        }
+    }
 }
 
 /// The per-stage watt attribution exposed by the plan equals the

@@ -83,6 +83,39 @@ fn instrumented_analysis_records_spans_counters_and_gauges() {
 }
 
 #[test]
+fn scale_out_analysis_publishes_topology_gauges() {
+    let _l = lock();
+    obs::set_enabled(true);
+    obs::reset();
+    let spec = qisim::spec::DesignSpec::new(qisim::spec::Preset::CmosBaseline)
+        .fridges(4)
+        .link(qisim::hal::topology::LinkKind::CryoCoax);
+    let verdict =
+        qisim::engine::try_analyze_spec(&spec, &Target::near_term()).expect("scale-out analysis");
+    assert!(verdict.scale_out.is_some());
+    let snap = obs::snapshot();
+    if !obs::enabled() {
+        assert!(snap.is_empty());
+        return;
+    }
+    // Fleet shape gauges, sharded fan-out counter, and per-stage
+    // interconnect heat attribution.
+    assert_eq!(snap.gauge("topology.fridges"), Some(4.0));
+    assert_eq!(snap.gauge("topology.links_per_fridge"), Some(2.0));
+    assert_eq!(snap.gauge("topology.shared_controllers"), Some(1.0));
+    let per_fridge = snap.gauge("engine.fridge.qubits").expect("per-fridge gauge");
+    assert_eq!(per_fridge as u64, verdict.scale_out.as_ref().unwrap().per_fridge_qubits);
+    assert_eq!(snap.counter("engine.fridge.shards"), Some(4));
+    let heat_4k = snap.gauge("topology.interconnect.4K_w").expect("4K interconnect gauge");
+    assert!(heat_4k > 0.0, "cryo coax must dissipate at 4 K: {heat_4k}");
+    // A classic single-fridge run leaves the topology gauges untouched.
+    obs::reset();
+    let _ = analyze(&QciDesign::cmos_baseline(), &Target::near_term());
+    assert!(obs::snapshot().gauge("topology.fridges").is_none());
+    obs::reset();
+}
+
+#[test]
 fn runtime_disable_stops_recording_mid_process() {
     let _l = lock();
     obs::set_enabled(true);

@@ -262,6 +262,137 @@ fn overload_sheds_with_busy_responses_and_the_service_stays_up() {
 }
 
 #[test]
+fn scale_out_requests_round_trip_with_datacenter_verdicts() {
+    let _guard = lock();
+    // A multi-fridge request rides the same wire format: the topology
+    // keys fold into the spec document and the response carries the
+    // scale-out block plus a binding-constraint explanation.
+    let line = "id = dc; explain = 1; preset = cmos_baseline; fridges = 4; link = cryo_coax";
+    let mut output = Vec::new();
+    let stats = serve_lines(Cursor::new(format!("{line}\n")), &mut output, &ServeConfig::default())
+        .expect("stdio transport");
+    let response = String::from_utf8(output).expect("utf-8");
+    assert_eq!(proto::response_kind(&response), Some(proto::ResponseKind::Ok), "{response}");
+    assert_eq!(stats.ok, 1);
+    let report = proto::response_report(&response).expect("report");
+    let verdict = codec::parse_scalability(&report).expect("unfolded report");
+    let scale_out = verdict.scale_out.as_ref().expect("multi-fridge verdict carries scale-out");
+    assert_eq!(scale_out.fridges, 4);
+    assert_eq!(verdict.power_limited_qubits, 4 * scale_out.per_fridge_qubits);
+    // And it is bit-identical to the direct engine path.
+    let direct = engine::try_analyze_spec(
+        &qisim::spec::DesignSpec::new(Preset::CmosBaseline)
+            .fridges(4)
+            .link(qisim::hal::topology::LinkKind::CryoCoax),
+        &Target::near_term(),
+    )
+    .expect("direct scale-out analysis");
+    assert_eq!(verdict, direct);
+    // The embedded explanation names the fleet and its binding constraint.
+    let explain = proto::pair_value(&response, "explain").expect("explain pair");
+    assert!(explain.contains("scale-out: 4 fridges"), "{explain}");
+    assert!(explain.contains("binding constraint"), "{explain}");
+    assert!(explain.contains("fridges to reach"), "{explain}");
+}
+
+#[test]
+fn budget_override_requests_pin_to_the_direct_engine_path() {
+    let _guard = lock();
+    // Satellite: per-stage fridge budget overrides ride the request line
+    // and produce exactly the verdict the direct spec route computes.
+    let cases = [
+        "id = b4; preset = cmos_baseline; budget.4K = 6",
+        "id = bmix; preset = rsfq_near_term; budget.50K = 45; budget.20mK = 1e-5",
+        "id = bdc; preset = cmos_near_term; fridges = 3; budget.4K = 0.5",
+    ];
+    let mut input = String::new();
+    let mut expected = String::new();
+    for line in &cases {
+        expected.push_str(&expected_response(line));
+        input.push_str(line);
+        input.push('\n');
+    }
+    let mut output = Vec::new();
+    let stats = serve_lines(Cursor::new(input), &mut output, &ServeConfig::default())
+        .expect("stdio transport");
+    let output = String::from_utf8(output).expect("utf-8 responses");
+    assert_eq!(output, expected, "override responses must match direct analysis");
+    assert_eq!(stats.ok, cases.len() as u64);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn invalid_topology_requests_get_typed_errors() {
+    let _guard = lock();
+    // (request line, expected error kind, reason needle)
+    let cases = [
+        ("id = l; preset = cmos_baseline; link = warp", "decode", "unknown link `warp`"),
+        ("id = f0; preset = cmos_baseline; fridges = 0", "config", "fridges"),
+        ("id = fk; preset = cmos_baseline; fridges = 2000", "config", "fridges"),
+        ("id = lp; preset = cmos_baseline; links_per_fridge = 0", "config", "links_per_fridge"),
+        ("id = s; preset = cmos_baseline; budget.3K = 1", "decode", "unknown fridge stage `3K`"),
+    ];
+    let mut input = String::new();
+    for (line, _, _) in &cases {
+        input.push_str(line);
+        input.push('\n');
+    }
+    input.push_str("id = alive; preset = cmos_baseline; fridges = 2\n");
+    let mut output = Vec::new();
+    let stats = serve_lines(Cursor::new(input), &mut output, &ServeConfig::default())
+        .expect("stdio transport");
+    let output = String::from_utf8(output).expect("utf-8 responses");
+    let responses: Vec<&str> = output.lines().collect();
+    assert_eq!(responses.len(), cases.len() + 1, "one response per request\n{output}");
+    for ((line, kind, needle), response) in cases.iter().zip(&responses) {
+        assert_eq!(
+            proto::response_kind(response),
+            Some(proto::ResponseKind::Error),
+            "{line:?} -> {response}"
+        );
+        assert_eq!(proto::pair_value(response, "error"), Some(*kind), "{line:?} -> {response}");
+        let reason = proto::pair_value(response, "reason").expect("reason pair");
+        assert!(reason.contains(needle), "{line:?} -> {response}");
+    }
+    let last = responses.last().expect("final response");
+    assert_eq!(proto::response_kind(last), Some(proto::ResponseKind::Ok));
+    assert_eq!(stats.errors, cases.len() as u64);
+    assert_eq!(stats.ok, 1);
+}
+
+#[test]
+fn multi_fridge_requests_mixed_into_batches_stay_bit_identical() {
+    let _guard = lock();
+    // Scale-out requests run individually (they are excluded from the
+    // grouped fan-out), but interleaving them with groupable classic
+    // requests must not perturb either side's bytes or ordering.
+    let lines: Vec<String> = (0..12)
+        .map(|i| {
+            let preset = Preset::ALL[i % Preset::ALL.len()].id();
+            if i % 3 == 0 {
+                format!("id = m{i}; preset = {preset}; fridges = {}; link = photonic", 2 + i % 4)
+            } else {
+                format!("id = m{i}; preset = {preset}")
+            }
+        })
+        .collect();
+    let mut input = String::new();
+    let mut expected = String::new();
+    for line in &lines {
+        expected.push_str(&expected_response(line));
+        input.push_str(line);
+        input.push('\n');
+    }
+    let mut output = Vec::new();
+    let stats = serve_lines(Cursor::new(input), &mut output, &ServeConfig::default())
+        .expect("stdio transport");
+    let output = String::from_utf8(output).expect("utf-8 responses");
+    assert_eq!(output, expected, "mixed batches must stay bit-identical in request order");
+    assert_eq!(stats.ok, lines.len() as u64);
+    assert_eq!(stats.errors, 0);
+}
+
+#[test]
 fn traced_requests_report_event_counts_and_explain_embeds_text() {
     let _guard = lock();
     let mut output = Vec::new();

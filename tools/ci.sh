@@ -48,26 +48,32 @@
 #      shutdown) and must leave nonzero serve_* counters in the metrics
 #      file; then the release binary itself serves one request over
 #      /dev/tcp and exits 0 via the stop file (docs/SERVING.md)
+#  13. scale-out smoke run: bench_scaleout --smoke proves the N=1
+#      topology route is bit-identical to the classic pipeline for
+#      every paper design and target, runs a multi-fridge sweep with
+#      the sharded power stage, gates the single-fridge wrapper
+#      overhead at <= 2%, and (run with QISIM_METRICS armed) must
+#      leave the topology_* fleet gauges in the exposition file
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/12] release build + tests =="
+echo "== [1/13] release build + tests =="
 cargo build --release
 cargo test -q --release
 
-echo "== [2/12] tests at QISIM_THREADS=2 =="
+echo "== [2/13] tests at QISIM_THREADS=2 =="
 QISIM_THREADS=2 cargo test -q --release
 
-echo "== [3/12] rustfmt =="
+echo "== [3/13] rustfmt =="
 cargo fmt --check
 
-echo "== [4/12] clippy (deny warnings) =="
+echo "== [4/13] clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
-echo "== [5/12] rustdoc (deny warnings) =="
+echo "== [5/13] rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "== [6/12] kill switches (--no-default-features) =="
+echo "== [6/13] kill switches (--no-default-features) =="
 cargo build --release --no-default-features
 cargo test -q --release --no-default-features
 # Serial pool + live obs: the exact build the determinism docs promise
@@ -75,7 +81,7 @@ cargo test -q --release --no-default-features
 cargo test -q --release -p qisim --no-default-features --features obs \
     --test integration_par
 
-echo "== [7/12] observe + trace smoke run =="
+echo "== [7/13] observe + trace smoke run =="
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 (cd "$out" && QISIM_TRACE="$out/trace.json" QISIM_THREADS=2 cargo run --release --quiet \
@@ -101,7 +107,7 @@ test "$begins" -eq "$ends" || { echo "unbalanced trace: $begins B vs $ends E" >&
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/trace.json" \
     2>/dev/null || echo "note: python3 unavailable, skipped strict JSON parse"
 
-echo "== [8/12] telemetry exporter smoke run =="
+echo "== [8/13] telemetry exporter smoke run =="
 (cd "$out" && QISIM_METRICS="$out/metrics.om:50" QISIM_THREADS=2 cargo run --release --quiet \
     --manifest-path "$OLDPWD/Cargo.toml" --example observe -- --watch > watch.txt)
 # The example validates its own exposition via openmetrics_is_well_formed
@@ -119,13 +125,13 @@ grep -q "# EOF" "$out/metrics.om"
 QISIM_METRICS="$out/metrics_det.om:50" cargo test -q --release -p qisim \
     --test integration_par
 
-echo "== [9/12] Monte-Carlo bench smoke run =="
+echo "== [9/13] Monte-Carlo bench smoke run =="
 cargo run --release --quiet --example bench_mc -- --smoke
 
-echo "== [10/12] panic-regression gate =="
+echo "== [10/13] panic-regression gate =="
 tools/check_panics.sh
 
-echo "== [11/12] paper-suite smoke run =="
+echo "== [11/13] paper-suite smoke run =="
 # Cheap drivers only: Fig. 12/13/17 + Table 2 finish in seconds; the
 # minute-scale Table 1 / Fig. 8 / Fig. 11 runs stay on the full suite
 # (filters are substring matches against the experiment ids).
@@ -139,7 +145,7 @@ done
 # staged engine (zero relative error renders as "-").
 echo "$suite_out" | grep -q "max |rel err|"
 
-echo "== [12/12] serve smoke run =="
+echo "== [12/13] serve smoke run =="
 # Long exporter interval: the only write is bench_serve's explicit
 # flush, whose delta then covers the whole run — serve counters must be
 # nonzero in it.
@@ -173,5 +179,19 @@ esac
 touch "$out/stop"
 wait "$serve_pid"
 grep -q "done requests = 1 ok = 1" "$out/serve_bin.err"
+
+echo "== [13/13] scale-out smoke run =="
+# Long exporter interval again: the only write is bench_scaleout's
+# explicit flush, so the fleet gauges from the 4-fridge sweep must be
+# present in the delta that covers the whole run.
+(cd "$out" && QISIM_METRICS="$out/scaleout.om:600000" QISIM_THREADS=2 cargo run --release \
+    --quiet --manifest-path "$OLDPWD/Cargo.toml" --example bench_scaleout -- --smoke \
+    > scaleout.txt)
+grep -q "n1_identical_to_classic: true" "$out/scaleout.txt"
+grep -Eq "n1 overhead: .* -> [+-][0-9.]+%" "$out/scaleout.txt"
+grep -q "bench_scaleout smoke gate passed." "$out/scaleout.txt"
+grep -q "topology_fridges" "$out/scaleout.om"
+grep -q "engine_fridge_shards" "$out/scaleout.om"
+grep -q "# EOF" "$out/scaleout.om"
 
 echo "CI gate passed."
