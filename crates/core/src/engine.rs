@@ -263,7 +263,10 @@ impl AnalysisPlan {
 
     /// Executes the next pending stage and returns which one ran
     /// (`Ok(None)` when the plan was already complete). Each stage
-    /// records an `engine.stage.<label>` observability span.
+    /// records an `engine.stage.<label>` observability span and, when
+    /// `QISIM_LOG` is armed at debug level, an `engine.stage` log record
+    /// with the stage label and elapsed time (carrying the serving
+    /// request id when one is in scope).
     ///
     /// # Errors
     ///
@@ -274,6 +277,8 @@ impl AnalysisPlan {
             return Ok(None);
         };
         counter!("engine.plan.stages");
+        let log_stages = qisim_obs::log::armed(qisim_obs::log::Level::Debug);
+        let t0 = log_stages.then(std::time::Instant::now);
         match stage {
             PlanStage::Inventory => {
                 span!("engine.stage.inventory");
@@ -326,6 +331,12 @@ impl AnalysisPlan {
                     debug_assert!(false, "verdict scheduled before its artifacts");
                 }
             }
+        }
+        if let Some(t0) = t0 {
+            qisim_obs::log::record(qisim_obs::log::Level::Debug, "engine.stage")
+                .str("stage", stage.label())
+                .f64("elapsed_ms", t0.elapsed().as_secs_f64() * 1e3)
+                .emit();
         }
         if qisim_obs::trace::armed() {
             self.trace_stage_artifact(stage);

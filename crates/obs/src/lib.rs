@@ -48,20 +48,27 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod ctx;
 pub mod export;
+pub mod fastpath;
 pub mod hist;
 pub mod json;
+pub mod log;
 pub mod metrics;
 pub mod span;
 pub mod telemetry;
 pub mod trace;
 pub mod trace_export;
 
+pub use ctx::RequestScope;
 pub use export::{
     json_is_well_formed, openmetrics, openmetrics_is_well_formed, sanitize_metric_name, text_table,
     to_json,
 };
+#[doc(hidden)]
+pub use fastpath::{FastCounter, FastGauge, SpanSlot};
 pub use hist::Histogram;
+pub use log::Level;
 pub use metrics::{Registry, Snapshot, SpanStats};
 pub use span::SpanGuard;
 pub use trace::TraceSession;
@@ -168,7 +175,9 @@ pub fn observe_f64(name: &str, value: f64) {
 pub fn snapshot() -> Snapshot {
     #[cfg(feature = "obs")]
     {
-        global::registry().snapshot()
+        let mut snap = global::registry().snapshot();
+        fastpath::merge(&mut snap);
+        snap
     }
     #[cfg(not(feature = "obs"))]
     {
@@ -179,7 +188,10 @@ pub fn snapshot() -> Snapshot {
 /// Clears every global metric (spans, counters, gauges, histograms).
 pub fn reset() {
     #[cfg(feature = "obs")]
-    global::registry().reset();
+    {
+        global::registry().reset();
+        fastpath::reset();
+    }
 }
 
 /// Renders the global registry as an aligned text table.
@@ -198,6 +210,12 @@ pub fn report_json() -> String {
 /// name. The guard lives until the end of the enclosing scope.
 #[macro_export]
 macro_rules! span {
+    ($name:literal) => {
+        let _qisim_obs_span_guard = {
+            static __QISIM_OBS_SPAN: $crate::SpanSlot = $crate::SpanSlot::new($name);
+            $crate::SpanGuard::enter_cached(&__QISIM_OBS_SPAN)
+        };
+    };
     ($name:expr) => {
         let _qisim_obs_span_guard = $crate::SpanGuard::enter($name);
     };
@@ -214,12 +232,14 @@ macro_rules! span {
 macro_rules! counter {
     ($name:literal) => {
         if $crate::enabled() {
-            $crate::counter_add_traced($name, 1);
+            static __QISIM_OBS_CTR: $crate::FastCounter = $crate::FastCounter::new($name);
+            __QISIM_OBS_CTR.add(1);
         }
     };
     ($name:literal, $delta:expr) => {
         if $crate::enabled() {
-            $crate::counter_add_traced($name, $delta);
+            static __QISIM_OBS_CTR: $crate::FastCounter = $crate::FastCounter::new($name);
+            __QISIM_OBS_CTR.add($delta);
         }
     };
     ($name:expr) => {
@@ -238,6 +258,12 @@ macro_rules! counter {
 /// expressions are only evaluated while recording is enabled.
 #[macro_export]
 macro_rules! gauge {
+    ($name:literal, $value:expr) => {
+        if $crate::enabled() {
+            static __QISIM_OBS_GAUGE: $crate::FastGauge = $crate::FastGauge::new($name);
+            __QISIM_OBS_GAUGE.set($value);
+        }
+    };
     ($name:expr, $value:expr) => {
         if $crate::enabled() {
             $crate::gauge_set(&$name, $value);

@@ -27,6 +27,11 @@ impl SpanStats {
         SpanStats { count: 0, total_ns: 0, self_ns: 0, durations: Histogram::new() }
     }
 
+    /// A zeroed stats block (fast-path slot initializer).
+    pub(crate) fn empty() -> Self {
+        SpanStats::new()
+    }
+
     /// The occurrences recorded since `prev` (see
     /// [`Snapshot::delta_since`]). A registry reset between the two
     /// snapshots makes the whole current value the delta; counts never

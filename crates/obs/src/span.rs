@@ -59,6 +59,9 @@ struct ActiveSpan {
     name: &'static str,
     start: Instant,
     span_id: u64,
+    /// Interned fast-path slot (literal-name `span!` sites); `None`
+    /// falls back to the registry's mutex + map walk.
+    slot: Option<&'static crate::SpanSlot>,
 }
 
 impl SpanGuard {
@@ -66,6 +69,20 @@ impl SpanGuard {
     /// compiled out or disabled at runtime.
     #[inline]
     pub fn enter(name: &'static str) -> SpanGuard {
+        Self::enter_inner(name, None)
+    }
+
+    /// Opens a span that records into an interned fast-path slot on
+    /// drop instead of the registry's mutex + map walk. Literal-name
+    /// [`crate::span!`] sites route here through a per-call-site
+    /// `static` [`crate::SpanSlot`].
+    #[inline]
+    pub fn enter_cached(slot: &'static crate::SpanSlot) -> SpanGuard {
+        Self::enter_inner(slot.name(), Some(slot))
+    }
+
+    #[inline]
+    fn enter_inner(name: &'static str, slot: Option<&'static crate::SpanSlot>) -> SpanGuard {
         #[cfg(feature = "obs")]
         {
             if !crate::enabled() {
@@ -85,11 +102,11 @@ impl SpanGuard {
                 0
             };
             SPAN_STACK.with(|s| s.borrow_mut().push(Frame { child_ns: 0, span_id }));
-            SpanGuard { active: Some(ActiveSpan { name, start: Instant::now(), span_id }) }
+            SpanGuard { active: Some(ActiveSpan { name, start: Instant::now(), span_id, slot }) }
         }
         #[cfg(not(feature = "obs"))]
         {
-            let _ = name;
+            let _ = (name, slot);
             SpanGuard {}
         }
     }
@@ -119,7 +136,11 @@ impl Drop for SpanGuard {
         // Re-checked at drop: a span that was open when recording was
         // disabled is discarded, not half-recorded.
         if crate::enabled() {
-            crate::registry().record_span(span.name, total_ns, total_ns.saturating_sub(child_ns));
+            let self_ns = total_ns.saturating_sub(child_ns);
+            match span.slot {
+                Some(slot) => slot.record(total_ns, self_ns),
+                None => crate::registry().record_span(span.name, total_ns, self_ns),
+            }
         }
     }
 }

@@ -112,29 +112,49 @@ fn worker_slot() -> MutexGuard<'static, Option<Worker>> {
 #[cfg(feature = "obs")]
 static ENV_SPEC: OnceLock<Option<(PathBuf, u64)>> = OnceLock::new();
 
-/// Parses a `<path>[:interval_ms]` spec: the suffix after the *last*
-/// colon is the interval only when it is all digits, so paths containing
-/// colons still work. Intervals are clamped to [`MIN_INTERVAL_MS`].
+/// Parses a `<path>[:interval_ms]` spec. The suffix after the *last*
+/// colon is read as the interval unless it looks like part of the path
+/// (it contains a `/`, or the colon starts the spec), so
+/// `dir:odd/metrics` still works. A present interval must be a positive
+/// integer: `0` (a busy loop) and non-numeric suffixes are **rejected**
+/// with `Err` — a misconfigured exporter must fail loudly at startup,
+/// not silently fall back. `Ok(None)` means an empty spec (exporter
+/// stays off); valid intervals are clamped to [`MIN_INTERVAL_MS`].
 #[cfg(feature = "obs")]
-fn parse_spec(spec: &str) -> Option<(PathBuf, u64)> {
+fn parse_spec(spec: &str) -> Result<Option<(PathBuf, u64)>, String> {
     let spec = spec.trim();
     if spec.is_empty() {
-        return None;
+        return Ok(None);
     }
-    if let Some((path, ms)) = spec.rsplit_once(':') {
-        if !path.is_empty() && !ms.is_empty() && ms.bytes().all(|b| b.is_ascii_digit()) {
-            if let Ok(ms) = ms.parse::<u64>() {
-                return Some((PathBuf::from(path), ms.max(MIN_INTERVAL_MS)));
-            }
+    if let Some((path, suffix)) = spec.rsplit_once(':') {
+        if !path.is_empty() && !suffix.is_empty() && !suffix.contains('/') {
+            return match suffix.parse::<u64>() {
+                Ok(0) => {
+                    Err(format!("interval_ms must be a positive integer, got `0` (in `{spec}`)"))
+                }
+                Ok(ms) => Ok(Some((PathBuf::from(path), ms.max(MIN_INTERVAL_MS)))),
+                Err(_) => Err(format!(
+                    "interval_ms must be a positive integer, got `{suffix}` (in `{spec}`)"
+                )),
+            };
         }
     }
-    Some((PathBuf::from(spec), DEFAULT_INTERVAL_MS))
+    Ok(Some((PathBuf::from(spec), DEFAULT_INTERVAL_MS)))
 }
 
 #[cfg(feature = "obs")]
 fn env_spec() -> Option<(PathBuf, u64)> {
     ENV_SPEC
-        .get_or_init(|| std::env::var("QISIM_METRICS").ok().as_deref().and_then(parse_spec))
+        .get_or_init(|| match std::env::var("QISIM_METRICS").ok().as_deref().map(parse_spec) {
+            Some(Ok(spec)) => spec,
+            Some(Err(reason)) => {
+                eprintln!(
+                    "qisim-obs: invalid QISIM_METRICS ({reason}); telemetry exporter disabled"
+                );
+                None
+            }
+            None => None,
+        })
         .clone()
 }
 
@@ -327,15 +347,32 @@ mod tests {
 
     #[test]
     fn spec_parsing_handles_paths_and_intervals() {
-        assert_eq!(parse_spec("metrics.om"), Some((PathBuf::from("metrics.om"), 1000)));
-        assert_eq!(parse_spec("metrics.om:250"), Some((PathBuf::from("metrics.om"), 250)));
-        // Non-numeric suffix: the colon belongs to the path.
-        assert_eq!(parse_spec("dir:odd/metrics"), Some((PathBuf::from("dir:odd/metrics"), 1000)));
+        assert_eq!(parse_spec("metrics.om"), Ok(Some((PathBuf::from("metrics.om"), 1000))));
+        assert_eq!(parse_spec("metrics.om:250"), Ok(Some((PathBuf::from("metrics.om"), 250))));
+        // A suffix containing `/` is part of the path, not an interval.
+        assert_eq!(
+            parse_spec("dir:odd/metrics"),
+            Ok(Some((PathBuf::from("dir:odd/metrics"), 1000)))
+        );
         // Numeric suffix after the last colon wins even with earlier colons.
-        assert_eq!(parse_spec("dir:odd/m.om:50"), Some((PathBuf::from("dir:odd/m.om"), 50)));
-        // Degenerate intervals are clamped, empty specs rejected.
-        assert_eq!(parse_spec("m.om:0"), Some((PathBuf::from("m.om"), MIN_INTERVAL_MS)));
-        assert_eq!(parse_spec("   "), None);
+        assert_eq!(parse_spec("dir:odd/m.om:50"), Ok(Some((PathBuf::from("dir:odd/m.om"), 50))));
+        // Near-zero intervals are clamped; empty specs leave the exporter off.
+        assert_eq!(parse_spec("m.om:3"), Ok(Some((PathBuf::from("m.om"), MIN_INTERVAL_MS))));
+        assert_eq!(parse_spec("   "), Ok(None));
+    }
+
+    #[test]
+    fn degenerate_intervals_are_rejected_not_defaulted() {
+        // `:0` would be a busy loop and `:fast` is a typo; both must be
+        // loud startup errors instead of a silent default-interval run.
+        let err = parse_spec("m.om:0").unwrap_err();
+        assert!(err.contains("positive integer") && err.contains("`0`"), "{err}");
+        let err = parse_spec("m.om:fast").unwrap_err();
+        assert!(err.contains("`fast`"), "{err}");
+        let err = parse_spec("m.om:10x").unwrap_err();
+        assert!(err.contains("`10x`"), "{err}");
+        // Overflowing digits are garbage too, not a path with a colon.
+        assert!(parse_spec("m.om:99999999999999999999999").is_err());
     }
 
     #[test]

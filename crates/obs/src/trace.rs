@@ -299,6 +299,7 @@ pub fn instant(name: &'static str, args: &[(&'static str, f64)]) {
         for (slot, &pair) in ev.args.iter_mut().zip(args.iter()) {
             *slot = Some(pair);
         }
+        attach_request_id(&mut ev);
         record(ev);
     }
     #[cfg(not(feature = "obs"))]
@@ -344,6 +345,7 @@ pub fn span_begin(name: &'static str, span_id: u64, parent_id: u64) {
         let mut ev = TraceEvent::new(TraceEventKind::Begin, name);
         ev.span_id = span_id;
         ev.parent_id = parent_id;
+        attach_request_id(&mut ev);
         record(ev);
     }
     #[cfg(not(feature = "obs"))]
@@ -544,6 +546,19 @@ fn with_ring(f: impl FnOnce(&mut Ring)) {
 #[cfg(feature = "obs")]
 fn record(ev: TraceEvent) {
     with_ring(|ring| ring.push(ev));
+}
+
+/// Stamps the thread's [`crate::ctx`] request id into the first free
+/// argument slot, so request-scoped spans and instants are attributable
+/// in the exported timeline. A no-op when no scope is open or every
+/// slot is taken (caller-provided arguments win).
+#[cfg(feature = "obs")]
+fn attach_request_id(ev: &mut TraceEvent) {
+    if let Some(id) = crate::ctx::current() {
+        if let Some(slot) = ev.args.iter_mut().find(|slot| slot.is_none()) {
+            *slot = Some(("request_id", id as f64));
+        }
+    }
 }
 
 /// Clears every lane's events and dropped counts (test support; lanes

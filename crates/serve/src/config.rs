@@ -44,6 +44,15 @@ pub struct ServeConfig {
     /// backpressure tests, benches, and operator drills (`Duration::ZERO`
     /// in production).
     pub batch_delay: Duration,
+    /// Slow-request threshold: a request whose end-to-end latency
+    /// exceeds this many milliseconds gets a `serve.request.slow` warn
+    /// log record and bumps the `serve.slow` counter (`None` = no
+    /// threshold; `QISIM_SLOW_MS` overrides).
+    pub slow_ms: Option<u64>,
+    /// Bind address for the HTTP admin plane (`/metrics`, `/healthz`,
+    /// `/readyz`, `/statusz`); `None` keeps the plane off
+    /// (`QISIM_SERVE_ADMIN` overrides).
+    pub admin_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +63,8 @@ impl Default for ServeConfig {
             stop_file: None,
             trace_dir: None,
             batch_delay: Duration::ZERO,
+            slow_ms: None,
+            admin_addr: None,
         }
     }
 }
@@ -62,8 +73,11 @@ impl ServeConfig {
     /// The default configuration with every `QISIM_SERVE_*` environment
     /// override applied: `QISIM_SERVE_QUEUE`, `QISIM_SERVE_BATCH`
     /// (positive integers), `QISIM_SERVE_STOP`, `QISIM_SERVE_TRACE_DIR`
-    /// (paths), and `QISIM_SERVE_DELAY_MS` (a non-negative integer;
-    /// fault injection, see [`ServeConfig::batch_delay`]).
+    /// (paths), `QISIM_SERVE_DELAY_MS` (a non-negative integer; fault
+    /// injection, see [`ServeConfig::batch_delay`]), `QISIM_SLOW_MS` (a
+    /// positive integer, see [`ServeConfig::slow_ms`]), and
+    /// `QISIM_SERVE_ADMIN` (a bind address, see
+    /// [`ServeConfig::admin_addr`]).
     pub fn from_env() -> Self {
         let mut config = ServeConfig::default();
         if let Some(n) = env_positive("QISIM_SERVE_QUEUE") {
@@ -80,6 +94,8 @@ impl ServeConfig {
         {
             config.batch_delay = Duration::from_millis(ms);
         }
+        config.slow_ms = env_positive("QISIM_SLOW_MS").map(|n| n as u64);
+        config.admin_addr = env_path("QISIM_SERVE_ADMIN").map(|p| p.to_string_lossy().into_owned());
         config
     }
 }
@@ -116,6 +132,8 @@ mod tests {
         assert_eq!(c.stop_file, None);
         assert_eq!(c.trace_dir, None);
         assert_eq!(c.batch_delay, Duration::ZERO);
+        assert_eq!(c.slow_ms, None);
+        assert_eq!(c.admin_addr, None);
     }
 
     #[test]

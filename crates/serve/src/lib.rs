@@ -28,7 +28,12 @@
 //! * **Observable.** `serve.*` counters, an in-flight gauge, and
 //!   request-latency histograms flow through the `qisim-obs` OpenMetrics
 //!   exporter (`QISIM_METRICS`); `trace = 1` requests capture a
-//!   per-request flight-recorder trace.
+//!   per-request flight-recorder trace. Every request gets a
+//!   server-assigned `request_id` echoed on its response and stamped on
+//!   its `QISIM_LOG` JSONL records and flight-recorder span arguments,
+//!   and the [`admin`] HTTP plane (`QISIM_SERVE_ADMIN`) serves live
+//!   `/metrics`, `/healthz`, `/readyz`, and `/statusz` endpoints
+//!   (`docs/OBSERVABILITY.md` is the field guide).
 //! * **Graceful shutdown.** stdin framing stops at EOF; the TCP service
 //!   stops on [`Server::shutdown`] or when the configured stop file
 //!   appears, draining every accepted request first.
@@ -43,7 +48,7 @@
 //! let mut output = Vec::new();
 //! let stats = serve_lines(input, &mut output, &ServeConfig::default())?;
 //! let response = String::from_utf8(output)?;
-//! assert!(response.starts_with("ok = 1; id = 1; qisim scalability v1; "));
+//! assert!(response.starts_with("ok = 1; request_id = 1; id = 1; qisim scalability v1; "));
 //! assert_eq!(stats.ok, 1);
 //!
 //! // The folded report unfolds back into a codec document.
@@ -53,10 +58,12 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod admin;
 pub mod config;
 pub mod proto;
 pub mod server;
 
+pub use admin::{AdminServer, ServiceStatus};
 pub use config::{ServeConfig, DEFAULT_BATCH_MAX, DEFAULT_QUEUE_DEPTH, MAX_LINE_BYTES};
 pub use proto::{Request, ResponseKind, TargetKind};
 pub use server::{serve_lines, Server, StatsSnapshot};

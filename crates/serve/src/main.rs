@@ -1,23 +1,26 @@
 //! The `qisim-serve` binary: the batch analysis service as an operator
-//! runs it. `docs/SERVING.md` is the manual.
+//! runs it. `docs/SERVING.md` is the manual; `docs/OBSERVABILITY.md`
+//! covers the admin plane, logging, and metrics.
 //!
 //! ```text
 //! qisim-serve [--stdio]                          # serve stdin→stdout (default)
 //! qisim-serve --tcp ADDR [--stop-file PATH] ...  # serve TCP until the stop file appears
+//! qisim-serve --check-om PATH                    # validate an OpenMetrics file, exit 0/1
 //! ```
 //!
 //! Flags layer over the `QISIM_SERVE_*` environment (flag wins):
 //! `--queue N`, `--batch N`, `--stop-file PATH`, `--trace-dir PATH`,
-//! `--delay-ms N`. Counters go to stderr on shutdown; responses are the
-//! only thing written to stdout.
+//! `--delay-ms N`, `--slow-ms N`, `--admin ADDR`. Counters go to stderr
+//! on shutdown; responses are the only thing written to stdout.
 
-use qisim_serve::{serve_lines, ServeConfig, Server, StatsSnapshot};
+use qisim_serve::{serve_lines, AdminServer, ServeConfig, Server, StatsSnapshot};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-const USAGE: &str = "usage: qisim-serve [--stdio | --tcp ADDR] \
-[--queue N] [--batch N] [--stop-file PATH] [--trace-dir PATH] [--delay-ms N]
+const USAGE: &str = "usage: qisim-serve [--stdio | --tcp ADDR | --check-om PATH] \
+[--queue N] [--batch N] [--stop-file PATH] [--trace-dir PATH] [--delay-ms N] [--slow-ms N] \
+[--admin ADDR]
     --stdio            serve newline-delimited requests stdin -> stdout (default)
     --tcp ADDR         listen on ADDR (e.g. 127.0.0.1:7878; port 0 = OS-assigned)
     --queue N          bounded queue depth before shedding  (env QISIM_SERVE_QUEUE)
@@ -25,11 +28,17 @@ const USAGE: &str = "usage: qisim-serve [--stdio | --tcp ADDR] \
     --stop-file PATH   stop gracefully when PATH appears    (env QISIM_SERVE_STOP)
     --trace-dir PATH   write per-request trace JSON here    (env QISIM_SERVE_TRACE_DIR)
     --delay-ms N       fault injection: delay each batch    (env QISIM_SERVE_DELAY_MS)
-see docs/SERVING.md for the protocol grammar and the full environment table";
+    --slow-ms N        warn-log requests slower than N ms   (env QISIM_SLOW_MS)
+    --admin ADDR       HTTP admin plane: /metrics /healthz /readyz /statusz
+                       (TCP mode only; env QISIM_SERVE_ADMIN)
+    --check-om PATH    validate PATH as OpenMetrics text and exit (0 = well-formed)
+see docs/SERVING.md for the protocol grammar and docs/OBSERVABILITY.md for the
+admin plane, QISIM_LOG structured logging, and the full environment table";
 
 enum Mode {
     Stdio,
     Tcp(String),
+    CheckOm(PathBuf),
 }
 
 fn main() -> ExitCode {
@@ -48,8 +57,10 @@ fn main() -> ExitCode {
     let outcome = match mode {
         Mode::Stdio => run_stdio(&config),
         Mode::Tcp(addr) => run_tcp(&addr, config),
+        Mode::CheckOm(path) => return check_om(&path),
     };
     qisim_obs::telemetry::flush_now();
+    qisim_obs::log::shutdown();
     match outcome {
         Ok(stats) => {
             eprintln!(
@@ -77,6 +88,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(Mode, ServeConfig),
         match flag.as_str() {
             "--stdio" => mode = Mode::Stdio,
             "--tcp" => mode = Mode::Tcp(value("--tcp")?),
+            "--check-om" => mode = Mode::CheckOm(PathBuf::from(value("--check-om")?)),
             "--queue" => config.queue_depth = positive(&flag, &value("--queue")?)?,
             "--batch" => config.batch_max = positive(&flag, &value("--batch")?)?,
             "--stop-file" => config.stop_file = Some(PathBuf::from(value("--stop-file")?)),
@@ -88,8 +100,15 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(Mode, ServeConfig),
                 })?;
                 config.batch_delay = Duration::from_millis(ms);
             }
+            "--slow-ms" => config.slow_ms = Some(positive(&flag, &value("--slow-ms")?)? as u64),
+            "--admin" => config.admin_addr = Some(value("--admin")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if config.admin_addr.is_some() && !matches!(mode, Mode::Tcp(_)) {
+        return Err("`--admin` (QISIM_SERVE_ADMIN) requires `--tcp`: the stdio framing \
+owns stdout and exits at EOF, so there is no service for the admin plane to describe"
+            .to_string());
     }
     Ok((mode, config))
 }
@@ -111,7 +130,8 @@ fn run_stdio(config: &ServeConfig) -> Result<StatsSnapshot, String> {
 }
 
 /// The TCP framing: serve until the stop file appears (or forever —
-/// operators without a stop file stop the process instead).
+/// operators without a stop file stop the process instead), with the
+/// HTTP admin plane alongside when configured.
 fn run_tcp(addr: &str, config: ServeConfig) -> Result<StatsSnapshot, String> {
     if config.stop_file.is_none() {
         eprintln!(
@@ -119,10 +139,46 @@ fn run_tcp(addr: &str, config: ServeConfig) -> Result<StatsSnapshot, String> {
 serving until the process is stopped"
         );
     }
+    let admin_addr = config.admin_addr.clone();
     let server = Server::bind(addr, config).map_err(|e| format!("bind {addr} failed: {e}"))?;
-    // The one stdout line in TCP mode: machine-readable bound address,
-    // so wrappers (and tools/ci.sh) can pick up an OS-assigned port.
+    let admin = match admin_addr {
+        Some(admin_addr) => Some(
+            AdminServer::bind(admin_addr.as_str(), server.status())
+                .map_err(|e| format!("admin bind {admin_addr} failed: {e}"))?,
+        ),
+        None => None,
+    };
+    // The stdout lines in TCP mode: machine-readable bound addresses, so
+    // wrappers (and tools/ci.sh) can pick up OS-assigned ports.
     println!("qisim-serve listening = {}", server.addr());
+    if let Some(admin) = &admin {
+        println!("qisim-serve admin = {}", admin.addr());
+    }
     server.wait_until_stopping();
-    Ok(server.shutdown())
+    // Stop order: the admin plane outlives the drain, so probes see
+    // `/readyz` flip to 503 while accepted requests finish.
+    let stats = server.shutdown();
+    if let Some(admin) = admin {
+        admin.shutdown();
+    }
+    Ok(stats)
+}
+
+/// `--check-om`: validates a file as OpenMetrics exposition text — the
+/// self-contained validator CI's admin-plane smoke test leans on.
+fn check_om(path: &PathBuf) -> ExitCode {
+    match std::fs::read_to_string(path) {
+        Ok(text) if qisim_obs::openmetrics_is_well_formed(&text) => {
+            println!("qisim-serve: {} is well-formed OpenMetrics", path.display());
+            ExitCode::SUCCESS
+        }
+        Ok(_) => {
+            eprintln!("qisim-serve: {} is NOT well-formed OpenMetrics", path.display());
+            ExitCode::FAILURE
+        }
+        Err(error) => {
+            eprintln!("qisim-serve: cannot read {}: {error}", path.display());
+            ExitCode::FAILURE
+        }
+    }
 }

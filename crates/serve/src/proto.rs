@@ -35,15 +35,25 @@
 //!
 //! Exactly one response per request, classified by its first key:
 //!
-//! * `ok = 1; [id = …;] [trace_events = …;] [explain = …;]` followed by
-//!   the **folded** [`qisim::codec::encode_scalability`] document (its
-//!   lines joined with `; `). [`response_report`] unfolds it back into a
-//!   document `codec::parse_scalability` accepts bit-identically.
-//! * `error = <kind>; [id = …;] line = <n>; reason = <text>` — a typed
-//!   per-request failure; `kind` is one of `decode`, `config`, `power`,
-//!   `target`. The process keeps serving.
-//! * `busy = 1; [id = …;] reason = <text>` — the bounded queue was full
-//!   and the request was shed (backpressure, not failure: retry later).
+//! * `ok = 1; [request_id = …;] [id = …;] [trace_events = …;]
+//!   [explain = …;]` followed by the **folded**
+//!   [`qisim::codec::encode_scalability`] document (its lines joined
+//!   with `; `). [`response_report`] unfolds it back into a document
+//!   `codec::parse_scalability` accepts bit-identically.
+//! * `error = <kind>; [request_id = …;] [id = …;] line = <n>;
+//!   reason = <text>` — a typed per-request failure; `kind` is one of
+//!   `decode`, `config`, `power`, `target`. The process keeps serving.
+//! * `busy = 1; [request_id = …;] [id = …;] reason = <text>` — the
+//!   bounded queue was full and the request was shed (backpressure, not
+//!   failure: retry later).
+//!
+//! `request_id` is the **server-assigned** id of the request (a
+//! process-unique positive integer, distinct from the client's opaque
+//! `id` token): the same number stamps the request's JSONL log records
+//! and its flight-recorder span arguments, so one grep correlates a
+//! response with everything the service observed while answering it.
+//! [`strip_request_id`] removes the pair for byte-identity comparisons
+//! against direct engine output.
 
 use qisim::codec;
 use qisim::error::{DecodeError, QisimError};
@@ -247,10 +257,17 @@ pub fn unfold(line: &str) -> String {
     doc
 }
 
-/// Builds a success response line: `ok = 1`, the echoed id, any extra
-/// pairs (trace/explain results), then the folded report document.
-pub fn ok_response(id: Option<&str>, extras: &[(&str, String)], report: &Scalability) -> String {
+/// Builds a success response line: `ok = 1`, the server-assigned
+/// request id, the echoed client id, any extra pairs (trace/explain
+/// results), then the folded report document.
+pub fn ok_response(
+    request_id: Option<u64>,
+    id: Option<&str>,
+    extras: &[(&str, String)],
+    report: &Scalability,
+) -> String {
     let mut line = String::from("ok = 1");
+    push_request_id(&mut line, request_id);
     if let Some(id) = id {
         let _ = write!(line, "{PAIR_SEP}id = {}", sanitize(id));
     }
@@ -263,7 +280,7 @@ pub fn ok_response(id: Option<&str>, extras: &[(&str, String)], report: &Scalabi
 }
 
 /// Builds a typed error response line from a [`QisimError`].
-pub fn error_response(id: Option<&str>, error: &QisimError) -> String {
+pub fn error_response(request_id: Option<u64>, id: Option<&str>, error: &QisimError) -> String {
     let (kind, line_no) = match error {
         QisimError::Decode(e) => ("decode", e.line),
         QisimError::Config(_) => ("config", 0),
@@ -272,6 +289,7 @@ pub fn error_response(id: Option<&str>, error: &QisimError) -> String {
         _ => ("error", 0),
     };
     let mut line = format!("error = {kind}");
+    push_request_id(&mut line, request_id);
     if let Some(id) = id {
         let _ = write!(line, "{PAIR_SEP}id = {}", sanitize(id));
     }
@@ -282,14 +300,56 @@ pub fn error_response(id: Option<&str>, error: &QisimError) -> String {
 }
 
 /// Builds a backpressure shed response line.
-pub fn busy_response(id: Option<&str>, reason: &str) -> String {
+pub fn busy_response(request_id: Option<u64>, id: Option<&str>, reason: &str) -> String {
     let mut line = String::from("busy = 1");
+    push_request_id(&mut line, request_id);
     if let Some(id) = id {
         let _ = write!(line, "{PAIR_SEP}id = {}", sanitize(id));
     }
     let _ = write!(line, "{PAIR_SEP}reason = {}", sanitize(reason));
     line.push('\n');
     line
+}
+
+/// Appends the server-assigned request-id pair (directly after the
+/// status pair, before the echoed client id).
+fn push_request_id(line: &mut String, request_id: Option<u64>) {
+    if let Some(rid) = request_id {
+        let _ = write!(line, "{PAIR_SEP}request_id = {rid}");
+    }
+}
+
+/// The server-assigned request id a response carries, if any.
+pub fn response_request_id(line: &str) -> Option<u64> {
+    pair_value(line, "request_id")?.parse().ok()
+}
+
+/// Removes the server-assigned `request_id` pair from a response line,
+/// so tests and benches can compare responses byte-for-byte against
+/// direct engine output regardless of request numbering.
+pub fn strip_request_id(line: &str) -> String {
+    let (body, newline) = match line.strip_suffix('\n') {
+        Some(body) => (body, "\n"),
+        None => (line, ""),
+    };
+    let mut removed = false;
+    let kept: Vec<&str> = body
+        .split(PAIR_SEP)
+        .filter(|segment| {
+            if !removed {
+                if let Some((key, _)) = segment.split_once('=') {
+                    if key.trim() == "request_id" {
+                        removed = true;
+                        return false;
+                    }
+                }
+            }
+            true
+        })
+        .collect();
+    let mut out = kept.join(PAIR_SEP);
+    out.push_str(newline);
+    out
 }
 
 /// How a response line classifies (by its first key).
@@ -397,11 +457,12 @@ mod tests {
 
     #[test]
     fn responses_classify_and_carry_pairs() {
-        let busy = busy_response(Some("9"), "queue full (depth 4)");
+        let busy = busy_response(None, Some("9"), "queue full (depth 4)");
         assert_eq!(response_kind(&busy), Some(ResponseKind::Busy));
         assert_eq!(pair_value(&busy, "id"), Some("9"));
         assert!(busy.ends_with('\n'));
         let err = error_response(
+            None,
             None,
             &QisimError::Decode(qisim::error::DecodeError::new(2, "unknown key `x; y`")),
         );
@@ -411,5 +472,31 @@ mod tests {
         assert!(!err.trim_end().contains('\n'));
         assert!(pair_value(&err, "reason").unwrap().contains("x, y"));
         assert_eq!(response_kind("garbage"), None);
+    }
+
+    #[test]
+    fn request_ids_are_echoed_and_strippable() {
+        let busy = busy_response(Some(41), Some("9"), "queue full");
+        assert!(busy.starts_with("busy = 1; request_id = 41; id = 9"), "{busy}");
+        assert_eq!(response_request_id(&busy), Some(41));
+        assert_eq!(strip_request_id(&busy), busy_response(None, Some("9"), "queue full"));
+        let err = error_response(
+            Some(7),
+            None,
+            &QisimError::Decode(qisim::error::DecodeError::new(3, "bad pair")),
+        );
+        assert_eq!(response_request_id(&err), Some(7));
+        assert_eq!(
+            strip_request_id(&err),
+            error_response(
+                None,
+                None,
+                &QisimError::Decode(qisim::error::DecodeError::new(3, "bad pair")),
+            )
+        );
+        // Absent pair: stripping is the identity, extraction is None.
+        let plain = busy_response(None, None, "shed");
+        assert_eq!(response_request_id(&plain), None);
+        assert_eq!(strip_request_id(&plain), plain);
     }
 }

@@ -18,6 +18,18 @@
 //! knobs, and engine failures all become typed `error` responses, and a
 //! full queue becomes a typed `busy` response (shed, counted under
 //! `serve.shed`).
+//!
+//! # Request ids
+//!
+//! Every received line gets a process-unique `request_id` (the accept
+//! sequence number). The id is echoed on the response line, stamped on
+//! the request's `serve.request.start` / `serve.request.finish` JSONL
+//! log records (`QISIM_LOG`), and — for requests that run individually
+//! through the staged engine — attached to their flight-recorder span
+//! arguments via [`qisim_obs::RequestScope`]. Requests answered through
+//! the grouped `try_analyze_many` fast path share one fan-out, so their
+//! engine-stage spans carry no per-request id (the response and log
+//! records still do).
 
 use crate::config::{ServeConfig, MAX_LINE_BYTES};
 use crate::proto::{self, Request};
@@ -145,6 +157,9 @@ fn answer_batch(config: &ServeConfig, batch: &[Prepared]) -> Vec<String> {
         .iter()
         .zip(results)
         .map(|(prepared, grouped)| {
+            // Individually-run requests execute inside the scope, so
+            // their engine-stage spans and log records carry the id.
+            let _scope = qisim_obs::RequestScope::enter(prepared.seq);
             let mut extras: Vec<(&str, String)> = Vec::new();
             let result = match grouped {
                 Some(result) => result,
@@ -177,9 +192,61 @@ fn render_response(
             if prepared.request.explain {
                 extras.push(("explain", verdict.explain().trim_end().replace('\n', " | ")));
             }
-            proto::ok_response(id, &extras, &verdict)
+            proto::ok_response(Some(prepared.seq), id, &extras, &verdict)
         }
-        Err(error) => proto::error_response(id, &error),
+        Err(error) => proto::error_response(Some(prepared.seq), id, &error),
+    }
+}
+
+/// Emits the `serve.request.start` log record for one received line.
+fn log_request_start(seq: u64, queue_depth: usize) {
+    if qisim_obs::log::armed(qisim_obs::log::Level::Info) {
+        let _scope = qisim_obs::RequestScope::enter(seq);
+        qisim_obs::log::record(qisim_obs::log::Level::Info, "serve.request.start")
+            .u64("queue_depth", queue_depth as u64)
+            .emit();
+    }
+}
+
+/// Emits the `serve.request.finish` log record (outcome, batch size,
+/// queue wait, end-to-end latency) and, past the configured
+/// [`ServeConfig::slow_ms`] threshold, a `serve.request.slow` warning
+/// plus the `serve.slow` counter.
+fn log_request_finish(
+    config: &ServeConfig,
+    seq: u64,
+    response: &str,
+    batch_size: usize,
+    queue_wait: Duration,
+    latency: Duration,
+) {
+    let latency_ms = latency.as_secs_f64() * 1e3;
+    let slow = config.slow_ms.is_some_and(|ms| latency_ms > ms as f64);
+    if slow {
+        counter!("serve.slow");
+    }
+    if !qisim_obs::log::armed(qisim_obs::log::Level::Warn) {
+        return;
+    }
+    let _scope = qisim_obs::RequestScope::enter(seq);
+    if qisim_obs::log::armed(qisim_obs::log::Level::Info) {
+        let outcome = match proto::response_kind(response) {
+            Some(proto::ResponseKind::Ok) => "ok",
+            Some(proto::ResponseKind::Busy) => "busy",
+            _ => "error",
+        };
+        qisim_obs::log::record(qisim_obs::log::Level::Info, "serve.request.finish")
+            .str("outcome", outcome)
+            .u64("batch_size", batch_size as u64)
+            .f64("queue_wait_ms", queue_wait.as_secs_f64() * 1e3)
+            .f64("latency_ms", latency_ms)
+            .emit();
+    }
+    if slow {
+        qisim_obs::log::record(qisim_obs::log::Level::Warn, "serve.request.slow")
+            .f64("latency_ms", latency_ms)
+            .u64("threshold_ms", config.slow_ms.unwrap_or(0))
+            .emit();
     }
 }
 
@@ -254,16 +321,19 @@ pub fn serve_lines(
         seq += 1;
         stats.requests.fetch_add(1, Ordering::Relaxed);
         counter!("serve.requests");
+        log_request_start(seq, 0);
         let t0 = Instant::now();
         let response = match prepare(seq, &line) {
             Ok(prepared) => {
                 let mut responses = answer_batch(config, &[prepared]);
                 responses.pop().unwrap_or_default()
             }
-            Err(error) => proto::error_response(proto::request_id(&line), &error),
+            Err(error) => proto::error_response(Some(seq), proto::request_id(&line), &error),
         };
-        observe!("serve.request_ns", t0.elapsed().as_nanos() as f64);
+        let latency = t0.elapsed();
+        observe!("serve.request_ns", latency.as_nanos() as f64);
         track_response(&stats, &response);
+        log_request_finish(config, seq, &response, 1, Duration::ZERO, latency);
         output.write_all(response.as_bytes())?;
         output.flush()?;
     }
@@ -314,6 +384,24 @@ impl Shared {
 
     fn stopping(&self) -> bool {
         self.stop.load(Ordering::Relaxed)
+    }
+}
+
+impl crate::admin::ServiceStatus for Shared {
+    fn queue_depth(&self) -> usize {
+        self.lock_queue().len()
+    }
+
+    fn queue_cap(&self) -> usize {
+        self.config.queue_depth
+    }
+
+    fn stopping(&self) -> bool {
+        Shared::stopping(self)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
     }
 }
 
@@ -392,6 +480,12 @@ impl Server {
     /// Point-in-time service counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// A handle the [`crate::admin::AdminServer`] observes the serving
+    /// loop through (queue depth, shedding state, counters).
+    pub fn status(&self) -> Arc<dyn crate::admin::ServiceStatus> {
+        Arc::clone(&self.shared) as Arc<dyn crate::admin::ServiceStatus>
     }
 
     /// Blocks until the service begins stopping (the stop-file path of
@@ -531,12 +625,15 @@ fn connection_loop(stream: TcpStream, shared: Arc<Shared>) {
 fn oversized_line(shared: &Shared, line: &str, out: &Arc<Mutex<TcpStream>>) {
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     counter!("serve.requests");
+    let seq = shared.seq.fetch_add(1, Ordering::Relaxed) + 1;
     let error = QisimError::Decode(qisim::error::DecodeError::new(
         1,
         format!("request line exceeds {MAX_LINE_BYTES} bytes"),
     ));
-    let response = proto::error_response(proto::request_id(line), &error);
+    let response = proto::error_response(Some(seq), proto::request_id(line), &error);
     track_response(&shared.stats, &response);
+    log_request_start(seq, 0);
+    log_request_finish(&shared.config, seq, &response, 1, Duration::ZERO, Duration::ZERO);
     write_response(out, &response);
 }
 
@@ -549,9 +646,14 @@ fn enqueue(shared: &Shared, line: &str, out: &Arc<Mutex<TcpStream>>) {
     if queue.len() >= shared.config.queue_depth {
         let depth = queue.len();
         drop(queue);
-        let response =
-            proto::busy_response(proto::request_id(line), &format!("queue full (depth {depth})"));
+        let response = proto::busy_response(
+            Some(seq),
+            proto::request_id(line),
+            &format!("queue full (depth {depth})"),
+        );
         track_response(&shared.stats, &response);
+        log_request_start(seq, depth);
+        log_request_finish(&shared.config, seq, &response, 0, Duration::ZERO, Duration::ZERO);
         write_response(out, &response);
         return;
     }
@@ -560,6 +662,7 @@ fn enqueue(shared: &Shared, line: &str, out: &Arc<Mutex<TcpStream>>) {
     drop(queue);
     counter!("serve.accepted");
     gauge!("serve.inflight", depth as f64);
+    log_request_start(seq, depth);
     shared.work.notify_all();
 }
 
@@ -585,6 +688,8 @@ fn worker_loop(shared: Arc<Shared>) {
                 };
             }
         };
+        // The wait-in-queue interval ends here, when the batch drains.
+        let queue_waits: Vec<Duration> = batch.iter().map(|job| job.t0.elapsed()).collect();
         gauge!("serve.inflight", (shared.lock_queue().len() + batch.len()) as f64);
         if !shared.config.batch_delay.is_zero() {
             std::thread::sleep(shared.config.batch_delay);
@@ -603,7 +708,11 @@ fn worker_loop(shared: Arc<Shared>) {
                     prepared_at.push(i);
                 }
                 Err(error) => {
-                    slots[i] = Some(proto::error_response(proto::request_id(&job.line), &error));
+                    slots[i] = Some(proto::error_response(
+                        Some(job.seq),
+                        proto::request_id(&job.line),
+                        &error,
+                    ));
                 }
             }
         }
@@ -611,20 +720,29 @@ fn worker_loop(shared: Arc<Shared>) {
         for (i, response) in prepared_at.into_iter().zip(answers) {
             slots[i] = Some(response);
         }
-        for (job, slot) in batch.iter().zip(slots) {
+        let batch_size = batch.len();
+        for ((job, slot), queue_wait) in batch.iter().zip(slots).zip(queue_waits) {
             if let Some(response) = slot {
-                finish_job(&shared, job, response);
+                finish_job(&shared, job, response, queue_wait, batch_size);
             }
         }
         gauge!("serve.inflight", shared.lock_queue().len() as f64);
     }
 }
 
-/// Records latency and counters for one answered job and writes its
-/// response line.
-fn finish_job(shared: &Shared, job: &Job, response: String) {
-    observe!("serve.request_ns", job.t0.elapsed().as_nanos() as f64);
+/// Records latency, counters, and the finish log record for one
+/// answered job, then writes its response line.
+fn finish_job(
+    shared: &Shared,
+    job: &Job,
+    response: String,
+    queue_wait: Duration,
+    batch_size: usize,
+) {
+    let latency = job.t0.elapsed();
+    observe!("serve.request_ns", latency.as_nanos() as f64);
     track_response(&shared.stats, &response);
+    log_request_finish(&shared.config, job.seq, &response, batch_size, queue_wait, latency);
     write_response(&job.out, &response);
 }
 

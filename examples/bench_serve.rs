@@ -45,7 +45,7 @@ fn main() {
             let request = proto::parse_request_line(line).expect("well-formed request");
             let verdict = engine::try_analyze_spec(&request.spec, &request.target.target())
                 .expect("analyzable request");
-            proto::ok_response(None, &[], &verdict)
+            proto::ok_response(None, None, &[], &verdict)
         })
         .collect();
 
@@ -80,7 +80,9 @@ fn main() {
                 let mut response = String::new();
                 reader.read_line(&mut response).expect("receive");
                 latencies_ns.push(t0.elapsed().as_nanos() as u64);
-                identical &= response == expected[at];
+                // The server stamps a per-request id; strip it before
+                // the byte-identity comparison against direct analysis.
+                identical &= proto::strip_request_id(&response) == expected[at];
             }
             (latencies_ns, identical)
         }));

@@ -1,9 +1,11 @@
 //! Observability demo: analyze the 4 K CMOS baseline and the optimized
 //! near-term RSFQ design with full instrumentation, print each design's
-//! `explain()` report and the global metrics table, and write the
-//! machine-readable `BENCH_obs.json` artifact (per-stage watt
+//! `explain()` report and the global metrics table, and write a
+//! machine-readable `observe_registry.json` dump (per-stage watt
 //! attribution plus p50/p99 span timings for `power.max_qubits` and
-//! `scalability.analyze`).
+//! `scalability.analyze`). The committed `BENCH_obs.json` artifact —
+//! overhead gate numbers plus the same registry dump — is written by
+//! `examples/bench_obs.rs` instead.
 //!
 //! The run also demonstrates the flight recorder: with
 //! `QISIM_TRACE=trace.json` set (or via the programmatic `trace::arm()`
@@ -53,8 +55,8 @@ fn main() {
     println!("{}", obs::report_text());
 
     let json = obs::report_json();
-    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
-    println!("wrote BENCH_obs.json ({} bytes)", json.len());
+    std::fs::write("observe_registry.json", &json).expect("write observe_registry.json");
+    println!("wrote observe_registry.json ({} bytes)", json.len());
 
     // Drain the flight recorder and exercise both exporters.
     let session = trace::TraceSession::drain();

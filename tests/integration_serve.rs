@@ -24,12 +24,20 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
 }
 
 /// The response line the service must produce for a request line —
-/// computed through the direct, single-spec engine path.
+/// computed through the direct, single-spec engine path. Carries no
+/// server-assigned `request_id`; compare against
+/// [`proto::strip_request_id`]-ed service output.
 fn expected_response(line: &str) -> String {
     let request = proto::parse_request_line(line).expect("well-formed request");
     let verdict = engine::try_analyze_spec(&request.spec, &request.target.target())
         .expect("analyzable request");
-    proto::ok_response(request.id.as_deref(), &[], &verdict)
+    proto::ok_response(None, request.id.as_deref(), &[], &verdict)
+}
+
+/// Strips the server-assigned `request_id` pair from every response line
+/// of a multi-line service output.
+fn strip_ids(output: &str) -> String {
+    output.lines().map(|line| proto::strip_request_id(line) + "\n").collect()
 }
 
 #[test]
@@ -49,10 +57,19 @@ fn stdio_round_trips_every_paper_preset_bit_identically() {
     let stats = serve_lines(Cursor::new(input), &mut output, &ServeConfig::default())
         .expect("stdio transport");
     let output = String::from_utf8(output).expect("utf-8 responses");
-    assert_eq!(output, expected, "served responses must be bit-identical to direct analysis");
+    assert_eq!(
+        strip_ids(&output),
+        expected,
+        "served responses must be bit-identical to direct analysis"
+    );
     assert_eq!(stats.requests, 2 * Preset::ALL.len() as u64);
     assert_eq!(stats.ok, stats.requests);
     assert_eq!(stats.errors, 0);
+    // Every response carries the server-assigned request id, in accept
+    // order (the stdio framing numbers lines 1..=N).
+    let ids: Vec<Option<u64>> = output.lines().map(proto::response_request_id).collect();
+    let want: Vec<Option<u64>> = (1..=stats.requests).map(Some).collect();
+    assert_eq!(ids, want, "request ids must be present and sequential");
     // And the folded report unfolds back into a parseable document
     // matching the direct verdict.
     let first = output.lines().next().expect("at least one response");
@@ -83,7 +100,7 @@ fn estimator_requests_round_trip_each_engine_bit_identically() {
     let stats = serve_lines(Cursor::new(input), &mut output, &ServeConfig::default())
         .expect("stdio transport");
     let output = String::from_utf8(output).expect("utf-8 responses");
-    assert_eq!(output, expected, "estimator responses must match direct analysis");
+    assert_eq!(strip_ids(&output), expected, "estimator responses must match direct analysis");
     assert_eq!(stats.ok, 3);
     assert_eq!(stats.errors, 0);
     // The three estimators genuinely diverge on the logical-error line:
@@ -190,7 +207,15 @@ fn concurrent_tcp_clients_get_bit_identical_ordered_responses() {
             for line in &lines {
                 let mut response = String::new();
                 reader.read_line(&mut response).expect("receive");
-                assert_eq!(response, expected_response(line), "for request {line:?}");
+                assert!(
+                    proto::response_request_id(&response).is_some(),
+                    "TCP responses carry a request id: {response}"
+                );
+                assert_eq!(
+                    proto::strip_request_id(&response),
+                    expected_response(line),
+                    "for request {line:?}"
+                );
             }
         }));
     }
@@ -249,7 +274,10 @@ fn overload_sheds_with_busy_responses_and_the_service_stays_up() {
     writeln!(writer, "id = after; preset = rsfq_baseline").expect("send");
     let mut response = String::new();
     reader.read_line(&mut response).expect("read after shed burst");
-    assert_eq!(response, expected_response("id = after; preset = rsfq_baseline"));
+    assert_eq!(
+        proto::strip_request_id(&response),
+        expected_response("id = after; preset = rsfq_baseline")
+    );
     let stats = server.shutdown();
     assert_eq!(stats.shed, busy);
     assert_eq!(stats.ok, ok + 1);
@@ -316,7 +344,7 @@ fn budget_override_requests_pin_to_the_direct_engine_path() {
     let stats = serve_lines(Cursor::new(input), &mut output, &ServeConfig::default())
         .expect("stdio transport");
     let output = String::from_utf8(output).expect("utf-8 responses");
-    assert_eq!(output, expected, "override responses must match direct analysis");
+    assert_eq!(strip_ids(&output), expected, "override responses must match direct analysis");
     assert_eq!(stats.ok, cases.len() as u64);
     assert_eq!(stats.errors, 0);
 }
@@ -387,7 +415,11 @@ fn multi_fridge_requests_mixed_into_batches_stay_bit_identical() {
     let stats = serve_lines(Cursor::new(input), &mut output, &ServeConfig::default())
         .expect("stdio transport");
     let output = String::from_utf8(output).expect("utf-8 responses");
-    assert_eq!(output, expected, "mixed batches must stay bit-identical in request order");
+    assert_eq!(
+        strip_ids(&output),
+        expected,
+        "mixed batches must stay bit-identical in request order"
+    );
     assert_eq!(stats.ok, lines.len() as u64);
     assert_eq!(stats.errors, 0);
 }

@@ -107,6 +107,79 @@ fn programmatic_exporter_round_trip_writes_interval_deltas() {
     obs::reset();
 }
 
+#[test]
+fn delta_across_a_registry_reset_reports_the_full_current_values() {
+    let _l = lock();
+    obs::set_enabled(true);
+    obs::reset();
+    if !obs::enabled() {
+        return;
+    }
+    // A big first interval, then a reset, then a smaller second one: the
+    // current counter is *lower* than the previous snapshot's, which an
+    // exporter must read as "everything restarted — the whole current
+    // value is new", never as a negative (or wrapped) increment.
+    for counts in [[64u64, 128], [256, 512], [1024, 2048]] {
+        let _ = sweep(&QciDesign::cmos_baseline(), &counts);
+    }
+    let before_reset = obs::snapshot();
+    let tall = before_reset.counter("scalability.sweep.points").expect("first interval counted");
+    assert_eq!(tall, 6);
+    obs::reset();
+    for counts in [[96u64, 192], [384, 768]] {
+        let _ = sweep(&QciDesign::cmos_baseline(), &counts);
+    }
+    let after_reset = obs::snapshot();
+
+    let delta = after_reset.delta_since(&before_reset);
+    assert_eq!(after_reset.counter("scalability.sweep.points"), Some(4));
+    assert_eq!(
+        delta.counter("scalability.sweep.points"),
+        Some(4),
+        "a shrunken counter means a reset: the delta is the full current value"
+    );
+    // Three sweep spans before the reset, two after: the shrunken count
+    // routes the span diff through the same everything-is-new rule.
+    let spans = delta.span("scalability.sweep").expect("sweep span survives the diff");
+    assert_eq!(spans.count, 2, "span stats follow the same reset rule");
+    // And the delta still exports cleanly.
+    assert!(obs::openmetrics_is_well_formed(&obs::openmetrics(&delta)));
+    obs::reset();
+}
+
+#[test]
+fn exporter_shutdown_flushes_the_final_partial_interval() {
+    let _l = lock();
+    obs::set_enabled(true);
+    obs::reset();
+    let path = std::env::temp_dir().join(format!("qisim_it_final_{}.om", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    // Interval far beyond the test's lifetime: nothing lands on disk on
+    // a timer tick, so whatever the file holds after shutdown() came
+    // from the final flush of the still-open partial interval.
+    let started = telemetry::start(&path, std::time::Duration::from_secs(3600));
+    if !obs::enabled() {
+        assert!(!started);
+        return;
+    }
+    assert!(started, "exporter failed to start");
+    let _ = sweep(&QciDesign::cmos_baseline(), &[64, 128]);
+    let returned = telemetry::shutdown().expect("shutdown returns the path");
+    assert_eq!(returned, path);
+
+    let text = std::fs::read_to_string(&path).expect("shutdown must leave a final exposition");
+    assert!(obs::openmetrics_is_well_formed(&text), "{text}");
+    // The sweep ran entirely inside the never-flushed interval, so its
+    // series can only be present if shutdown exported the partial delta.
+    assert!(
+        text.contains("scalability_sweep_points_total 2"),
+        "final flush must carry the partial interval's work:\n{text}"
+    );
+    assert!(!path.with_extension("om.tmp").exists(), "atomic-rename left a temp file");
+    let _ = std::fs::remove_file(&path);
+    obs::reset();
+}
+
 /// The ISSUE acceptance check: at `QISIM_MEMO_CAP=8` (installed here via
 /// the runtime override) a 200-point sweep must evict, stay within
 /// bounds, and produce bit-identical results to the unbounded cache.

@@ -18,10 +18,14 @@
 #      (--features obs) re-runs the determinism suite to pin the
 #      parallel build's results to the serial path
 #   7. observability smoke run: the observe example must emit a valid
-#      BENCH_obs.json with span timings and per-stage watt attribution,
-#      and (run under QISIM_TRACE at QISIM_THREADS=2) a Chrome
-#      trace_event timeline that self-validates via trace_is_well_formed,
-#      carries balanced begin/end events, worker lanes, and folded stacks
+#      observe_registry.json with span timings and per-stage watt
+#      attribution, and (run under QISIM_TRACE at QISIM_THREADS=2) a
+#      Chrome trace_event timeline that self-validates via
+#      trace_is_well_formed, carries balanced begin/end events, worker
+#      lanes, and folded stacks; bench_obs --smoke then gates the
+#      enabled-but-disarmed instrumentation overhead at <= 2% over the
+#      kill switch and asserts results stay bit-identical with
+#      QISIM_LOG armed
 #   8. telemetry exporter smoke run: the observe example's --watch mode
 #      under QISIM_METRICS + QISIM_THREADS=2 must self-validate its
 #      OpenMetrics exposition (openmetrics_is_well_formed) and leave a
@@ -54,26 +58,31 @@
 #      the sharded power stage, gates the single-fridge wrapper
 #      overhead at <= 2%, and (run with QISIM_METRICS armed) must
 #      leave the topology_* fleet gauges in the exposition file
+#  14. admin-plane smoke run: the release binary with --admin and
+#      QISIM_LOG armed answers /healthz and /readyz over /dev/tcp, its
+#      /metrics scrape mid-burst validates via --check-om, the wire
+#      response echoes a request_id that also stamps the JSONL
+#      start/finish records, and the stop file shuts everything down
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== [1/13] release build + tests =="
+echo "== [1/14] release build + tests =="
 cargo build --release
 cargo test -q --release
 
-echo "== [2/13] tests at QISIM_THREADS=2 =="
+echo "== [2/14] tests at QISIM_THREADS=2 =="
 QISIM_THREADS=2 cargo test -q --release
 
-echo "== [3/13] rustfmt =="
+echo "== [3/14] rustfmt =="
 cargo fmt --check
 
-echo "== [4/13] clippy (deny warnings) =="
+echo "== [4/14] clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
-echo "== [5/13] rustdoc (deny warnings) =="
+echo "== [5/14] rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
-echo "== [6/13] kill switches (--no-default-features) =="
+echo "== [6/14] kill switches (--no-default-features) =="
 cargo build --release --no-default-features
 cargo test -q --release --no-default-features
 # Serial pool + live obs: the exact build the determinism docs promise
@@ -81,17 +90,17 @@ cargo test -q --release --no-default-features
 cargo test -q --release -p qisim --no-default-features --features obs \
     --test integration_par
 
-echo "== [7/13] observe + trace smoke run =="
+echo "== [7/14] observe + trace smoke run =="
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 (cd "$out" && QISIM_TRACE="$out/trace.json" QISIM_THREADS=2 cargo run --release --quiet \
     --manifest-path "$OLDPWD/Cargo.toml" --example observe > observe.txt)
 grep -q "power-limited" "$out/observe.txt"
-grep -q "power.max_qubits" "$out/BENCH_obs.json"
-grep -q "scalability.analyze" "$out/BENCH_obs.json"
-grep -q "p99_ns" "$out/BENCH_obs.json"
-grep -q "power.stage.4K.device_dynamic_w" "$out/BENCH_obs.json"
-python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/BENCH_obs.json" \
+grep -q "power.max_qubits" "$out/observe_registry.json"
+grep -q "scalability.analyze" "$out/observe_registry.json"
+grep -q "p99_ns" "$out/observe_registry.json"
+grep -q "power.stage.4K.device_dynamic_w" "$out/observe_registry.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/observe_registry.json" \
     2>/dev/null || echo "note: python3 unavailable, skipped strict JSON parse"
 # The example asserts trace_is_well_formed on its own export before
 # writing; the artifacts and balanced/labeled events must be on disk.
@@ -106,8 +115,15 @@ test "$begins" -gt 0
 test "$begins" -eq "$ends" || { echo "unbalanced trace: $begins B vs $ends E" >&2; exit 1; }
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/trace.json" \
     2>/dev/null || echo "note: python3 unavailable, skipped strict JSON parse"
+# The disarmed-overhead gate (<= 2% over the kill switch) plus the
+# QISIM_LOG bit-identity acceptance check; the committed BENCH_obs.json
+# comes from the full (non-smoke) run of the same example.
+(cd "$out" && cargo run --release --quiet \
+    --manifest-path "$OLDPWD/Cargo.toml" --example bench_obs -- --smoke > bench_obs.txt)
+grep -q "bench_obs smoke gate passed." "$out/bench_obs.txt"
+grep -q "bit_identical_with_log_armed: true" "$out/bench_obs.txt"
 
-echo "== [8/13] telemetry exporter smoke run =="
+echo "== [8/14] telemetry exporter smoke run =="
 (cd "$out" && QISIM_METRICS="$out/metrics.om:50" QISIM_THREADS=2 cargo run --release --quiet \
     --manifest-path "$OLDPWD/Cargo.toml" --example observe -- --watch > watch.txt)
 # The example validates its own exposition via openmetrics_is_well_formed
@@ -125,13 +141,13 @@ grep -q "# EOF" "$out/metrics.om"
 QISIM_METRICS="$out/metrics_det.om:50" cargo test -q --release -p qisim \
     --test integration_par
 
-echo "== [9/13] Monte-Carlo bench smoke run =="
+echo "== [9/14] Monte-Carlo bench smoke run =="
 cargo run --release --quiet --example bench_mc -- --smoke
 
-echo "== [10/13] panic-regression gate =="
+echo "== [10/14] panic-regression gate =="
 tools/check_panics.sh
 
-echo "== [11/13] paper-suite smoke run =="
+echo "== [11/14] paper-suite smoke run =="
 # Cheap drivers only: Fig. 12/13/17 + Table 2 finish in seconds; the
 # minute-scale Table 1 / Fig. 8 / Fig. 11 runs stay on the full suite
 # (filters are substring matches against the experiment ids).
@@ -145,7 +161,7 @@ done
 # staged engine (zero relative error renders as "-").
 echo "$suite_out" | grep -q "max |rel err|"
 
-echo "== [12/13] serve smoke run =="
+echo "== [12/14] serve smoke run =="
 # Long exporter interval: the only write is bench_serve's explicit
 # flush, whose delta then covers the whole run — serve counters must be
 # nonzero in it.
@@ -173,14 +189,14 @@ printf 'id = ci; preset = cmos_baseline\n' >&3
 IFS= read -r response <&3
 exec 3<&- 3>&-
 case "$response" in
-    "ok = 1; id = ci; qisim scalability v1"*) ;;
+    "ok = 1; request_id = "*"; id = ci; qisim scalability v1"*) ;;
     *) echo "malformed serve response: $response" >&2; exit 1;;
 esac
 touch "$out/stop"
 wait "$serve_pid"
 grep -q "done requests = 1 ok = 1" "$out/serve_bin.err"
 
-echo "== [13/13] scale-out smoke run =="
+echo "== [13/14] scale-out smoke run =="
 # Long exporter interval again: the only write is bench_scaleout's
 # explicit flush, so the fleet gauges from the 4-fridge sweep must be
 # present in the delta that covers the whole run.
@@ -193,5 +209,67 @@ grep -q "bench_scaleout smoke gate passed." "$out/scaleout.txt"
 grep -q "topology_fridges" "$out/scaleout.om"
 grep -q "engine_fridge_shards" "$out/scaleout.om"
 grep -q "# EOF" "$out/scaleout.om"
+
+echo "== [14/14] admin-plane smoke run =="
+# The binary with the HTTP plane and structured logging armed: probe
+# liveness/readiness, scrape /metrics during a request burst and
+# validate the exposition with the binary's own --check-om, and chase
+# one request_id from the wire response into the JSONL records.
+# (Step 6 left the kill-switch build of the binary in target/release;
+# relink the instrumented one — cached, so this is just a link step.)
+cargo build --release --quiet -p qisim-serve
+QISIM_LOG="$out/admin.log.jsonl:info" ./target/release/qisim-serve \
+    --tcp 127.0.0.1:0 --admin 127.0.0.1:0 --stop-file "$out/admin_stop" \
+    > "$out/admin_bin.txt" 2> "$out/admin_bin.err" &
+admin_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "admin = " "$out/admin_bin.txt" 2>/dev/null && break
+    sleep 0.1
+done
+service_port="$(sed -n 's/.*listening = [^ ]*:\([0-9][0-9]*\)$/\1/p' "$out/admin_bin.txt")"
+admin_port="$(sed -n 's/.*admin = [^ ]*:\([0-9][0-9]*\)$/\1/p' "$out/admin_bin.txt")"
+test -n "$service_port" || { echo "qisim-serve never reported its port" >&2; exit 1; }
+test -n "$admin_port" || { echo "qisim-serve never reported its admin port" >&2; exit 1; }
+admin_get() { # PATH OUTFILE: one HTTP GET over /dev/tcp (server closes)
+    exec 4<>"/dev/tcp/127.0.0.1/$admin_port"
+    printf 'GET %s HTTP/1.1\r\nHost: ci\r\n\r\n' "$1" >&4
+    cat <&4 > "$2"
+    exec 4<&- 4>&-
+}
+admin_get /healthz "$out/healthz.txt"
+grep -q "HTTP/1.1 200" "$out/healthz.txt"
+grep -q "^ok" "$out/healthz.txt"
+admin_get /readyz "$out/readyz.txt"
+grep -q "HTTP/1.1 200" "$out/readyz.txt"
+grep -q "^ready" "$out/readyz.txt"
+# Burst requests on the service socket, scraping /metrics in between so
+# the exposition is captured while the registry is hot.
+exec 3<>"/dev/tcp/127.0.0.1/$service_port"
+for i in $(seq 1 8); do
+    printf 'id = ci%s; preset = cmos_baseline\n' "$i" >&3
+    IFS= read -r admin_response <&3
+    test "$i" -eq 4 && admin_get /metrics "$out/admin_metrics.txt"
+done
+exec 3<&- 3>&-
+case "$admin_response" in
+    "ok = 1; request_id = "*"; id = ci8; qisim scalability v1"*) ;;
+    *) echo "malformed serve response: $admin_response" >&2; exit 1;;
+esac
+rid="${admin_response#ok = 1; request_id = }"
+rid="${rid%%;*}"
+grep -q "application/openmetrics-text" "$out/admin_metrics.txt"
+# Strip the HTTP head; the body must be a well-formed exposition with
+# live serve counters in it.
+sed -e '1,/^\r*$/d' "$out/admin_metrics.txt" > "$out/admin_metrics.om"
+./target/release/qisim-serve --check-om "$out/admin_metrics.om"
+grep -Eq "^serve_requests_total [1-9]" "$out/admin_metrics.om"
+touch "$out/admin_stop"
+wait "$admin_pid"
+# The id echoed on the wire stamps the structured start/finish records.
+grep -q "\"event\":\"serve.request.start\"" "$out/admin.log.jsonl"
+grep -q "\"event\":\"serve.request.finish\".*\"request_id\":$rid" "$out/admin.log.jsonl" \
+    || grep -q "\"request_id\":$rid.*\"event\":\"serve.request.finish\"" "$out/admin.log.jsonl" \
+    || { echo "request_id $rid missing from serve.request.finish records" >&2; exit 1; }
+grep -q "\"outcome\":\"ok\"" "$out/admin.log.jsonl"
 
 echo "CI gate passed."
